@@ -1,0 +1,613 @@
+package fasthgp
+
+// The benchmark suite regenerates every evaluation artifact of the
+// paper (DESIGN.md §5 maps IDs to functions here):
+//
+//	T1  BenchmarkTable1LargeNetCrossing
+//	T2  BenchmarkTable2Cutsize, BenchmarkTable2CPU
+//	F4  BenchmarkFigure4Pipeline
+//	X1  BenchmarkDifficultOptimality
+//	X2  BenchmarkThresholdAblation
+//	X3  BenchmarkBoundaryFraction
+//	X4  BenchmarkCompleteCutVsExact
+//	X5  BenchmarkEngineerRule
+//	X6  BenchmarkMultiStartAblation
+//	X7  BenchmarkGranularization
+//	X8  BenchmarkScaling*
+//	X9  BenchmarkQuotientObjective
+//	X10 BenchmarkAllMethods
+//	—   BenchmarkBFSTiePolicy, BenchmarkMultilevelVsFlat, BenchmarkKWay,
+//	    BenchmarkPlacement (design-choice ablations and the application)
+//
+// Quality numbers (cutsizes, fractions, percentages) are emitted as
+// custom benchmark metrics so `go test -bench` output doubles as the
+// experiment record; wall-clock per op carries the CPU comparisons.
+// Run cmd/tables for the paper-layout text tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/core"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/matching"
+	"fasthgp/internal/paperexample"
+	"fasthgp/internal/partition"
+)
+
+const benchSeed = 1989
+
+// mustProfile builds a deterministic profile netlist for benchmarks.
+func mustProfile(b *testing.B, modules, signals int, tech gen.Technology) *Hypergraph {
+	b.Helper()
+	h, err := gen.Profile(gen.ProfileConfig{Modules: modules, Signals: signals, Technology: tech, LargeNetFraction: 0.04},
+		rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkTable1LargeNetCrossing (T1): crossing percentage of large
+// nets in the best SA partition, per technology.
+func BenchmarkTable1LargeNetCrossing(b *testing.B) {
+	for _, tech := range []gen.Technology{gen.PCB, gen.StdCell, gen.GateArray, gen.Hybrid} {
+		b.Run(tech.String(), func(b *testing.B) {
+			h := mustProfile(b, 200, 430, tech)
+			var pct14 float64
+			for i := 0; i < b.N; i++ {
+				res, err := anneal.Bisect(h, anneal.Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total, crossing := 0, 0
+				for e := 0; e < h.NumEdges(); e++ {
+					if h.EdgeSize(e) < 14 {
+						continue
+					}
+					total++
+					if partition.Crosses(h, res.Partition, e) {
+						crossing++
+					}
+				}
+				if total > 0 {
+					pct14 = 100 * float64(crossing) / float64(total)
+				}
+			}
+			b.ReportMetric(pct14, "cross%k14")
+		})
+	}
+}
+
+// BenchmarkTable2Cutsize (T2): Algorithm I per Table-2 instance; the
+// cut is reported as a metric, time/op is the Alg I runtime.
+func BenchmarkTable2Cutsize(b *testing.B) {
+	for _, name := range []gen.Table2Name{gen.Bd1, gen.Bd2, gen.Bd3, gen.IC1, gen.Diff1, gen.Diff2, gen.Diff3} {
+		b.Run(string(name), func(b *testing.B) {
+			h, err := gen.Table2Instance(name, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 50, Seed: benchSeed, Threshold: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkTable2CPU (T2, CPU row): the three methods on the same
+// instance; the time/op ratios reproduce the paper's CPU row.
+func BenchmarkTable2CPU(b *testing.B) {
+	h, err := gen.Table2Instance(gen.IC1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("AlgI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Bipartition(h, core.Options{Starts: 1, Seed: benchSeed, Threshold: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := anneal.Bisect(h, anneal.Options{Seed: benchSeed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MinCutKL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kl.Bisect(h, kl.Options{Seed: benchSeed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFigure4Pipeline (F4): the full pipeline on the worked
+// example; the metric certifies the optimum cutsize 2.
+func BenchmarkFigure4Pipeline(b *testing.B) {
+	h := paperexample.WorkedExample()
+	cut := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Bipartition(h, core.Options{Starts: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.CutSize
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+// BenchmarkDifficultOptimality (X1): planted-cut recovery rate of
+// Algorithm I across seeds.
+func BenchmarkDifficultOptimality(b *testing.B) {
+	const n, c = 400, 6
+	hits, runs := 0, 0
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		b.StopTimer()
+		h, _, err := gen.PlantedCut(n, gen.PlantedConfig{CutSize: c, IntraEdges: 2 * n, MaxEdgeSize: 4, MaxDegree: 6}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := core.Bipartition(h, core.Options{Starts: 50, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs++
+		if res.CutSize <= c {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(runs), "optimal-rate")
+}
+
+// BenchmarkThresholdAblation (X2): Algorithm I under different
+// large-net thresholds.
+func BenchmarkThresholdAblation(b *testing.B) {
+	h := mustProfile(b, 400, 900, gen.PCB)
+	for _, thr := range []int{0, 20, 14, 10, 8} {
+		name := "off"
+		if thr > 0 {
+			name = string(rune('0'+thr/10)) + string(rune('0'+thr%10))
+		}
+		b.Run("k"+name, func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 10, Seed: benchSeed, Threshold: thr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkBoundaryFraction (X3): boundary set size as a fraction of G
+// for random vs circuit duals.
+func BenchmarkBoundaryFraction(b *testing.B) {
+	run := func(b *testing.B, h *Hypergraph, thr int) {
+		ig := intersect.Build(h, intersect.Options{Threshold: thr})
+		rng := rand.New(rand.NewSource(benchSeed))
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			u, v, _ := ig.G.LongestBFSPath(rng)
+			pb := core.PartialFromCut(h, ig, u, v)
+			frac = float64(len(pb.Boundary.Nets)) / float64(ig.G.NumVertices())
+		}
+		b.ReportMetric(frac, "boundary-frac")
+	}
+	b.Run("random", func(b *testing.B) {
+		h, err := gen.Random(256, gen.RandomConfig{NumEdges: 384, MinEdgeSize: 2, MaxEdgeSize: 3, MaxDegree: 3},
+			rand.New(rand.NewSource(benchSeed)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, h, 0)
+	})
+	b.Run("circuit", func(b *testing.B) {
+		run(b, mustProfile(b, 256, 384, gen.StdCell), 10)
+	})
+}
+
+// BenchmarkCompleteCutVsExact (X4): the paper's greedy Complete-Cut
+// against the König-optimal completion on the same boundary graphs.
+func BenchmarkCompleteCutVsExact(b *testing.B) {
+	h := mustProfile(b, 400, 900, gen.StdCell)
+	ig := intersect.Build(h, intersect.Options{Threshold: 10})
+	rng := rand.New(rand.NewSource(benchSeed))
+	u, v, _ := ig.G.LongestBFSPath(rng)
+	pb := core.PartialFromCut(h, ig, u, v)
+	b.Run("greedy", func(b *testing.B) {
+		losers := 0
+		for i := 0; i < b.N; i++ {
+			losers = core.LoserCount(core.CompleteCutGreedy(pb.Boundary))
+		}
+		b.ReportMetric(float64(losers), "losers")
+	})
+	b.Run("exact", func(b *testing.B) {
+		losers := 0
+		for i := 0; i < b.N; i++ {
+			losers = core.LoserCount(core.CompleteCutExact(pb.Boundary))
+		}
+		b.ReportMetric(float64(losers), "losers")
+	})
+	b.Run("matching-oracle", func(b *testing.B) {
+		size := 0
+		for i := 0; i < b.N; i++ {
+			_, sz, ok := matching.MinVertexCover(pb.Boundary.G)
+			if !ok {
+				b.Fatal("boundary graph not bipartite")
+			}
+			size = sz
+		}
+		b.ReportMetric(float64(size), "losers")
+	})
+}
+
+// BenchmarkEngineerRule (X5): completion rules, cut and imbalance.
+func BenchmarkEngineerRule(b *testing.B) {
+	h := mustProfile(b, 500, 1000, gen.PCB)
+	for _, comp := range []core.Completion{core.CompletionGreedy, core.CompletionExact, core.CompletionWeighted} {
+		b.Run(comp.String(), func(b *testing.B) {
+			var cut int
+			var imb int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 10, Seed: benchSeed, Threshold: 10, Completion: comp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+				imb = partition.Imbalance(h, res.Partition)
+			}
+			b.ReportMetric(float64(cut), "cut")
+			b.ReportMetric(100*float64(imb)/float64(h.TotalVertexWeight()), "imbalance%")
+		})
+	}
+}
+
+// BenchmarkMultiStartAblation (X6): cutsize and cost vs start count.
+func BenchmarkMultiStartAblation(b *testing.B) {
+	h := mustProfile(b, 400, 800, gen.StdCell)
+	for _, starts := range []int{1, 5, 50} {
+		b.Run(stars(starts), func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: starts, Seed: int64(i), Threshold: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+func stars(n int) string {
+	switch n {
+	case 1:
+		return "starts1"
+	case 5:
+		return "starts5"
+	default:
+		return "starts50"
+	}
+}
+
+// BenchmarkGranularization (X7): direct vs granularized partitioning.
+func BenchmarkGranularization(b *testing.B) {
+	h := mustProfile(b, 300, 600, gen.PCB)
+	b.Run("direct", func(b *testing.B) {
+		var imb int64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Bipartition(h, core.Options{Starts: 10, Seed: benchSeed, Threshold: 10, Completion: core.CompletionWeighted})
+			if err != nil {
+				b.Fatal(err)
+			}
+			imb = partition.Imbalance(h, res.Partition)
+		}
+		b.ReportMetric(100*float64(imb)/float64(h.TotalVertexWeight()), "imbalance%")
+	})
+	b.Run("granularized", func(b *testing.B) {
+		grain := h.TotalVertexWeight() / int64(2*h.NumVertices())
+		if grain < 1 {
+			grain = 1
+		}
+		var imb int64
+		for i := 0; i < b.N; i++ {
+			gr, err := Granularize(h, grain, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Bipartition(gr.H, core.Options{Starts: 10, Seed: benchSeed, Threshold: 10, Completion: core.CompletionWeighted})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := gr.Project(res.Partition)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imb = partition.Imbalance(h, p)
+		}
+		b.ReportMetric(100*float64(imb)/float64(h.TotalVertexWeight()), "imbalance%")
+	})
+}
+
+// BenchmarkScalingAlgI / KL / FM (X8): runtime growth; compare ns/op
+// across sizes to see the O(n²) vs O(n² log n) shapes.
+func benchScaling(b *testing.B, runner func(h *Hypergraph) error) {
+	for _, n := range []int{250, 500, 1000, 2000} {
+		b.Run(stats3(n), func(b *testing.B) {
+			h := mustProfile(b, n, 2*n, gen.StdCell)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func stats3(n int) string {
+	switch n {
+	case 250:
+		return "n250"
+	case 500:
+		return "n500"
+	case 1000:
+		return "n1000"
+	default:
+		return "n2000"
+	}
+}
+
+// BenchmarkScalingAlgI times one start of Algorithm I per op.
+func BenchmarkScalingAlgI(b *testing.B) {
+	benchScaling(b, func(h *Hypergraph) error {
+		_, err := core.Bipartition(h, core.Options{Starts: 1, Seed: benchSeed, Threshold: 10})
+		return err
+	})
+}
+
+// BenchmarkScalingKL times one Kernighan–Lin run per op.
+func BenchmarkScalingKL(b *testing.B) {
+	benchScaling(b, func(h *Hypergraph) error {
+		_, err := kl.Bisect(h, kl.Options{Seed: benchSeed, MaxPasses: 4})
+		return err
+	})
+}
+
+// BenchmarkScalingFM times one Fiduccia–Mattheyses run per op.
+func BenchmarkScalingFM(b *testing.B) {
+	benchScaling(b, func(h *Hypergraph) error {
+		_, err := FM(h, FMOptions{Seed: benchSeed})
+		return err
+	})
+}
+
+// BenchmarkQuotientObjective (X9): quotient-cut values under the two
+// objectives.
+func BenchmarkQuotientObjective(b *testing.B) {
+	h := mustProfile(b, 300, 600, gen.Hybrid)
+	for _, obj := range []core.Objective{core.MinCut, core.MinQuotient} {
+		b.Run(obj.String(), func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 10, Seed: benchSeed, Threshold: 10, Objective: obj})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = partition.QuotientCut(h, res.Partition)
+			}
+			b.ReportMetric(q, "quotient")
+		})
+	}
+}
+
+// BenchmarkBFSTiePolicy: design-choice ablation of the double-BFS
+// frontier policy.
+func BenchmarkBFSTiePolicy(b *testing.B) {
+	h := mustProfile(b, 400, 800, gen.StdCell)
+	for _, balanced := range []bool{false, true} {
+		name := "alternating"
+		if balanced {
+			name = "balanced"
+		}
+		b.Run(name, func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 10, Seed: benchSeed, Threshold: 10, BalancedBFS: balanced})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkMultilevelVsFlat: the library's multilevel extension against
+// flat Algorithm I and FM on the same instance — the historically
+// decisive comparison.
+func BenchmarkMultilevelVsFlat(b *testing.B) {
+	h := mustProfile(b, 800, 1600, gen.StdCell)
+	b.Run("multilevel", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Multilevel(h, MultilevelOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		b.ReportMetric(float64(cut), "cut")
+	})
+	b.Run("flat-algI", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Bipartition(h, core.Options{
+				Starts: 10, Seed: benchSeed, Threshold: 10,
+				BalancedBFS: true, Completion: core.CompletionWeighted,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		b.ReportMetric(float64(cut), "cut")
+	})
+	b.Run("flat-fm", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := FM(h, FMOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		b.ReportMetric(float64(cut), "cut")
+	})
+}
+
+// BenchmarkKWay: K-way recursive bisection with connectivity metric.
+func BenchmarkKWay(b *testing.B) {
+	h := mustProfile(b, 400, 800, gen.PCB)
+	for _, k := range []int{2, 4, 8} {
+		b.Run("k"+string(rune('0'+k)), func(b *testing.B) {
+			var conn int64
+			for i := 0; i < b.N; i++ {
+				res, err := KWay(h, KWayOptions{K: k, Seed: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				conn = res.Connectivity
+			}
+			b.ReportMetric(float64(conn), "connectivity")
+		})
+	}
+}
+
+// BenchmarkAllMethods: every partitioner in the library on one
+// instance — the grand comparison extending Table 2 with the methods
+// the paper only cites (flow, spectral, multilevel).
+func BenchmarkAllMethods(b *testing.B) {
+	h := mustProfile(b, 300, 650, gen.StdCell)
+	report := func(b *testing.B, cut int) { b.ReportMetric(float64(cut), "cut") }
+	b.Run("AlgI", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Bipartition(h, core.Options{Starts: 50, Seed: benchSeed, Threshold: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("Multilevel", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Multilevel(h, MultilevelOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("KL", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := kl.Bisect(h, kl.Options{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("FM", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := FM(h, FMOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("SA", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := anneal.Bisect(h, anneal.Options{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("Flow", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Flow(h, FlowOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+	b.Run("Spectral", func(b *testing.B) {
+		cut := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Spectral(h, SpectralOptions{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cut = res.CutSize
+		}
+		report(b, cut)
+	})
+}
+
+// BenchmarkPlacement: min-cut placement end to end with HPWL metric.
+func BenchmarkPlacement(b *testing.B) {
+	h := mustProfile(b, 512, 1024, gen.StdCell)
+	for _, tp := range []bool{false, true} {
+		name := "plain"
+		if tp {
+			name = "terminal-propagation"
+		}
+		b.Run(name, func(b *testing.B) {
+			var hp int64
+			for i := 0; i < b.N; i++ {
+				pl, err := PlaceMinCut(h, PlaceOptions{Rows: 8, Cols: 8, Seed: benchSeed, TerminalPropagation: tp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hp = HPWL(h, pl)
+			}
+			b.ReportMetric(float64(hp), "HPWL")
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Command hggen generates synthetic netlists in the library's text
+// format and writes them to stdout or a file.
+//
+// Usage:
+//
+//	hggen -family profile -tech stdcell -modules 500 -signals 900 > chip.nets
+//	hggen -family planted -modules 500 -signals 700 -cut 8
+//	hggen -family random  -modules 200 -signals 400
+//	hggen -family table2 -name IC1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fasthgp"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/netio"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "profile", "generator: profile, random, planted, disconnected, table2")
+		tech    = flag.String("tech", "stdcell", "profile technology: pcb, stdcell, ga, hybrid")
+		modules = flag.Int("modules", 200, "number of modules")
+		signals = flag.Int("signals", 400, "number of signals")
+		cut     = flag.Int("cut", 4, "planted: crossing nets c")
+		comps   = flag.Int("components", 3, "disconnected: component count")
+		name    = flag.String("name", "Bd1", "table2: instance name (Bd1..Bd3, IC1, IC2, Diff1..Diff3)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		format  = flag.String("format", "nets", "output format: nets (netio) or hgr (hMETIS)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var h *fasthgp.Hypergraph
+	var err error
+	switch *family {
+	case "profile":
+		var t gen.Technology
+		switch *tech {
+		case "pcb":
+			t = gen.PCB
+		case "stdcell":
+			t = gen.StdCell
+		case "ga":
+			t = gen.GateArray
+		case "hybrid":
+			t = gen.Hybrid
+		default:
+			fatal(fmt.Errorf("unknown technology %q", *tech))
+		}
+		h, err = gen.Profile(gen.ProfileConfig{Modules: *modules, Signals: *signals, Technology: t}, rng)
+	case "random":
+		h, err = gen.Random(*modules, gen.RandomConfig{NumEdges: *signals, MaxDegree: 6}, rng)
+	case "planted":
+		h, _, err = gen.PlantedCut(*modules, gen.PlantedConfig{CutSize: *cut, IntraEdges: *signals - *cut, MaxDegree: 6}, rng)
+	case "disconnected":
+		h, err = gen.Disconnected(*modules, *comps, *signals / *comps, rng)
+	case "table2":
+		h, err = gen.Table2Instance(gen.Table2Name(*name), *seed)
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "nets":
+		err = netio.Write(w, h)
+	case "hgr":
+		err = netio.WriteHMetis(w, h)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hggen: wrote %d modules, %d nets, %d pins\n",
+		h.NumVertices(), h.NumEdges(), h.NumPins())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Command hgpart partitions a netlist file with any of the library's
+// algorithms and reports the cut.
+//
+// Usage:
+//
+//	hgpart -in netlist.nets [-algo algI|kl|fm|sa|random] [flags]
+//
+// With -algo algI (the default), the paper's Algorithm I runs with the
+// given number of random longest-path starts, completion rule and
+// large-net threshold. The tool prints cutsize, balance, timing, and
+// optionally the side assignment of every module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"fasthgp"
+	"fasthgp/internal/partition"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input netlist file (netio format); required")
+		algo       = flag.String("algo", "algI", "algorithm: algI, multilevel, kl, fm, sa, flow, spectral, random")
+		format     = flag.String("format", "nets", "input format: nets (netio) or hgr (hMETIS)")
+		k          = flag.Int("k", 2, "number of parts; k > 2 uses K-way recursive bisection")
+		starts     = flag.Int("starts", 50, "Algorithm I: random longest paths to examine")
+		threshold  = flag.Int("threshold", 0, "Algorithm I: exclude nets with >= this many pins (0 = off)")
+		completion = flag.String("completion", "greedy", "Algorithm I: boundary completion: greedy, exact, weighted")
+		objective  = flag.String("objective", "cut", "Algorithm I: objective: cut, quotient")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print the side of every module")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hgpart: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var h *fasthgp.Hypergraph
+	switch *format {
+	case "nets":
+		h, err = fasthgp.ReadNetlist(f)
+	case "hgr":
+		h, err = fasthgp.ReadHMetis(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("netlist: %d modules, %d nets, %d pins\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+
+	if *k > 2 {
+		start := time.Now()
+		res, err := fasthgp.KWay(h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("k-way recursive bisection: k = %d\n", *k)
+		fmt.Printf("cut nets: %d (of %d), connectivity sum(lambda-1): %d\n", res.CutNets, h.NumEdges(), res.Connectivity)
+		fmt.Printf("part weights: %v\n", res.PartWeights)
+		fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+		if *verbose {
+			for v := 0; v < h.NumVertices(); v++ {
+				fmt.Printf("  %s %d\n", h.VertexName(v), res.Part[v])
+			}
+		}
+		return
+	}
+
+	var p *fasthgp.Bipartition
+	start := time.Now()
+	switch *algo {
+	case "algI":
+		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed}
+		switch *completion {
+		case "greedy":
+			opts.Completion = fasthgp.CompletionGreedy
+		case "exact":
+			opts.Completion = fasthgp.CompletionExact
+		case "weighted":
+			opts.Completion = fasthgp.CompletionWeighted
+		default:
+			fatal(fmt.Errorf("unknown completion %q", *completion))
+		}
+		switch *objective {
+		case "cut":
+			opts.Objective = fasthgp.MinCut
+		case "quotient":
+			opts.Objective = fasthgp.MinQuotient
+		default:
+			fatal(fmt.Errorf("unknown objective %q", *objective))
+		}
+		res, err := fasthgp.Partition(h, opts)
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("algorithm I: G = (%d vertices, %d edges), boundary %d, BFS depth %d",
+			res.Stats.GVertices, res.Stats.GEdges, res.Stats.BoundarySize, res.Stats.BFSDepth)
+		if res.Stats.Disconnected {
+			fmt.Print(" [disconnected: zero-cut packing]")
+		}
+		fmt.Println()
+	case "multilevel":
+		res, err := fasthgp.Multilevel(h, fasthgp.MultilevelOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
+	case "kl":
+		res, err := fasthgp.KL(h, fasthgp.KLOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("kernighan-lin: %d passes\n", res.Passes)
+	case "fm":
+		res, err := fasthgp.FM(h, fasthgp.FMOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("fiduccia-mattheyses: %d passes\n", res.Passes)
+	case "spectral":
+		res, err := fasthgp.Spectral(h, fasthgp.SpectralOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("spectral: %d power iterations\n", res.Iterations)
+	case "flow":
+		res, err := fasthgp.Flow(h, fasthgp.FlowOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("flow-based: min s-t net cut value %d over seed pairs\n", res.FlowValue)
+	case "sa":
+		res, err := fasthgp.Anneal(h, fasthgp.AnnealOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Partition
+		fmt.Printf("simulated annealing: %d temperatures, %d accepted moves\n", res.Temperatures, res.Accepted)
+	case "random":
+		rp, _, err := fasthgp.RandomBisection(h, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fatal(err)
+		}
+		p = rp
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	elapsed := time.Since(start)
+
+	cut := fasthgp.CutSize(h, p)
+	l, r, _ := p.Counts()
+	fmt.Printf("cutsize: %d (of %d nets)\n", cut, h.NumEdges())
+	fmt.Printf("sides: %d | %d modules, weight imbalance %d of %d\n",
+		l, r, fasthgp.Imbalance(h, p), h.TotalVertexWeight())
+	fmt.Printf("quotient cut: %.4f\n", fasthgp.QuotientCut(h, p))
+	fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+	if *verbose {
+		for v := 0; v < h.NumVertices(); v++ {
+			side := "L"
+			if p.Side(v) == partition.Right {
+				side = "R"
+			}
+			fmt.Printf("  %s %s\n", h.VertexName(v), side)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command hgstat prints the structural statistics of a netlist that
+// the paper's analysis cares about: size/degree distributions,
+// connectivity, and the intersection-graph profile (vertices, edges,
+// diameter estimate, boundary-set fraction) before and after large-net
+// filtering.
+//
+// Usage:
+//
+//	hgstat -in chip.nets [-format nets|hgr] [-threshold 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fasthgp"
+	"fasthgp/internal/core"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/stats"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input netlist; required")
+		format    = flag.String("format", "nets", "input format: nets or hgr")
+		threshold = flag.Int("threshold", 10, "large-net threshold for the filtered G profile")
+		seed      = flag.Int64("seed", 1, "seed for the BFS probes")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hgstat: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var h *fasthgp.Hypergraph
+	switch *format {
+	case "nets":
+		h, err = fasthgp.ReadNetlist(f)
+	case "hgr":
+		h, err = fasthgp.ReadHMetis(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("modules: %d   nets: %d   pins: %d\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+	_, comps := h.Components()
+	fmt.Printf("connected components: %d\n", comps)
+	fmt.Printf("total module weight: %d\n\n", h.TotalVertexWeight())
+
+	sizes := make([]float64, h.NumEdges())
+	big := map[int]int{8: 0, 14: 0, 20: 0}
+	for e := 0; e < h.NumEdges(); e++ {
+		sizes[e] = float64(h.EdgeSize(e))
+		for k := range big {
+			if h.EdgeSize(e) >= k {
+				big[k]++
+			}
+		}
+	}
+	s := stats.Summarize(sizes)
+	fmt.Printf("net size: mean %.2f  median %.0f  max %.0f  (k>=8: %d, k>=14: %d, k>=20: %d)\n",
+		s.Mean, s.Median, s.Max, big[8], big[14], big[20])
+
+	degs := make([]float64, h.NumVertices())
+	for v := 0; v < h.NumVertices(); v++ {
+		degs[v] = float64(h.VertexDegree(v))
+	}
+	d := stats.Summarize(degs)
+	fmt.Printf("module degree: mean %.2f  median %.0f  max %.0f\n\n", d.Mean, d.Median, d.Max)
+
+	rng := rand.New(rand.NewSource(*seed))
+	for _, thr := range []int{0, *threshold} {
+		label := "unfiltered"
+		if thr > 0 {
+			label = fmt.Sprintf("threshold k>=%d", thr)
+		}
+		ig := intersect.Build(h, intersect.Options{Threshold: thr})
+		fmt.Printf("intersection graph (%s): %d vertices, %d edges, %d excluded nets\n",
+			label, ig.G.NumVertices(), ig.G.NumEdges(), len(ig.Excluded))
+		if ig.G.NumVertices() == 0 {
+			continue
+		}
+		if !ig.G.IsConnected() {
+			_, k := ig.G.Components()
+			fmt.Printf("  G disconnected (%d components): a zero-cut partition of the included nets exists\n", k)
+			continue
+		}
+		u, v, depth := ig.G.LongestBFSPath(rng)
+		pb := core.PartialFromCut(h, ig, u, v)
+		fmt.Printf("  longest BFS path depth: %d   boundary set: %d nets (%.1f%% of G)\n",
+			depth, len(pb.Boundary.Nets),
+			100*float64(len(pb.Boundary.Nets))/float64(ig.G.NumVertices()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Command paperfig prints the paper's worked examples (Figures 1–4,
+// reconstructed per DESIGN.md §2) end to end, showing each stage of
+// Algorithm I on a netlist small enough to read.
+//
+// Usage:
+//
+//	paperfig            # all figures
+//	paperfig -figure 4  # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/core"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/paperexample"
+	"fasthgp/internal/partition"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure number 1-4 (0 = all)")
+	flag.Parse()
+	figs := []int{1, 2, 3, 4}
+	if *figure != 0 {
+		figs = []int{*figure}
+	}
+	for _, f := range figs {
+		switch f {
+		case 1:
+			figure1()
+		case 2, 3:
+			figure23(f)
+		case 4:
+			figure4()
+		default:
+			fmt.Fprintf(os.Stderr, "paperfig: no figure %d\n", f)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+}
+
+func figure1() {
+	fmt.Println("== Figure 1: a hypergraph and its intersection graph ==")
+	h := paperexample.Figure1()
+	printNetlist(h)
+	ig := intersect.Build(h, intersect.Options{})
+	fmt.Println("intersection graph G (vertices are nets; adjacent iff they share a module):")
+	for i := 0; i < ig.G.NumVertices(); i++ {
+		fmt.Printf("  %s:", h.EdgeName(ig.NetOf[i]))
+		for _, j := range ig.G.Neighbors(i) {
+			fmt.Printf(" %s", h.EdgeName(ig.NetOf[j]))
+		}
+		fmt.Println()
+	}
+}
+
+func pickDiameterPair(ig *intersect.Result) (int, int) {
+	bestU, bestV, bestD := 0, 0, -1
+	for u := 0; u < ig.G.NumVertices(); u++ {
+		far, d := ig.G.Eccentricity(u)
+		if d > bestD {
+			bestU, bestV, bestD = u, far, d
+		}
+	}
+	return bestU, bestV
+}
+
+func figure23(which int) {
+	h := paperexample.WorkedExample()
+	ig := intersect.Build(h, intersect.Options{})
+	u, v := pickDiameterPair(ig)
+	pb := core.PartialFromCut(h, ig, u, v)
+	if which == 2 {
+		fmt.Println("== Figure 2: a cut in G and the induced partial bipartition ==")
+		printNetlist(h)
+		fmt.Printf("double BFS from %s and %s cuts G:\n", h.EdgeName(ig.NetOf[u]), h.EdgeName(ig.NetOf[v]))
+		for _, side := range []partition.Side{partition.Left, partition.Right} {
+			fmt.Printf("  %v side:", side)
+			for i, s := range pb.NetSide {
+				if s == side {
+					mark := ""
+					if pb.IsBoundary[i] {
+						mark = "*"
+					}
+					fmt.Printf(" %s%s", h.EdgeName(ig.NetOf[i]), mark)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println("  (* = boundary net)")
+		p, lw, rw := pb.BaseAssignment(h)
+		fmt.Printf("partial bipartition places the non-boundary nets' modules (weight %d | %d):\n", lw, rw)
+		printModuleSides(h, p)
+		return
+	}
+	fmt.Println("== Figure 3: the bipartite boundary graph and Complete-Cut ==")
+	bg := pb.Boundary
+	fmt.Println("boundary graph G' (cross edges only):")
+	for k := 0; k < bg.G.NumVertices(); k++ {
+		fmt.Printf("  %s(%v):", h.EdgeName(bg.Nets[k]), bg.SideOf[k])
+		for _, l := range bg.G.Neighbors(k) {
+			fmt.Printf(" %s", h.EdgeName(bg.Nets[l]))
+		}
+		fmt.Println()
+	}
+	winner := core.CompleteCutGreedy(bg)
+	var winners, losers []string
+	for k, w := range winner {
+		if w {
+			winners = append(winners, h.EdgeName(bg.Nets[k]))
+		} else {
+			losers = append(losers, h.EdgeName(bg.Nets[k]))
+		}
+	}
+	sort.Strings(winners)
+	sort.Strings(losers)
+	fmt.Printf("winners (stay uncut): %v\n", winners)
+	fmt.Printf("losers (cross the cut): %v\n", losers)
+	fmt.Printf("optimum loser count (König): %d, greedy: %d\n",
+		core.OptimalLoserCount(bg), core.LoserCount(winner))
+}
+
+func figure4() {
+	fmt.Println("== Figure 4 / Section 2 worked example: the full pipeline ==")
+	h := paperexample.WorkedExample()
+	printNetlist(h)
+	res, err := core.Bipartition(h, core.Options{Starts: 8, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Algorithm I: cutsize %d (boundary set size %d, BFS depth %d)\n",
+		res.CutSize, res.Stats.BoundarySize, res.Stats.BFSDepth)
+	printModuleSides(h, res.Partition)
+	var crossing []string
+	for _, e := range partition.CutEdges(h, res.Partition) {
+		crossing = append(crossing, h.EdgeName(e))
+	}
+	fmt.Printf("crossing signals: %v\n", crossing)
+	_, opt, err := bruteforce.MinBisection(h)
+	if err == nil {
+		fmt.Printf("brute-force optimum bisection: %d → Algorithm I is %s\n",
+			opt, verdict(res.CutSize, opt))
+	}
+}
+
+func verdict(got, opt int) string {
+	if got == opt {
+		return "optimal"
+	}
+	return fmt.Sprintf("off by %d", got-opt)
+}
+
+func printNetlist(h *hypergraph.Hypergraph) {
+	fmt.Println("netlist:")
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Printf("  signal %s: modules", h.EdgeName(e))
+		for _, v := range h.EdgePins(e) {
+			fmt.Printf(" %s", h.VertexName(v))
+		}
+		fmt.Println()
+	}
+}
+
+func printModuleSides(h *hypergraph.Hypergraph, p *partition.Bipartition) {
+	var left, right, open []string
+	for v := 0; v < h.NumVertices(); v++ {
+		switch p.Side(v) {
+		case partition.Left:
+			left = append(left, h.VertexName(v))
+		case partition.Right:
+			right = append(right, h.VertexName(v))
+		default:
+			open = append(open, h.VertexName(v))
+		}
+	}
+	fmt.Printf("  left:  %v\n", left)
+	fmt.Printf("  right: %v\n", right)
+	if len(open) > 0 {
+		fmt.Printf("  unplaced (boundary-only modules): %v\n", open)
+	}
+}

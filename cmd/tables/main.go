@@ -1,0 +1,194 @@
+// Command tables regenerates the paper's evaluation artifacts: Table 1,
+// Table 2, and the supporting experiments X1–X9 indexed in DESIGN.md.
+//
+// Usage:
+//
+//	tables -table 1            # Table 1 (large-net crossing %)
+//	tables -table 2            # Table 2 (cutsize + CPU ratios)
+//	tables -exp difficult      # X1 planted-cut optimality
+//	tables -exp largenets      # X2 threshold ablation
+//	tables -exp diameter       # X3 BFS depth / diameter / boundary
+//	tables -exp balance        # X5 engineer's rule
+//	tables -exp starts         # X6 multi-start ablation
+//	tables -exp granular       # X7 granularization
+//	tables -exp scaling        # X8 runtime scaling
+//	tables -exp quotient       # X9 quotient-cut objective
+//	tables -exp methods        # X10 every partitioner head-to-head
+//	tables -all                # everything
+//
+// -quick shrinks every experiment for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasthgp/internal/bench"
+	"fasthgp/internal/gen"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "paper table to regenerate (1 or 2)")
+		exp   = flag.String("exp", "", "experiment: difficult, largenets, diameter, balance, starts, granular, scaling, quotient, methods")
+		all   = flag.Bool("all", false, "run every table and experiment")
+		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
+		seed  = flag.Int64("seed", 1989, "random seed")
+	)
+	flag.Parse()
+
+	ran := false
+	if *all || *table == 1 {
+		runTable1(*seed, *quick)
+		ran = true
+	}
+	if *all || *table == 2 {
+		runTable2(*seed, *quick)
+		ran = true
+	}
+	experiments := []string{}
+	if *all {
+		experiments = []string{"difficult", "largenets", "diameter", "balance", "starts", "granular", "scaling", "quotient", "methods"}
+	} else if *exp != "" {
+		experiments = []string{*exp}
+	}
+	for _, e := range experiments {
+		runExperiment(e, *seed, *quick)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable1(seed int64, quick bool) {
+	cfg := bench.Table1Config{Seed: seed}
+	if quick {
+		cfg.Modules, cfg.Signals, cfg.Runs = 150, 320, 3
+	}
+	fmt.Println("== Table 1: crossing % of large signals in the best SA partition ==")
+	fmt.Printf("(avg of %d simulated-annealing runs per technology)\n", orDefault(cfg.Runs, 10))
+	rows, err := bench.Table1(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(bench.RenderTable1(rows))
+}
+
+func runTable2(seed int64, quick bool) {
+	cfg := bench.Table2Config{Seed: seed}
+	if quick {
+		cfg.Starts = 10
+		cfg.Instances = []gen.Table2Name{gen.Bd1, gen.Bd2, gen.Diff1}
+	}
+	fmt.Println("== Table 2: cutsize and CPU, Algorithm I vs SA vs MinCut-KL ==")
+	rows, err := bench.Table2(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(bench.RenderTable2(rows))
+}
+
+func runExperiment(name string, seed int64, quick bool) {
+	switch name {
+	case "difficult":
+		fmt.Println("== X1: difficult planted-cut instances (c = o(n^{1-1/d})) ==")
+		sizes, cuts, trials := []int{100, 200, 400}, []int{2, 4, 8}, 3
+		if quick {
+			sizes, cuts, trials = []int{100}, []int{2, 4}, 1
+		}
+		rows, err := bench.Difficult(seed, trials, sizes, cuts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderDifficult(rows))
+	case "largenets":
+		fmt.Println("== X2: large-net threshold ablation ==")
+		rows, pct, err := bench.LargeNets(seed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderLargeNets(rows, pct))
+	case "diameter":
+		fmt.Println("== X3: BFS depth vs diameter, boundary fraction ==")
+		sizes := []int{64, 128, 256, 512}
+		if quick {
+			sizes = []int{64, 128}
+		}
+		rows, err := bench.Diameter(seed, sizes, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderDiameter(rows))
+	case "balance":
+		fmt.Println("== X5: completion rules: cut vs weight balance ==")
+		rows, err := bench.Balance(seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderBalance(rows))
+	case "starts":
+		fmt.Println("== X6: multi-start ablation ==")
+		counts, trials := []int{1, 5, 50}, 5
+		if quick {
+			counts, trials = []int{1, 5}, 2
+		}
+		rows, err := bench.Starts(seed, counts, trials)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderStarts(rows))
+	case "granular":
+		fmt.Println("== X7: granularization ==")
+		rows, err := bench.Granular(seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderGranular(rows))
+	case "scaling":
+		fmt.Println("== X8: runtime scaling ==")
+		sizes := []int{250, 500, 1000, 2000}
+		if quick {
+			sizes = []int{250, 500}
+		}
+		rows, err := bench.Scaling(seed, sizes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderScaling(rows))
+	case "methods":
+		fmt.Println("== X10: all partitioners on one std-cell instance ==")
+		size := 300
+		if quick {
+			size = 150
+		}
+		rows, err := bench.Methods(seed, size, size*13/6)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderMethods(rows))
+	case "quotient":
+		fmt.Println("== X9: quotient-cut objective ==")
+		rows, err := bench.Quotient(seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderQuotient(rows))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", name))
+	}
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Placement: the application the paper is written for. A std-cell
+// netlist is placed on a slot grid by recursive min-cut bipartitioning
+// (Breuer), with Algorithm I supplying each cut and FM refining it;
+// quality is bounding-box wirelength (HPWL). Terminal propagation is
+// compared against the plain recursion and a random placement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fasthgp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	h, err := fasthgp.GenerateProfile(fasthgp.ProfileConfig{
+		Modules:    768,
+		Signals:    1500,
+		Technology: fasthgp.StdCell,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("std-cell netlist: %d modules, %d nets, %d pins\n",
+		h.NumVertices(), h.NumEdges(), h.NumPins())
+
+	const rows, cols = 8, 8
+
+	random, err := fasthgp.PlaceRandom(h, rows, cols, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s HPWL %d\n", "random placement:", fasthgp.HPWL(h, random))
+
+	plain, err := fasthgp.PlaceMinCut(h, fasthgp.PlaceOptions{Rows: rows, Cols: cols, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s HPWL %d\n", "min-cut placement:", fasthgp.HPWL(h, plain))
+
+	tp, err := fasthgp.PlaceMinCut(h, fasthgp.PlaceOptions{
+		Rows: rows, Cols: cols, Seed: 1, TerminalPropagation: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s HPWL %d\n", "min-cut + terminal prop.:", fasthgp.HPWL(h, tp))
+
+	// A coarse picture: occupancy per slot of the terminal-propagation
+	// placement.
+	fmt.Println("\nslot occupancy (modules per slot):")
+	occ := make([][]int, rows)
+	for y := range occ {
+		occ[y] = make([]int, cols)
+	}
+	for v := range tp.X {
+		occ[tp.Y[v]][tp.X[v]]++
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			fmt.Printf("%4d", occ[y][x])
+		}
+		fmt.Println()
+	}
+}

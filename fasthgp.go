@@ -1,0 +1,330 @@
+// Package fasthgp is a Go implementation of "Fast Hypergraph
+// Partition" (Andrew B. Kahng, 26th Design Automation Conference,
+// 1989): an O(n²) provably-good heuristic for hypergraph min-cut
+// bipartitioning built on the intersection graph dual to the input
+// netlist, together with the full ecosystem the paper's evaluation
+// relies on — Kernighan–Lin, Fiduccia–Mattheyses and simulated-
+// annealing baselines, synthetic netlist generators, min-cut placement
+// with terminal propagation, and a benchmark harness regenerating the
+// paper's tables.
+//
+// # Quick start
+//
+//	b := fasthgp.NewBuilder(4)
+//	b.AddEdge(0, 1)       // nets are vertex subsets
+//	b.AddEdge(1, 2, 3)
+//	h, err := b.Build()
+//	...
+//	res, err := fasthgp.Partition(h, fasthgp.Options{Starts: 50})
+//	fmt.Println(res.CutSize, res.Partition.Side(0))
+//
+// The root package is a curated facade; the implementation lives in
+// internal packages (internal/core holds Algorithm I itself).
+package fasthgp
+
+import (
+	"io"
+	"math/rand"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/baseline"
+	"fasthgp/internal/cluster"
+	"fasthgp/internal/core"
+	"fasthgp/internal/flowpart"
+	"fasthgp/internal/fm"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/granular"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/kway"
+	"fasthgp/internal/multilevel"
+	"fasthgp/internal/netio"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/place"
+	"fasthgp/internal/rebalance"
+	"fasthgp/internal/spectral"
+)
+
+// Hypergraph is the netlist data structure: vertices are modules,
+// hyperedges are signal nets. Build one with NewBuilder or FromEdges.
+type Hypergraph = hypergraph.Hypergraph
+
+// Builder incrementally assembles a Hypergraph.
+type Builder = hypergraph.Builder
+
+// NewBuilder returns a Builder for a hypergraph with n vertices.
+func NewBuilder(n int) *Builder { return hypergraph.NewBuilder(n) }
+
+// FromEdges builds an unweighted hypergraph from a pin list per edge.
+func FromEdges(n int, edges [][]int) (*Hypergraph, error) {
+	return hypergraph.FromEdges(n, edges)
+}
+
+// Bipartition assigns each module to a side of the cut.
+type Bipartition = partition.Bipartition
+
+// Side identifies a partition side.
+type Side = partition.Side
+
+// Side values.
+const (
+	Unassigned = partition.Unassigned
+	Left       = partition.Left
+	Right      = partition.Right
+)
+
+// NewBipartition returns a Bipartition over n vertices with every
+// vertex Unassigned.
+func NewBipartition(n int) *Bipartition { return partition.New(n) }
+
+// Options configures Algorithm I (see internal/core for details).
+type Options = core.Options
+
+// Completion selects the boundary-completion rule of Algorithm I.
+type Completion = core.Completion
+
+// Completion rules: the paper's greedy Complete-Cut, the exact König
+// optimum, and the weight-balancing engineer's method.
+const (
+	CompletionGreedy   = core.CompletionGreedy
+	CompletionExact    = core.CompletionExact
+	CompletionWeighted = core.CompletionWeighted
+)
+
+// Objective selects what multi-start minimizes.
+type Objective = core.Objective
+
+// Objectives.
+const (
+	MinCut      = core.MinCut
+	MinQuotient = core.MinQuotient
+)
+
+// Result is the outcome of Algorithm I.
+type Result = core.Result
+
+// Partition runs Algorithm I — the paper's O(n²) intersection-graph
+// heuristic — and returns the best bipartition over opts.Starts random
+// longest BFS paths.
+func Partition(h *Hypergraph, opts Options) (*Result, error) {
+	return core.Bipartition(h, opts)
+}
+
+// CutSize returns the number of nets crossing p.
+func CutSize(h *Hypergraph, p *Bipartition) int { return partition.CutSize(h, p) }
+
+// WeightedCutSize returns the total weight of nets crossing p.
+func WeightedCutSize(h *Hypergraph, p *Bipartition) int64 {
+	return partition.WeightedCutSize(h, p)
+}
+
+// Imbalance returns the absolute vertex-weight difference between the
+// sides of p.
+func Imbalance(h *Hypergraph, p *Bipartition) int64 { return partition.Imbalance(h, p) }
+
+// QuotientCut returns cut(p) / min(|V_L|, |V_R|), the quotient-cut
+// objective discussed in the paper's Section 5.
+func QuotientCut(h *Hypergraph, p *Bipartition) float64 { return partition.QuotientCut(h, p) }
+
+// KLOptions configures the Kernighan–Lin baseline.
+type KLOptions = kl.Options
+
+// KLResult is the Kernighan–Lin outcome.
+type KLResult = kl.Result
+
+// KL bipartitions h with the Kernighan–Lin pair-swap heuristic
+// (Schweikert–Kernighan net model) from a random balanced bisection.
+func KL(h *Hypergraph, opts KLOptions) (*KLResult, error) { return kl.Bisect(h, opts) }
+
+// FMOptions configures the Fiduccia–Mattheyses baseline.
+type FMOptions = fm.Options
+
+// FMResult is the Fiduccia–Mattheyses outcome.
+type FMResult = fm.Result
+
+// FM bipartitions h with the Fiduccia–Mattheyses gain-bucket heuristic
+// from a random balanced bisection.
+func FM(h *Hypergraph, opts FMOptions) (*FMResult, error) { return fm.Bisect(h, opts) }
+
+// FMImprove refines an existing bipartition in place with FM passes.
+func FMImprove(h *Hypergraph, p *Bipartition, opts FMOptions) (*FMResult, error) {
+	return fm.Improve(h, p, opts)
+}
+
+// AnnealOptions configures the simulated-annealing baseline.
+type AnnealOptions = anneal.Options
+
+// AnnealResult is the annealing outcome.
+type AnnealResult = anneal.Result
+
+// Anneal bipartitions h by simulated annealing.
+func Anneal(h *Hypergraph, opts AnnealOptions) (*AnnealResult, error) {
+	return anneal.Bisect(h, opts)
+}
+
+// FlowOptions configures the flow-based partitioner.
+type FlowOptions = flowpart.Options
+
+// FlowResult is the flow-partition outcome.
+type FlowResult = flowpart.Result
+
+// Flow bipartitions h by exact minimum s–t net cuts over several seed
+// pairs (Dinic max-flow on the standard net model) — the "network
+// flow" family the paper compares against.
+func Flow(h *Hypergraph, opts FlowOptions) (*FlowResult, error) {
+	return flowpart.Bisect(h, opts)
+}
+
+// MinNetCut computes an exact minimum-weight net cut separating
+// modules s and t.
+func MinNetCut(h *Hypergraph, s, t int) (*Bipartition, int64, error) {
+	return flowpart.MinNetCut(h, s, t)
+}
+
+// SpectralOptions configures the spectral partitioner.
+type SpectralOptions = spectral.Options
+
+// SpectralResult is the spectral outcome (including the Fiedler
+// coordinates).
+type SpectralResult = spectral.Result
+
+// Spectral bipartitions h by a Fiedler-vector sweep cut on the clique
+// expansion — the "graph space" eigenvector family the paper cites.
+func Spectral(h *Hypergraph, opts SpectralOptions) (*SpectralResult, error) {
+	return spectral.Bisect(h, opts)
+}
+
+// RandomBisection returns a uniformly random balanced bisection and its
+// cutsize — the paper's "even a random cut" control.
+func RandomBisection(h *Hypergraph, rng *rand.Rand) (*Bipartition, int, error) {
+	return baseline.RandomBisection(h, rng)
+}
+
+// MultilevelOptions configures the multilevel partitioner.
+type MultilevelOptions = multilevel.Options
+
+// MultilevelResult is the multilevel outcome.
+type MultilevelResult = multilevel.Result
+
+// Multilevel bipartitions h with the multilevel scheme (heavy-
+// connectivity coarsening → Algorithm I at the coarsest level → FM
+// refinement during uncoarsening) — the library's extension beyond the
+// paper and its strongest in-repo comparison point.
+func Multilevel(h *Hypergraph, opts MultilevelOptions) (*MultilevelResult, error) {
+	return multilevel.Bisect(h, opts)
+}
+
+// KWayOptions configures K-way partitioning.
+type KWayOptions = kway.Options
+
+// KWayResult is a K-way partition with cut-net and connectivity
+// metrics.
+type KWayResult = kway.Result
+
+// KWay splits h into opts.K parts by recursive bisection with
+// proportional balance targets.
+func KWay(h *Hypergraph, opts KWayOptions) (*KWayResult, error) {
+	return kway.Partition(h, opts)
+}
+
+// Rebalance repairs the weight balance of p in place, moving the
+// cheapest vertices from the heavy side until the imbalance is within
+// tolerance; it returns the number of vertices moved.
+func Rebalance(h *Hypergraph, p *Bipartition, tolerance int64) (int, error) {
+	return rebalance.Bisect(h, p, tolerance)
+}
+
+// ReadNetlist parses a netlist in the library's text format.
+func ReadNetlist(r io.Reader) (*Hypergraph, error) { return netio.Read(r) }
+
+// WriteNetlist emits h in the library's text format.
+func WriteNetlist(w io.Writer, h *Hypergraph) error { return netio.Write(w, h) }
+
+// ReadHMetis parses a hypergraph in the hMETIS .hgr benchmark format.
+func ReadHMetis(r io.Reader) (*Hypergraph, error) { return netio.ReadHMetis(r) }
+
+// WriteHMetis emits h in the hMETIS .hgr format.
+func WriteHMetis(w io.Writer, h *Hypergraph) error { return netio.WriteHMetis(w, h) }
+
+// Technology selects a synthetic circuit-profile family.
+type Technology = gen.Technology
+
+// Technologies, matching the paper's Table 1 rows.
+const (
+	PCB       = gen.PCB
+	StdCell   = gen.StdCell
+	GateArray = gen.GateArray
+	Hybrid    = gen.Hybrid
+)
+
+// ProfileConfig parameterizes GenerateProfile.
+type ProfileConfig = gen.ProfileConfig
+
+// GenerateProfile builds a synthetic circuit-profile netlist with a
+// logical cluster hierarchy — the stand-in for the paper's industry
+// test suite.
+func GenerateProfile(cfg ProfileConfig, rng *rand.Rand) (*Hypergraph, error) {
+	return gen.Profile(cfg, rng)
+}
+
+// RandomConfig parameterizes GenerateRandom.
+type RandomConfig = gen.RandomConfig
+
+// GenerateRandom builds a uniform random hypergraph H(n, d, r).
+func GenerateRandom(n int, cfg RandomConfig, rng *rand.Rand) (*Hypergraph, error) {
+	return gen.Random(n, cfg, rng)
+}
+
+// PlantedConfig parameterizes GeneratePlanted.
+type PlantedConfig = gen.PlantedConfig
+
+// GeneratePlanted builds a "difficult" instance with a planted minimum
+// cut (Bui et al. regime) and returns the planted crossing nets.
+func GeneratePlanted(n int, cfg PlantedConfig, rng *rand.Rand) (*Hypergraph, []int, error) {
+	return gen.PlantedCut(n, cfg, rng)
+}
+
+// PlaceOptions configures min-cut placement.
+type PlaceOptions = place.Options
+
+// Placement is a slot assignment on a grid.
+type Placement = place.Placement
+
+// PlaceMinCut places h by recursive min-cut bipartitioning (Breuer),
+// optionally with Dunlop–Kernighan terminal propagation.
+func PlaceMinCut(h *Hypergraph, opts PlaceOptions) (*Placement, error) {
+	return place.MinCutPlace(h, opts)
+}
+
+// PlaceRandom scatters modules uniformly over a grid — the placement
+// control baseline.
+func PlaceRandom(h *Hypergraph, rows, cols int, rng *rand.Rand) (*Placement, error) {
+	return place.RandomPlace(h, rows, cols, rng)
+}
+
+// HPWL returns the half-perimeter wirelength of a placement under the
+// bounding-box net model.
+func HPWL(h *Hypergraph, pl *Placement) int64 { return place.HPWL(h, pl) }
+
+// ClusterOptions configures netlist clustering.
+type ClusterOptions = cluster.Options
+
+// ClusterResult describes a clustering: the labeling, the clustered
+// hypergraph, and the absorption metric.
+type ClusterResult = cluster.Result
+
+// Cluster groups modules bottom-up by connectivity under a weight cap
+// — the preprocessing step of clustering placement. Partition the
+// returned ClusterResult.H and lift the result back with Project.
+func Cluster(h *Hypergraph, opts ClusterOptions) (*ClusterResult, error) {
+	return cluster.Cluster(h, opts)
+}
+
+// GranularResult describes a granularized netlist.
+type GranularResult = granular.Result
+
+// Granularize splits modules heavier than grain into chained unit
+// submodules (the paper's Section 5 extension).
+func Granularize(h *Hypergraph, grain, linkWeight int64) (*GranularResult, error) {
+	return granular.Granularize(h, grain, linkWeight)
+}

@@ -1,0 +1,3 @@
+module fasthgp
+
+go 1.22

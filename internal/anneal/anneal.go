@@ -1,0 +1,192 @@
+// Package anneal implements simulated-annealing hypergraph
+// bipartitioning (Kirkpatrick–Gelatt–Vecchi, reference [18] of the
+// paper) — the "SA" column of the paper's Tables 1 and 2.
+//
+// The move set is single-vertex flips; the cost is the cutsize plus a
+// soft penalty on weight imbalance beyond an allowed window, the
+// "penalty terms in the placement metric" style of balance handling
+// the paper attributes to Fukunaga et al. The schedule is geometric
+// with an automatically calibrated initial temperature. The best
+// balance-feasible configuration seen anywhere during the walk is
+// returned.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fasthgp/internal/cutstate"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/partition"
+)
+
+// Options configures the annealer. The zero value gives sensible
+// defaults for netlist-sized instances.
+type Options struct {
+	// Seed seeds the random walk (deterministic per seed).
+	Seed int64
+	// InitialTemp is the starting temperature; 0 auto-calibrates so
+	// that an average uphill move is accepted with probability ~0.8.
+	InitialTemp float64
+	// Cooling is the geometric cooling ratio (default 0.95).
+	Cooling float64
+	// MovesPerTemp is the number of proposed moves per temperature
+	// (default 10·n).
+	MovesPerTemp int
+	// MinTemp ends the schedule (default 0.05).
+	MinTemp float64
+	// FrozenTemps ends the schedule early after this many consecutive
+	// temperatures with no accepted move (default 4).
+	FrozenTemps int
+	// BalanceFraction is the feasibility window: imbalance up to
+	// BalanceFraction·total weight is free; beyond it the penalty
+	// applies and the configuration is not recorded as a result
+	// (default 0.1).
+	BalanceFraction float64
+	// PenaltyWeight scales the imbalance penalty in cut units per
+	// average vertex weight (default 2).
+	PenaltyWeight float64
+}
+
+func (o *Options) defaults(h *hypergraph.Hypergraph) {
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.95
+	}
+	if o.MovesPerTemp <= 0 {
+		o.MovesPerTemp = 10 * h.NumVertices()
+	}
+	if o.MinTemp <= 0 {
+		o.MinTemp = 0.05
+	}
+	if o.FrozenTemps <= 0 {
+		o.FrozenTemps = 4
+	}
+	if o.BalanceFraction <= 0 {
+		o.BalanceFraction = 0.1
+	}
+	if o.PenaltyWeight <= 0 {
+		o.PenaltyWeight = 2
+	}
+}
+
+// Result is the outcome of an annealing run.
+type Result struct {
+	// Partition is the best balance-feasible bipartition seen.
+	Partition *partition.Bipartition
+	// CutSize is its cutsize.
+	CutSize int
+	// Temperatures is the number of temperature steps executed.
+	Temperatures int
+	// Accepted is the total number of accepted moves.
+	Accepted int
+}
+
+// Bisect anneals h from a random balanced bisection.
+func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	if h.NumVertices() < 2 {
+		return nil, fmt.Errorf("anneal: hypergraph has %d vertices; need at least 2", h.NumVertices())
+	}
+	opts.defaults(h)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p := kl.RandomBisection(h.NumVertices(), rng)
+	s, err := cutstate.New(h, p)
+	if err != nil {
+		return nil, fmt.Errorf("anneal: %w", err)
+	}
+
+	n := h.NumVertices()
+	total := h.TotalVertexWeight()
+	window := int64(opts.BalanceFraction * float64(total))
+	meanW := float64(total) / float64(n)
+	if meanW <= 0 {
+		meanW = 1
+	}
+	penalty := func(imb int64) float64 {
+		if imb <= window {
+			return 0
+		}
+		return opts.PenaltyWeight * float64(imb-window) / meanW
+	}
+	cost := func() float64 { return float64(s.Cut()) + penalty(s.Imbalance()) }
+
+	// moveDelta evaluates the cost change of flipping v without
+	// committing.
+	moveDelta := func(v int) float64 {
+		before := cost()
+		s.Move(v)
+		after := cost()
+		s.Move(v)
+		return after - before
+	}
+
+	temp := opts.InitialTemp
+	if temp <= 0 {
+		temp = calibrate(s, rng, moveDelta)
+	}
+
+	best := s.Partition().Clone()
+	bestCut := s.Cut()
+	bestFeasible := s.Imbalance() <= window
+	record := func() {
+		feasible := s.Imbalance() <= window
+		if (feasible && !bestFeasible) ||
+			(feasible == bestFeasible && s.Cut() < bestCut) {
+			best = s.Partition().Clone()
+			bestCut = s.Cut()
+			bestFeasible = feasible
+		}
+	}
+
+	res := &Result{}
+	frozen := 0
+	for temp > opts.MinTemp && frozen < opts.FrozenTemps {
+		res.Temperatures++
+		acceptedHere := 0
+		for i := 0; i < opts.MovesPerTemp; i++ {
+			v := rng.Intn(n)
+			delta := moveDelta(v)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				s.Move(v)
+				acceptedHere++
+				record()
+			}
+		}
+		res.Accepted += acceptedHere
+		if acceptedHere == 0 {
+			frozen++
+		} else {
+			frozen = 0
+		}
+		temp *= opts.Cooling
+	}
+
+	// Guard against the pathological all-one-side walk.
+	if l, r, _ := best.Counts(); l == 0 || r == 0 {
+		best = kl.RandomBisection(n, rng)
+		bestCut = partition.CutSize(h, best)
+	}
+	res.Partition = best
+	res.CutSize = bestCut
+	return res, nil
+}
+
+// calibrate samples random moves and sets T0 so that the mean uphill
+// delta is accepted with probability ≈ 0.8.
+func calibrate(s *cutstate.State, rng *rand.Rand, moveDelta func(int) float64) float64 {
+	n := s.Hypergraph().NumVertices()
+	sum, count := 0.0, 0
+	for i := 0; i < 100; i++ {
+		d := moveDelta(rng.Intn(n))
+		if d > 0 {
+			sum += d
+			count++
+		}
+	}
+	if count == 0 {
+		return 1
+	}
+	mean := sum / float64(count)
+	return -mean / math.Log(0.8)
+}

@@ -1,0 +1,73 @@
+// Package baseline provides the trivial partitioners the paper uses as
+// controls: uniformly random cuts and best-of-k random bisections.
+//
+// The paper's motivation (Section 1, citing Bollobás): on "easy" random
+// hypergraphs even a random cut is within a constant factor of the
+// optimum, so a heuristic only distinguishes itself on difficult
+// inputs. These baselines make that comparison measurable.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/partition"
+)
+
+// RandomBisection returns a uniformly random balanced bisection and its
+// cutsize.
+func RandomBisection(h *hypergraph.Hypergraph, rng *rand.Rand) (*partition.Bipartition, int, error) {
+	if h.NumVertices() < 2 {
+		return nil, 0, fmt.Errorf("baseline: hypergraph has %d vertices; need at least 2", h.NumVertices())
+	}
+	p := kl.RandomBisection(h.NumVertices(), rng)
+	return p, partition.CutSize(h, p), nil
+}
+
+// BestRandomBisection returns the best of k random bisections.
+func BestRandomBisection(h *hypergraph.Hypergraph, k int, rng *rand.Rand) (*partition.Bipartition, int, error) {
+	if k < 1 {
+		k = 1
+	}
+	best, bestCut, err := RandomBisection(h, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 1; i < k; i++ {
+		p, cut, err := RandomBisection(h, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cut < bestCut {
+			best, bestCut = p, cut
+		}
+	}
+	return best, bestCut, nil
+}
+
+// RandomCut assigns each vertex a side by a fair coin, repairing empty
+// sides by moving one random vertex. Unbalanced by design — the
+// "arbitrary cut" of the paper's probabilistic arguments.
+func RandomCut(h *hypergraph.Hypergraph, rng *rand.Rand) (*partition.Bipartition, int, error) {
+	n := h.NumVertices()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("baseline: hypergraph has %d vertices; need at least 2", n)
+	}
+	p := partition.New(n)
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 0 {
+			p.Assign(v, partition.Left)
+		} else {
+			p.Assign(v, partition.Right)
+		}
+	}
+	l, r, _ := p.Counts()
+	if l == 0 {
+		p.Assign(rng.Intn(n), partition.Left)
+	} else if r == 0 {
+		p.Assign(rng.Intn(n), partition.Right)
+	}
+	return p, partition.CutSize(h, p), nil
+}

@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func mkHG(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(12)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 24; i++ {
+		b.AddEdge(rng.Intn(12), rng.Intn(12), rng.Intn(12))
+	}
+	return b.MustBuild()
+}
+
+func TestRandomBisection(t *testing.T) {
+	h := mkHG(t)
+	rng := rand.New(rand.NewSource(2))
+	p, cut, err := RandomBisection(h, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partition.IsBisection(p) {
+		t.Error("not a bisection")
+	}
+	if cut != partition.CutSize(h, p) {
+		t.Error("cut mismatch")
+	}
+}
+
+func TestBestRandomBisectionImproves(t *testing.T) {
+	h := mkHG(t)
+	// Best of 50 with the same stream prefix can never beat best of 1
+	// drawn from the same seed... compare statistically instead: over
+	// several seeds, best-of-20 ≤ single draw with the same seed.
+	for seed := int64(0); seed < 5; seed++ {
+		_, one, err := RandomBisection(h, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, many, err := BestRandomBisection(h, 20, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many > one {
+			t.Errorf("seed %d: best-of-20 cut %d > single cut %d", seed, many, one)
+		}
+	}
+}
+
+func TestBestRandomBisectionKFloor(t *testing.T) {
+	h := mkHG(t)
+	if _, _, err := BestRandomBisection(h, 0, rand.New(rand.NewSource(3))); err != nil {
+		t.Errorf("k=0 should clamp to 1: %v", err)
+	}
+}
+
+func TestRandomCutValid(t *testing.T) {
+	h := mkHG(t)
+	for seed := int64(0); seed < 10; seed++ {
+		p, cut, err := RandomCut(h, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(h); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cut != partition.CutSize(h, p) {
+			t.Error("cut mismatch")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h, err := hypergraph.FromEdges(1, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := RandomBisection(h, rng); err == nil {
+		t.Error("RandomBisection accepted 1 vertex")
+	}
+	if _, _, err := RandomCut(h, rng); err == nil {
+		t.Error("RandomCut accepted 1 vertex")
+	}
+	if _, _, err := BestRandomBisection(h, 5, rng); err == nil {
+		t.Error("BestRandomBisection accepted 1 vertex")
+	}
+}

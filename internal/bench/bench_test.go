@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fasthgp/internal/gen"
+)
+
+// The drivers run at reduced scale here; full-scale runs live in the
+// root benchmark suite and cmd/tables.
+
+func TestTable1Small(t *testing.T) {
+	rows, err := Table1(Table1Config{Modules: 120, Signals: 260, Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 technologies", len(rows))
+	}
+	for _, r := range rows {
+		for _, k := range Table1Thresholds {
+			pct := r.CrossingPct[k]
+			if pct < 0 || pct > 100 {
+				t.Errorf("%v k=%d: crossing %% = %g", r.Technology, k, pct)
+			}
+		}
+		// The paper's central observation: large nets almost always
+		// cross. With any population at all, expect a high rate.
+		if r.Population[14] >= 5 && r.CrossingPct[14] < 50 {
+			t.Errorf("%v: only %.1f%% of k>=14 nets cross (population %d)",
+				r.Technology, r.CrossingPct[14], r.Population[14])
+		}
+	}
+	out := RenderTable1(rows).String()
+	if !strings.Contains(out, "PCB") || !strings.Contains(out, "Hybrid") {
+		t.Errorf("render missing technologies:\n%s", out)
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	rows, err := Table2(Table2Config{
+		Seed:      1,
+		Starts:    10,
+		Instances: []gen.Table2Name{gen.Bd1, gen.Diff1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AlgICut <= 0 && r.Name != gen.Diff1 {
+			t.Errorf("%s: Alg I cut = %d", r.Name, r.AlgICut)
+		}
+		if r.AlgITime <= 0 || r.SATime <= 0 || r.KLTime <= 0 {
+			t.Errorf("%s: missing timings", r.Name)
+		}
+	}
+	out := RenderTable2(rows).String()
+	if !strings.Contains(out, "CPU") {
+		t.Errorf("render missing CPU row:\n%s", out)
+	}
+}
+
+func TestDifficultSmall(t *testing.T) {
+	rows, err := Difficult(3, 1, []int{60}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	// Algorithm I must find the planted cut on this regime.
+	if r.AlgI > r.PlantedCut {
+		t.Errorf("Alg I cut %d > planted %d", r.AlgI, r.PlantedCut)
+	}
+	if r.Random < r.PlantedCut {
+		t.Errorf("random-50 beat the planted optimum: %d < %d", r.Random, r.PlantedCut)
+	}
+	if s := RenderDifficult(rows).String(); !strings.Contains(s, "planted") {
+		t.Error("render broken")
+	}
+}
+
+func TestLargeNetsSmall(t *testing.T) {
+	rows, pct, err := LargeNets(5, []int{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].ExcludedNets != 0 {
+		t.Errorf("threshold off excluded %d nets", rows[0].ExcludedNets)
+	}
+	if rows[1].ExcludedNets == 0 {
+		t.Errorf("threshold 10 excluded nothing")
+	}
+	if pct < 0 || pct > 100 {
+		t.Errorf("crossing pct = %g", pct)
+	}
+	if s := RenderLargeNets(rows, pct).String(); !strings.Contains(s, "off") {
+		t.Error("render broken")
+	}
+}
+
+func TestDiameterSmall(t *testing.T) {
+	rows, err := Diameter(7, []int{48, 96}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 2 sizes x 2 families", len(rows))
+	}
+	for _, r := range rows {
+		if r.BFSDepth > float64(r.Diameter) {
+			t.Errorf("n=%d: BFS depth %g exceeds diameter %d", r.N, r.BFSDepth, r.Diameter)
+		}
+		if r.BoundaryFr < 0 || r.BoundaryFr > 1 {
+			t.Errorf("n=%d: boundary fraction %g", r.N, r.BoundaryFr)
+		}
+	}
+	if s := RenderDiameter(rows).String(); !strings.Contains(s, "diam(G)") {
+		t.Error("render broken")
+	}
+}
+
+func TestBalanceSmall(t *testing.T) {
+	rows, err := Balance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byComp := map[string]BalanceRow{}
+	for _, r := range rows {
+		byComp[r.Completion.String()] = r
+	}
+	// The engineer's rule should not be less balanced than plain greedy.
+	if byComp["weighted"].Imbalance > byComp["greedy"].Imbalance {
+		t.Errorf("weighted imbalance %d > greedy %d",
+			byComp["weighted"].Imbalance, byComp["greedy"].Imbalance)
+	}
+	if s := RenderBalance(rows).String(); !strings.Contains(s, "weighted") {
+		t.Error("render broken")
+	}
+}
+
+func TestStartsSmall(t *testing.T) {
+	rows, err := Starts(11, []int{1, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].MeanCut > rows[0].MeanCut {
+		t.Errorf("5 starts (%g) worse than 1 start (%g)", rows[1].MeanCut, rows[0].MeanCut)
+	}
+	if s := RenderStarts(rows).String(); !strings.Contains(s, "starts") {
+		t.Error("render broken")
+	}
+}
+
+func TestGranularSmall(t *testing.T) {
+	rows, err := Granular(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if s := RenderGranular(rows).String(); !strings.Contains(s, "granularized") {
+		t.Error("render broken")
+	}
+}
+
+func TestScalingSmall(t *testing.T) {
+	rows, err := Scaling(15, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AlgITime <= 0 || r.KLTime <= 0 || r.FMTime <= 0 {
+			t.Errorf("n=%d: missing timings", r.N)
+		}
+	}
+	if s := RenderScaling(rows).String(); !strings.Contains(s, "KL/AlgI") {
+		t.Error("render broken")
+	}
+}
+
+func TestMethodsSmall(t *testing.T) {
+	rows, err := Methods(19, 100, 210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 methods", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cut < 0 || r.Time <= 0 {
+			t.Errorf("%s: cut %d time %v", r.Method, r.Cut, r.Time)
+		}
+	}
+	if s := RenderMethods(rows).String(); !strings.Contains(s, "Spectral") {
+		t.Error("render broken")
+	}
+}
+
+func TestQuotientSmall(t *testing.T) {
+	rows, err := Quotient(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Quotient < 0 {
+			t.Errorf("%s: quotient %g", r.Method, r.Quotient)
+		}
+	}
+	if s := RenderQuotient(rows).String(); !strings.Contains(s, "quotient") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,533 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/baseline"
+	"fasthgp/internal/core"
+	"fasthgp/internal/flowpart"
+	"fasthgp/internal/fm"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/granular"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/stats"
+)
+
+// DifficultRow is one parameter point of experiment X1.
+type DifficultRow struct {
+	N, PlantedCut int
+	// Cuts found by each method (best over the trials).
+	AlgI, KL, SA, Random int
+	// AlgIOptimalRate is the fraction of trials where Algorithm I
+	// found a cut of exactly the planted size.
+	AlgIOptimalRate float64
+}
+
+// Difficult reproduces experiment X1: on planted-cut instances with
+// c = o(n^{1-1/d}), Algorithm I recovers the planted minimum while
+// move-based heuristics often stall at poor local minima ("Kernighan-
+// Lin and annealing methods often became stuck at a terrible
+// bipartition").
+func Difficult(seed int64, trials int, sizes []int, cuts []int) ([]DifficultRow, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	if len(sizes) == 0 {
+		sizes = []int{100, 200, 400}
+	}
+	if len(cuts) == 0 {
+		cuts = []int{2, 4, 8}
+	}
+	var rows []DifficultRow
+	for _, n := range sizes {
+		for _, c := range cuts {
+			row := DifficultRow{N: n, PlantedCut: c, AlgI: 1 << 30, KL: 1 << 30, SA: 1 << 30, Random: 1 << 30}
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				s := seed + int64(trial)*101 + int64(n) + int64(c)*7
+				rng := rand.New(rand.NewSource(s))
+				h, _, err := gen.PlantedCut(n, gen.PlantedConfig{CutSize: c, IntraEdges: 2 * n, MaxEdgeSize: 4, MaxDegree: 6}, rng)
+				if err != nil {
+					return nil, fmt.Errorf("bench: difficult n=%d c=%d: %w", n, c, err)
+				}
+				algi, err := core.Bipartition(h, core.Options{Starts: 50, Seed: s})
+				if err != nil {
+					return nil, err
+				}
+				klRes, err := kl.Bisect(h, kl.Options{Seed: s})
+				if err != nil {
+					return nil, err
+				}
+				sa, err := anneal.Bisect(h, anneal.Options{Seed: s})
+				if err != nil {
+					return nil, err
+				}
+				_, rcut, err := baseline.BestRandomBisection(h, 50, rng)
+				if err != nil {
+					return nil, err
+				}
+				row.AlgI = min(row.AlgI, algi.CutSize)
+				row.KL = min(row.KL, klRes.CutSize)
+				row.SA = min(row.SA, sa.CutSize)
+				row.Random = min(row.Random, rcut)
+				if algi.CutSize <= c {
+					hits++
+				}
+			}
+			row.AlgIOptimalRate = float64(hits) / float64(trials)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderDifficult formats X1 rows.
+func RenderDifficult(rows []DifficultRow) *stats.Table {
+	t := stats.NewTable("n", "planted c", "Alg I", "KL", "SA", "random-50", "Alg I optimal rate")
+	for _, r := range rows {
+		t.AddRow(stats.I(r.N), stats.I(r.PlantedCut),
+			stats.I(r.AlgI), stats.I(r.KL), stats.I(r.SA), stats.I(r.Random),
+			stats.F(r.AlgIOptimalRate, 2))
+	}
+	return t
+}
+
+// LargeNetRow is one threshold point of experiment X2.
+type LargeNetRow struct {
+	Threshold    int // 0 = no filtering
+	ExcludedNets int
+	Cut          int
+	ImbalancePct float64
+	Time         time.Duration
+}
+
+// LargeNets reproduces experiment X2: filtering nets of size ≥ k out of
+// the intersection graph barely hurts cutsize even at k = 10 — because
+// such nets almost always cross the best partition anyway — while
+// shrinking G.
+func LargeNets(seed int64, thresholds []int) ([]LargeNetRow, float64, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{0, 20, 14, 10, 8}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 400, Signals: 900, Technology: gen.PCB, LargeNetFraction: 0.05}, rng)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: largenets: %w", err)
+	}
+	var rows []LargeNetRow
+	for _, thr := range thresholds {
+		start := time.Now()
+		// Balanced partitions (balanced BFS + engineer's rule) make the
+		// threshold comparison meaningful: an unconstrained min cut
+		// would dodge the global nets by going lopsided instead.
+		res, err := core.Bipartition(h, core.Options{
+			Starts: 20, Seed: seed, Threshold: thr,
+			BalancedBFS: true, Completion: core.CompletionWeighted,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, LargeNetRow{
+			Threshold:    thr,
+			ExcludedNets: res.Stats.ExcludedNets,
+			Cut:          res.CutSize,
+			ImbalancePct: 100 * float64(partition.Imbalance(h, res.Partition)) / float64(h.TotalVertexWeight()),
+			Time:         time.Since(start),
+		})
+	}
+	// Companion measurement: crossing rate of large nets in the best SA
+	// partition (the paper's Theorem: a size-k net crosses w.p.
+	// 1 − O(2^{-k})).
+	sa, err := anneal.Bisect(h, anneal.Options{Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, crossingPct(h, sa.Partition, 14), nil
+}
+
+// RenderLargeNets formats X2 rows.
+func RenderLargeNets(rows []LargeNetRow, bigCrossPct float64) *stats.Table {
+	t := stats.NewTable("threshold k", "excluded nets", "Alg I cut", "imbalance %", "time")
+	for _, r := range rows {
+		thr := "off"
+		if r.Threshold > 0 {
+			thr = stats.I(r.Threshold)
+		}
+		t.AddRow(thr, stats.I(r.ExcludedNets), stats.I(r.Cut),
+			stats.F(r.ImbalancePct, 1), r.Time.Round(time.Microsecond).String())
+	}
+	t.AddRow(fmt.Sprintf("(k>=14 nets cross SA partition %.1f%% of the time)", bigCrossPct))
+	return t
+}
+
+// DiameterRow is one (family, size) point of experiment X3.
+type DiameterRow struct {
+	Family     string // "random" or "circuit"
+	N          int    // modules
+	GVertices  int
+	Diameter   int     // exact diameter of the largest component
+	BFSDepth   float64 // mean longest-BFS-path depth over trials
+	BoundaryFr float64 // mean |B| / |V(G)|
+}
+
+// Diameter reproduces experiment X3: longest BFS paths track the true
+// diameter within O(1), the diameter of bounded-degree random
+// hypergraph duals grows ~ log n, and the boundary set stays a roughly
+// constant fraction — plus the paper's closing observation that real
+// netlists "typically have intersection graph diameter greater than
+// that of random hypergraphs with similar degree sequences" thanks to
+// their logical hierarchy, which shrinks the boundary set.
+func Diameter(seed int64, sizes []int, trials int) ([]DiameterRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 128, 256, 512}
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+	var rows []DiameterRow
+	for _, family := range []string{"random", "circuit"} {
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			var h *hypergraph.Hypergraph
+			var err error
+			if family == "random" {
+				h, err = gen.Random(n, gen.RandomConfig{NumEdges: 3 * n / 2, MinEdgeSize: 2, MaxEdgeSize: 3, MaxDegree: 3}, rng)
+			} else {
+				h, err = gen.Profile(gen.ProfileConfig{Modules: n, Signals: 3 * n / 2, Technology: gen.StdCell}, rng)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: diameter %s n=%d: %w", family, n, err)
+			}
+			// Circuit netlists are measured after the paper's large-net
+			// filtering (k ≥ 10), which is what the partitioner sees:
+			// "the sparser hypergraph will have greater graph diameter
+			// of G, so the size of the boundary set is smaller".
+			thr := 0
+			if family == "circuit" {
+				thr = 10
+			}
+			ig := intersect.Build(h, intersect.Options{Threshold: thr})
+			row := DiameterRow{Family: family, N: n, GVertices: ig.G.NumVertices(), Diameter: ig.G.Diameter()}
+			var depthSum, boundarySum float64
+			for trial := 0; trial < trials; trial++ {
+				u, v, depth := ig.G.LongestBFSPath(rng)
+				depthSum += float64(depth)
+				pb := core.PartialFromCut(h, ig, u, v)
+				boundarySum += float64(len(pb.Boundary.Nets)) / float64(ig.G.NumVertices())
+			}
+			row.BFSDepth = depthSum / float64(trials)
+			row.BoundaryFr = boundarySum / float64(trials)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderDiameter formats X3 rows.
+func RenderDiameter(rows []DiameterRow) *stats.Table {
+	t := stats.NewTable("family", "n", "|V(G)|", "diam(G)", "mean BFS depth", "boundary fraction")
+	for _, r := range rows {
+		t.AddRow(r.Family, stats.I(r.N), stats.I(r.GVertices), stats.I(r.Diameter),
+			stats.F(r.BFSDepth, 1), stats.F(r.BoundaryFr, 3))
+	}
+	return t
+}
+
+// BalanceRow is one completion-rule point of experiment X5.
+type BalanceRow struct {
+	Completion core.Completion
+	Cut        int
+	Imbalance  int64
+	TotalW     int64
+}
+
+// Balance reproduces experiment X5: the engineer's rule trades a
+// slightly higher cutsize for a much tighter weight balance.
+func Balance(seed int64) ([]BalanceRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 500, Signals: 1000, Technology: gen.PCB}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: balance: %w", err)
+	}
+	var rows []BalanceRow
+	for _, comp := range []core.Completion{core.CompletionGreedy, core.CompletionExact, core.CompletionWeighted} {
+		res, err := core.Bipartition(h, core.Options{
+			Starts: 20, Seed: seed, Threshold: 10, BalancedBFS: true, Completion: comp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BalanceRow{
+			Completion: comp,
+			Cut:        res.CutSize,
+			Imbalance:  partition.Imbalance(h, res.Partition),
+			TotalW:     h.TotalVertexWeight(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderBalance formats X5 rows.
+func RenderBalance(rows []BalanceRow) *stats.Table {
+	t := stats.NewTable("completion", "cut", "imbalance", "imbalance %")
+	for _, r := range rows {
+		t.AddRow(r.Completion.String(), stats.I(r.Cut), fmt.Sprintf("%d", r.Imbalance),
+			stats.F(100*float64(r.Imbalance)/float64(r.TotalW), 1))
+	}
+	return t
+}
+
+// StartsRow is one multi-start point of experiment X6.
+type StartsRow struct {
+	Starts  int
+	MeanCut float64
+	Time    time.Duration
+}
+
+// Starts reproduces experiment X6: more random longest paths, better
+// best-of cut, linear cost.
+func Starts(seed int64, counts []int, trials int) ([]StartsRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 5, 50}
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 400, Signals: 800, Technology: gen.StdCell}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: starts: %w", err)
+	}
+	var rows []StartsRow
+	for _, k := range counts {
+		var cuts []float64
+		start := time.Now()
+		for trial := 0; trial < trials; trial++ {
+			res, err := core.Bipartition(h, core.Options{Starts: k, Seed: seed + int64(trial)})
+			if err != nil {
+				return nil, err
+			}
+			cuts = append(cuts, float64(res.CutSize))
+		}
+		rows = append(rows, StartsRow{Starts: k, MeanCut: stats.Mean(cuts), Time: time.Since(start) / time.Duration(trials)})
+	}
+	return rows, nil
+}
+
+// RenderStarts formats X6 rows.
+func RenderStarts(rows []StartsRow) *stats.Table {
+	t := stats.NewTable("starts", "mean cut", "time/run")
+	for _, r := range rows {
+		t.AddRow(stats.I(r.Starts), stats.F(r.MeanCut, 1), r.Time.Round(time.Microsecond).String())
+	}
+	return t
+}
+
+// GranularRow compares direct vs granularized partitioning (X7).
+type GranularRow struct {
+	Mode         string
+	Cut          int
+	Imbalance    int64
+	TotalW       int64
+	SplitModules int
+}
+
+// Granular reproduces experiment X7: granularization balances the
+// weight bipartition when the netlist contains macro modules too heavy
+// for any whole-module assignment to balance.
+func Granular(seed int64) ([]GranularRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base, err := gen.Profile(gen.ProfileConfig{Modules: 300, Signals: 600, Technology: gen.PCB}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: granular: %w", err)
+	}
+	// Promote one module to a dominant macro holding ~60% of the total
+	// weight: no whole-module assignment can balance it, which is
+	// precisely the situation granularization addresses.
+	b := hypergraph.NewBuilder(base.NumVertices())
+	for v := 0; v < base.NumVertices(); v++ {
+		b.SetVertexWeight(v, base.VertexWeight(v))
+	}
+	for e := 0; e < base.NumEdges(); e++ {
+		ne := b.AddEdge(base.EdgePins(e)...)
+		b.SetEdgeWeight(ne, base.EdgeWeight(e))
+	}
+	b.SetVertexWeight(rng.Intn(base.NumVertices()), 3*base.TotalVertexWeight()/2)
+	h, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: granular: %w", err)
+	}
+	direct, err := core.Bipartition(h, core.Options{
+		Starts: 20, Seed: seed, Threshold: 10, BalancedBFS: true, Completion: core.CompletionWeighted,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []GranularRow{{
+		Mode:      "direct",
+		Cut:       direct.CutSize,
+		Imbalance: partition.Imbalance(h, direct.Partition),
+		TotalW:    h.TotalVertexWeight(),
+	}}
+
+	grain := h.TotalVertexWeight() / int64(2*h.NumVertices())
+	if grain < 1 {
+		grain = 1
+	}
+	gr, err := granular.Granularize(h, grain, 4)
+	if err != nil {
+		return nil, err
+	}
+	gres, err := core.Bipartition(gr.H, core.Options{
+		Starts: 20, Seed: seed, Threshold: 10, BalancedBFS: true, Completion: core.CompletionWeighted,
+	})
+	if err != nil {
+		return nil, err
+	}
+	projected, err := gr.Project(gres.Partition)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, GranularRow{
+		Mode:         "granularized",
+		Cut:          partition.CutSize(h, projected),
+		Imbalance:    partition.Imbalance(h, projected),
+		TotalW:       h.TotalVertexWeight(),
+		SplitModules: gr.SplitModules(gres.Partition),
+	})
+	return rows, nil
+}
+
+// RenderGranular formats X7 rows.
+func RenderGranular(rows []GranularRow) *stats.Table {
+	t := stats.NewTable("mode", "cut", "imbalance %", "torn modules")
+	for _, r := range rows {
+		t.AddRow(r.Mode, stats.I(r.Cut),
+			stats.F(100*float64(r.Imbalance)/float64(r.TotalW), 1),
+			stats.I(r.SplitModules))
+	}
+	return t
+}
+
+// ScalingRow is one size point of experiment X8.
+type ScalingRow struct {
+	N        int
+	AlgITime time.Duration
+	KLTime   time.Duration
+	FMTime   time.Duration
+	FlowTime time.Duration
+}
+
+// Scaling reproduces experiment X8: empirical runtime growth of
+// Algorithm I (O(n²) bound) against KL and FM.
+func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{250, 500, 1000, 2000}
+	}
+	var rows []ScalingRow
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		h, err := gen.Profile(gen.ProfileConfig{Modules: n, Signals: 2 * n, Technology: gen.StdCell}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling n=%d: %w", n, err)
+		}
+		row := ScalingRow{N: n}
+		start := time.Now()
+		if _, err := core.Bipartition(h, core.Options{Starts: 1, Seed: seed}); err != nil {
+			return nil, err
+		}
+		row.AlgITime = time.Since(start)
+		start = time.Now()
+		if _, err := kl.Bisect(h, kl.Options{Seed: seed, MaxPasses: 4}); err != nil {
+			return nil, err
+		}
+		row.KLTime = time.Since(start)
+		start = time.Now()
+		if _, err := fm.Bisect(h, fm.Options{Seed: seed}); err != nil {
+			return nil, err
+		}
+		row.FMTime = time.Since(start)
+		start = time.Now()
+		if _, err := flowpart.Bisect(h, flowpart.Options{Seed: seed, SeedPairs: 3}); err != nil {
+			return nil, err
+		}
+		row.FlowTime = time.Since(start)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderScaling formats X8 rows.
+func RenderScaling(rows []ScalingRow) *stats.Table {
+	t := stats.NewTable("n", "Alg I", "KL", "FM", "Flow", "KL/AlgI", "FM/AlgI", "Flow/AlgI")
+	for _, r := range rows {
+		t.AddRow(stats.I(r.N),
+			r.AlgITime.Round(time.Microsecond).String(),
+			r.KLTime.Round(time.Microsecond).String(),
+			r.FMTime.Round(time.Microsecond).String(),
+			r.FlowTime.Round(time.Microsecond).String(),
+			stats.F(float64(r.KLTime)/float64(r.AlgITime), 1),
+			stats.F(float64(r.FMTime)/float64(r.AlgITime), 1),
+			stats.F(float64(r.FlowTime)/float64(r.AlgITime), 1))
+	}
+	return t
+}
+
+// QuotientRow is one method point of experiment X9.
+type QuotientRow struct {
+	Method   string
+	Cut      int
+	Quotient float64
+}
+
+// Quotient reproduces experiment X9: Algorithm I under the quotient-cut
+// objective of Section 5.
+func Quotient(seed int64) ([]QuotientRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 300, Signals: 600, Technology: gen.Hybrid}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: quotient: %w", err)
+	}
+	var rows []QuotientRow
+	addRes := func(name string, p *partition.Bipartition) {
+		rows = append(rows, QuotientRow{
+			Method:   name,
+			Cut:      partition.CutSize(h, p),
+			Quotient: partition.QuotientCut(h, p),
+		})
+	}
+	cutObj, err := core.Bipartition(h, core.Options{Starts: 20, Seed: seed, Threshold: 10, Objective: core.MinCut})
+	if err != nil {
+		return nil, err
+	}
+	addRes("Alg I (min cut)", cutObj.Partition)
+	qObj, err := core.Bipartition(h, core.Options{
+		Starts: 20, Seed: seed, Threshold: 10, BalancedBFS: true,
+		Completion: core.CompletionWeighted, Objective: core.MinQuotient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRes("Alg I (min quotient)", qObj.Partition)
+	fmRes, err := fm.Bisect(h, fm.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	addRes("FM", fmRes.Partition)
+	return rows, nil
+}
+
+// RenderQuotient formats X9 rows.
+func RenderQuotient(rows []QuotientRow) *stats.Table {
+	t := stats.NewTable("method", "cut", "quotient cut")
+	for _, r := range rows {
+		t.AddRow(r.Method, stats.I(r.Cut), stats.F(r.Quotient, 4))
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/core"
+	"fasthgp/internal/flowpart"
+	"fasthgp/internal/fm"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/multilevel"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/spectral"
+	"fasthgp/internal/stats"
+)
+
+// MethodRow is one partitioner's line in the grand comparison (X10).
+type MethodRow struct {
+	Method    string
+	Cut       int
+	Imbalance int64
+	TotalW    int64
+	Time      time.Duration
+}
+
+// Methods runs every partitioner in the library on one circuit-profile
+// instance — the comparison that extends Table 2 with the method
+// families the paper only cites (flow [7], spectral/graph-space [11])
+// and the multilevel successor scheme.
+func Methods(seed int64, modules, signals int) ([]MethodRow, error) {
+	if modules <= 0 {
+		modules = 300
+	}
+	if signals <= 0 {
+		signals = 650
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: modules, Signals: signals, Technology: gen.StdCell}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: methods: %w", err)
+	}
+	var rows []MethodRow
+	add := func(name string, run func() (*partition.Bipartition, error)) error {
+		start := time.Now()
+		p, err := run()
+		if err != nil {
+			return fmt.Errorf("bench: methods %s: %w", name, err)
+		}
+		rows = append(rows, MethodRow{
+			Method:    name,
+			Cut:       partition.CutSize(h, p),
+			Imbalance: partition.Imbalance(h, p),
+			TotalW:    h.TotalVertexWeight(),
+			Time:      time.Since(start),
+		})
+		return nil
+	}
+	if err := add("Alg I (50 starts, k>=10)", func() (*partition.Bipartition, error) {
+		r, err := core.Bipartition(h, core.Options{Starts: 50, Seed: seed, Threshold: 10})
+		return resPart(r, err)
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Alg I balanced", func() (*partition.Bipartition, error) {
+		r, err := core.Bipartition(h, core.Options{
+			Starts: 50, Seed: seed, Threshold: 10,
+			BalancedBFS: true, Completion: core.CompletionWeighted,
+		})
+		return resPart(r, err)
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Multilevel", func() (*partition.Bipartition, error) {
+		r, err := multilevel.Bisect(h, multilevel.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Kernighan-Lin", func() (*partition.Bipartition, error) {
+		r, err := kl.Bisect(h, kl.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Fiduccia-Mattheyses", func() (*partition.Bipartition, error) {
+		r, err := fm.Bisect(h, fm.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Simulated annealing", func() (*partition.Bipartition, error) {
+		r, err := anneal.Bisect(h, anneal.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Flow (5 seed pairs)", func() (*partition.Bipartition, error) {
+		r, err := flowpart.Bisect(h, flowpart.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("Spectral sweep", func() (*partition.Bipartition, error) {
+		r, err := spectral.Bisect(h, spectral.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func resPart(r *core.Result, err error) (*partition.Bipartition, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Partition, nil
+}
+
+// RenderMethods formats X10 rows.
+func RenderMethods(rows []MethodRow) *stats.Table {
+	t := stats.NewTable("method", "cut", "imbalance %", "time")
+	for _, r := range rows {
+		t.AddRow(r.Method, stats.I(r.Cut),
+			stats.F(100*float64(r.Imbalance)/float64(r.TotalW), 1),
+			r.Time.Round(time.Microsecond).String())
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation, shared by cmd/tables and
+// the root benchmark suite. Each driver returns both structured rows
+// and a rendered text table in the paper's layout; all are
+// deterministic per seed. DESIGN.md §5 maps experiment IDs (T1, T2,
+// X1–X9) to these functions.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/stats"
+)
+
+// Table1Config scales experiment T1.
+type Table1Config struct {
+	// Modules and Signals size each technology's instance
+	// (defaults 300, 650).
+	Modules, Signals int
+	// Runs is the number of annealing runs averaged per technology
+	// (the paper uses 10).
+	Runs int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c *Table1Config) defaults() {
+	if c.Modules <= 0 {
+		c.Modules = 300
+	}
+	if c.Signals <= 0 {
+		c.Signals = 650
+	}
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+}
+
+// Table1Row is one technology row of Table 1: the percentage of
+// signals with at least K pins that cross the best simulated-annealing
+// partition, averaged over the runs.
+type Table1Row struct {
+	Technology gen.Technology
+	// CrossingPct[k] is the average crossing percentage for nets of
+	// size ≥ k, for k ∈ {20, 14, 8}.
+	CrossingPct map[int]float64
+	// Population[k] is the number of nets of size ≥ k in the instance.
+	Population map[int]int
+}
+
+// Table1Thresholds are the size classes reported by the paper.
+var Table1Thresholds = []int{20, 14, 8}
+
+// Table1 reproduces Table 1: large signals almost always contribute to
+// the cut value of the best heuristic partition.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	cfg.defaults()
+	techs := []gen.Technology{gen.PCB, gen.StdCell, gen.GateArray, gen.Hybrid}
+	rows := make([]Table1Row, 0, len(techs))
+	for ti, tech := range techs {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*1000))
+		h, err := gen.Profile(gen.ProfileConfig{
+			Modules:          cfg.Modules,
+			Signals:          cfg.Signals,
+			Technology:       tech,
+			LargeNetFraction: 0.05,
+		}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 %v: %w", tech, err)
+		}
+		row := Table1Row{
+			Technology:  tech,
+			CrossingPct: map[int]float64{},
+			Population:  map[int]int{},
+		}
+		for _, k := range Table1Thresholds {
+			for e := 0; e < h.NumEdges(); e++ {
+				if h.EdgeSize(e) >= k {
+					row.Population[k]++
+				}
+			}
+		}
+		sums := map[int]float64{}
+		for run := 0; run < cfg.Runs; run++ {
+			res, err := anneal.Bisect(h, anneal.Options{Seed: cfg.Seed + int64(run)})
+			if err != nil {
+				return nil, fmt.Errorf("bench: table1 %v run %d: %w", tech, run, err)
+			}
+			for _, k := range Table1Thresholds {
+				sums[k] += crossingPct(h, res.Partition, k)
+			}
+		}
+		for _, k := range Table1Thresholds {
+			row.CrossingPct[k] = sums[k] / float64(cfg.Runs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// crossingPct returns the percentage of nets with ≥ minSize pins that
+// cross p (100 when no such nets exist is avoided by returning 0).
+func crossingPct(h *hypergraph.Hypergraph, p *partition.Bipartition, minSize int) float64 {
+	total, crossing := 0, 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.EdgeSize(e) < minSize {
+			continue
+		}
+		total++
+		if partition.Crosses(h, p, e) {
+			crossing++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(crossing) / float64(total)
+}
+
+// RenderTable1 formats Table-1 rows in the paper's layout.
+func RenderTable1(rows []Table1Row) *stats.Table {
+	t := stats.NewTable("Technology", "k>=20 crossing %", "k>=14 crossing %", "k>=8 crossing %")
+	for _, r := range rows {
+		t.AddRow(
+			r.Technology.String(),
+			stats.F(r.CrossingPct[20], 1),
+			stats.F(r.CrossingPct[14], 1),
+			stats.F(r.CrossingPct[8], 1),
+		)
+	}
+	return t
+}

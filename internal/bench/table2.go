@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fasthgp/internal/anneal"
+	"fasthgp/internal/core"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/stats"
+)
+
+// Table2Config scales experiment T2.
+type Table2Config struct {
+	// Seed drives the instance generation and all partitioners.
+	Seed int64
+	// Starts is Algorithm I's multi-start count (the paper's runs used
+	// 50 random longest paths).
+	Starts int
+	// Instances restricts the run to a subset (nil = the full paper
+	// set; IC2 at (2471,3496) dominates the runtime).
+	Instances []gen.Table2Name
+}
+
+func (c *Table2Config) defaults() {
+	if c.Starts <= 0 {
+		c.Starts = 50
+	}
+	if c.Instances == nil {
+		c.Instances = gen.Table2Names()
+	}
+}
+
+// Table2Row is one example row of Table 2: cutsizes and wall times of
+// Algorithm I, simulated annealing, and min-cut Kernighan–Lin.
+type Table2Row struct {
+	Name       gen.Table2Name
+	Mods, Sigs int
+	AlgICut    int
+	SACut      int
+	KLCut      int
+	AlgITime   time.Duration
+	SATime     time.Duration
+	KLTime     time.Duration
+}
+
+// Table2 reproduces Table 2 on the synthetic stand-in suite: cutsize
+// parity (normalized to Algorithm I) and the CPU-ratio row.
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	cfg.defaults()
+	rows := make([]Table2Row, 0, len(cfg.Instances))
+	for _, name := range cfg.Instances {
+		h, err := gen.Table2Instance(name, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s: %w", name, err)
+		}
+		row := Table2Row{Name: name, Mods: h.NumVertices(), Sigs: h.NumEdges()}
+
+		start := time.Now()
+		// Threshold 10 follows the paper's Section 3: large nets are
+		// heuristically ignored when building the intersection graph.
+		algi, err := core.Bipartition(h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Threshold: 10})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s alg I: %w", name, err)
+		}
+		row.AlgITime = time.Since(start)
+		row.AlgICut = algi.CutSize
+
+		start = time.Now()
+		sa, err := anneal.Bisect(h, anneal.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s SA: %w", name, err)
+		}
+		row.SATime = time.Since(start)
+		row.SACut = sa.CutSize
+
+		start = time.Now()
+		klRes, err := kl.Bisect(h, kl.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s KL: %w", name, err)
+		}
+		row.KLTime = time.Since(start)
+		row.KLCut = klRes.CutSize
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table-2 rows in the paper's layout: cutsizes
+// normalized to Algorithm I per row, with a final CPU row holding the
+// average runtime ratios.
+func RenderTable2(rows []Table2Row) *stats.Table {
+	t := stats.NewTable("Example (Mods,Sigs)", "Alg I cut", "SA cut", "MinCut-KL cut", "Alg I norm", "SA norm", "KL norm")
+	var saRatios, klRatios []float64
+	for _, r := range rows {
+		norm := func(c int) string {
+			if r.AlgICut == 0 {
+				if c == 0 {
+					return "1.00"
+				}
+				return "inf"
+			}
+			return stats.F(float64(c)/float64(r.AlgICut), 2)
+		}
+		t.AddRow(
+			fmt.Sprintf("%s (%d,%d)", r.Name, r.Mods, r.Sigs),
+			stats.I(r.AlgICut), stats.I(r.SACut), stats.I(r.KLCut),
+			"1.00", norm(r.SACut), norm(r.KLCut),
+		)
+		if r.AlgITime > 0 {
+			saRatios = append(saRatios, float64(r.SATime)/float64(r.AlgITime))
+			klRatios = append(klRatios, float64(r.KLTime)/float64(r.AlgITime))
+		}
+	}
+	t.AddRow("CPU (avg ratio)", "", "", "", "1.0",
+		stats.F(stats.Mean(saRatios), 1), stats.F(stats.Mean(klRatios), 1))
+	return t
+}

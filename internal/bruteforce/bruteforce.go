@@ -1,0 +1,123 @@
+// Package bruteforce computes exact minimum cuts by exhaustive
+// enumeration. It is the ground-truth oracle for testing the heuristics
+// on small instances: hypergraph min-cut bisection is NP-complete
+// (Garey–Johnson, cited as [12] in the paper), so exact answers are
+// only feasible for a couple dozen vertices.
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// MaxVertices bounds the instance size enumeration will accept:
+// 2^(MaxVertices-1) subsets are examined.
+const MaxVertices = 24
+
+// MinCut returns an exact minimum r-bipartition of h: over all complete
+// bipartitions with | |V_L| − |V_R| | ≤ r and both sides nonempty, one
+// with minimum cutsize (ties broken toward smaller vertex-count
+// imbalance, then lexicographically smallest left set).
+//
+// Use r = 1 for the paper's strict bisection and r = h.NumVertices()
+// for the unconstrained min cut (which still requires both sides
+// nonempty).
+func MinCut(h *hypergraph.Hypergraph, r int) (*partition.Bipartition, int, error) {
+	n := h.NumVertices()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("bruteforce: need at least 2 vertices, have %d", n)
+	}
+	if n > MaxVertices {
+		return nil, 0, fmt.Errorf("bruteforce: %d vertices exceeds limit %d", n, MaxVertices)
+	}
+	bestCut := math.MaxInt
+	bestImb := math.MaxInt
+	var bestMask uint32
+	p := partition.New(n)
+	// Fix vertex n-1 on the Right to halve the space and skip the
+	// empty/full masks.
+	limit := uint32(1) << (n - 1)
+	for mask := uint32(1); mask < limit; mask++ {
+		left := popcount(mask)
+		imb := abs(2*left - n)
+		if imb > r {
+			continue
+		}
+		apply(p, mask, n)
+		cut := partition.CutSize(h, p)
+		if cut < bestCut || (cut == bestCut && imb < bestImb) {
+			bestCut, bestImb, bestMask = cut, imb, mask
+		}
+	}
+	if bestCut == math.MaxInt {
+		return nil, 0, fmt.Errorf("bruteforce: no bipartition satisfies r=%d", r)
+	}
+	apply(p, bestMask, n)
+	return p, bestCut, nil
+}
+
+// MinBisection is MinCut with the strict bisection constraint
+// | |V_L| − |V_R| | ≤ 1.
+func MinBisection(h *hypergraph.Hypergraph) (*partition.Bipartition, int, error) {
+	return MinCut(h, 1)
+}
+
+// MinCutUnconstrained is MinCut with no balance constraint (both sides
+// must still be nonempty).
+func MinCutUnconstrained(h *hypergraph.Hypergraph) (*partition.Bipartition, int, error) {
+	return MinCut(h, h.NumVertices())
+}
+
+// MinQuotientCut returns an exact minimum quotient-cut bipartition
+// (cut / min side cardinality) and its value.
+func MinQuotientCut(h *hypergraph.Hypergraph) (*partition.Bipartition, float64, error) {
+	n := h.NumVertices()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("bruteforce: need at least 2 vertices, have %d", n)
+	}
+	if n > MaxVertices {
+		return nil, 0, fmt.Errorf("bruteforce: %d vertices exceeds limit %d", n, MaxVertices)
+	}
+	best := math.MaxFloat64
+	var bestMask uint32
+	p := partition.New(n)
+	limit := uint32(1) << (n - 1)
+	for mask := uint32(1); mask < limit; mask++ {
+		apply(p, mask, n)
+		q := partition.QuotientCut(h, p)
+		if q < best {
+			best, bestMask = q, mask
+		}
+	}
+	apply(p, bestMask, n)
+	return p, best, nil
+}
+
+func apply(p *partition.Bipartition, mask uint32, n int) {
+	for v := 0; v < n; v++ {
+		if v < n-1 && mask&(1<<uint(v)) != 0 {
+			p.Assign(v, partition.Left)
+		} else {
+			p.Assign(v, partition.Right)
+		}
+	}
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

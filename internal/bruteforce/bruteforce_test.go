@@ -1,0 +1,198 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func mkHG(t *testing.T, n int, edges [][]int) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMinBisectionTwoCliques(t *testing.T) {
+	// Two 3-cliques joined by one bridge edge: optimum bisection cuts
+	// exactly the bridge.
+	h := mkHG(t, 6, [][]int{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
+	p, cut, err := MinBisection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+	if !partition.IsBisection(p) {
+		t.Error("result not a bisection")
+	}
+	if p.Side(0) != p.Side(1) || p.Side(1) != p.Side(2) {
+		t.Errorf("left clique split: %v", p.Sides())
+	}
+	if p.Side(3) != p.Side(4) || p.Side(4) != p.Side(5) {
+		t.Errorf("right clique split: %v", p.Sides())
+	}
+}
+
+func TestMinBisectionHyperedges(t *testing.T) {
+	// A single 4-pin net over all vertices always crosses any
+	// bipartition, so the optimum is 1.
+	h := mkHG(t, 4, [][]int{{0, 1, 2, 3}})
+	_, cut, err := MinBisection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+}
+
+func TestMinCutUnconstrainedPrefersLopsided(t *testing.T) {
+	// Path of 5 vertices: cutting off one end vertex costs 1 edge; a
+	// bisection also costs 1, but with a star the difference shows.
+	h := mkHG(t, 5, [][]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	_, cut, err := MinCutUnconstrained(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Errorf("unconstrained cut = %d, want 1 (peel one leaf)", cut)
+	}
+	_, bcut, err := MinBisection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcut != 2 {
+		t.Errorf("bisection cut = %d, want 2", bcut)
+	}
+}
+
+func TestMinCutDisconnected(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {2, 3}})
+	p, cut, err := MinBisection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Errorf("cut = %d, want 0", cut)
+	}
+	if p.Side(0) != p.Side(1) || p.Side(2) != p.Side(3) {
+		t.Errorf("components split: %v", p.Sides())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := mkHG(t, 1, [][]int{{0}})
+	if _, _, err := MinBisection(h); err == nil {
+		t.Error("accepted 1-vertex instance")
+	}
+	big := hypergraph.NewBuilder(MaxVertices + 1)
+	big.AddEdge(0, 1)
+	hb := big.MustBuild()
+	if _, _, err := MinBisection(hb); err == nil {
+		t.Error("accepted oversized instance")
+	}
+	if _, _, err := MinQuotientCut(hb); err == nil {
+		t.Error("quotient accepted oversized instance")
+	}
+}
+
+func TestRBalanceRespected(t *testing.T) {
+	h := mkHG(t, 6, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	for _, r := range []int{0, 2, 4} {
+		p, _, err := MinCut(h, r)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if !partition.IsRBipartition(p, r) {
+			t.Errorf("r=%d violated: %v", r, p.Sides())
+		}
+	}
+}
+
+func TestRZeroOddFails(t *testing.T) {
+	h := mkHG(t, 3, [][]int{{0, 1}, {1, 2}})
+	if _, _, err := MinCut(h, 0); err == nil {
+		t.Error("r=0 on odd vertex count should fail")
+	}
+}
+
+func TestMinQuotientCut(t *testing.T) {
+	// Barbell: two triangles and a bridge. Quotient optimum cuts the
+	// bridge: 1/3.
+	h := mkHG(t, 6, [][]int{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
+	_, q, err := MinQuotientCut(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1.0/3.0 {
+		t.Errorf("quotient = %g, want 1/3", q)
+	}
+}
+
+// TestPropertyBisectionOptimalityCertificate: the reported cut really
+// is achieved by the reported partition, the partition is valid, and no
+// random bisection beats it.
+func TestPropertyBisectionOptimalityCertificate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		m := 1 + rng.Intn(12)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			size := 2 + rng.Intn(3)
+			pins := make([]int, size)
+			for j := range pins {
+				pins[j] = rng.Intn(n)
+			}
+			b.AddEdge(pins...)
+		}
+		h, err := b.Build()
+		if err != nil {
+			return false
+		}
+		p, cut, err := MinBisection(h)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(h); err != nil {
+			return false
+		}
+		if partition.CutSize(h, p) != cut || !partition.IsBisection(p) {
+			return false
+		}
+		// Random bisections cannot beat the optimum.
+		for trial := 0; trial < 20; trial++ {
+			q := partition.New(n)
+			perm := rng.Perm(n)
+			for i, v := range perm {
+				if i < n/2 {
+					q.Assign(v, partition.Left)
+				} else {
+					q.Assign(v, partition.Right)
+				}
+			}
+			if partition.CutSize(h, q) < cut {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

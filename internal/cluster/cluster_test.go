@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/core"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func TestErrorEmpty(t *testing.T) {
+	h := hypergraph.NewBuilder(0).MustBuild()
+	if _, err := Cluster(h, Options{}); err == nil {
+		t.Error("accepted empty hypergraph")
+	}
+}
+
+func TestTwoBlocksClusterApart(t *testing.T) {
+	// Two dense blocks joined by one wide net: the bridge's per-pin
+	// connectivity (w/(|e|−1) = 1/3) is strictly weaker than any intra
+	// pair net (1), so with a weight cap of half the total no cluster
+	// may span the bridge.
+	b := hypergraph.NewBuilder(12)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(6+i, 6+j)
+		}
+	}
+	b.AddEdge(0, 1, 6, 7)
+	h := b.MustBuild()
+	res, err := Cluster(h, Options{MaxClusterWeight: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every intra-block pair should be clusterable, the bridge not.
+	for v := 1; v < 6; v++ {
+		if res.ClusterOf[v] == res.ClusterOf[6] {
+			t.Errorf("modules %d and 6 merged across the bridge", v)
+		}
+	}
+	if res.NumClusters < 2 {
+		t.Errorf("NumClusters = %d, want >= 2", res.NumClusters)
+	}
+	if res.NumClusters > 4 {
+		t.Errorf("NumClusters = %d; dense blocks should collapse", res.NumClusters)
+	}
+}
+
+func TestWeightCapRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 200, Signals: 400, Technology: gen.GateArray}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := int64(10)
+	res, err := Cluster(h, Options{MaxClusterWeight: cap, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]int64, res.NumClusters)
+	for v := 0; v < h.NumVertices(); v++ {
+		sums[res.ClusterOf[v]] += h.VertexWeight(v)
+	}
+	for c, w := range sums {
+		if w > cap {
+			t.Errorf("cluster %d weight %d > cap %d", c, w, cap)
+		}
+	}
+	if res.H.TotalVertexWeight() != h.TotalVertexWeight() {
+		t.Error("clustered hypergraph lost weight")
+	}
+}
+
+func TestAbsorptionBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 150, Signals: 300, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Absorption < 0 || res.Absorption > 1 {
+		t.Fatalf("absorption = %g", res.Absorption)
+	}
+	// Clustering must absorb more than the all-singletons labeling (0)
+	// and less than the everything-in-one-cluster labeling (1).
+	singletons := make([]int, h.NumVertices())
+	for v := range singletons {
+		singletons[v] = v
+	}
+	if Absorption(h, singletons) != 0 {
+		t.Error("singleton absorption != 0")
+	}
+	one := make([]int, h.NumVertices())
+	if Absorption(h, one) != 1 {
+		t.Error("one-cluster absorption != 1")
+	}
+	if res.Absorption <= 0 {
+		t.Error("clustering absorbed nothing")
+	}
+}
+
+func TestClusteredPartitionProjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 300, Signals: 600, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H.NumVertices() >= h.NumVertices() {
+		t.Fatalf("no contraction: %d clusters of %d modules", res.H.NumVertices(), h.NumVertices())
+	}
+	out, err := core.Bipartition(res.H, core.Options{Starts: 10, Seed: 1, BalancedBFS: true, Completion: core.CompletionWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Project(out.Partition)
+	if err := p.Validate(h); err != nil {
+		t.Fatalf("projected partition invalid: %v", err)
+	}
+	// Weighted cut of the projection equals the clustered weighted cut.
+	if partition.WeightedCutSize(h, p) != partition.WeightedCutSize(res.H, out.Partition) {
+		t.Error("weighted cut not preserved by projection")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 100, Signals: 200, Technology: gen.PCB}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Cluster(h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClusters != b.NumClusters || a.Absorption != b.Absorption {
+		t.Error("same seed gave different clusterings")
+	}
+}

@@ -1,0 +1,171 @@
+// Package coarsen implements hypergraph coarsening by heavy-
+// connectivity matching — the contraction half of the multilevel
+// scheme that succeeded flat partitioners like the paper's in the
+// 1990s (and which this library offers as an extension and ablation
+// point: multilevel + FM refinement versus flat Algorithm I).
+//
+// One Step matches each vertex with the unmatched neighbour it shares
+// the most net connectivity with (score Σ w(e)/(|e|−1) over shared
+// nets), then contracts matched pairs: vertex weights add, nets map
+// their pins through the contraction, nets reduced to a single pin
+// disappear, and duplicate nets merge with their weights added — so
+// the weighted cut of any coarse bipartition equals the weighted cut
+// of its projection to the fine hypergraph.
+package coarsen
+
+import (
+	"math/rand"
+	"sort"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// Result is one coarsening level.
+type Result struct {
+	// Coarse is the contracted hypergraph.
+	Coarse *hypergraph.Hypergraph
+	// Map sends each fine vertex to its coarse vertex.
+	Map []int
+}
+
+// Step performs one level of matching and contraction. The returned
+// coarse hypergraph has at least half as many vertices when any match
+// exists; when nothing can be matched (e.g. an edgeless hypergraph)
+// the contraction is the identity.
+func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
+	n := h.NumVertices()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	order := rng.Perm(n)
+	score := make(map[int]float64, 8)
+	for _, v := range order {
+		if mate[v] != -1 {
+			continue
+		}
+		clear(score)
+		for _, e := range h.VertexEdges(v) {
+			size := h.EdgeSize(e)
+			if size < 2 {
+				continue
+			}
+			w := float64(h.EdgeWeight(e)) / float64(size-1)
+			for _, u := range h.EdgePins(e) {
+				if u != v && mate[u] == -1 {
+					score[u] += w
+				}
+			}
+		}
+		best, bestScore := -1, 0.0
+		for u, s := range score {
+			if s > bestScore || (s == bestScore && best != -1 && u < best) {
+				best, bestScore = u, s
+			}
+		}
+		if best != -1 {
+			mate[v] = best
+			mate[best] = v
+		}
+	}
+
+	// Assign coarse ids: matched pairs share one id.
+	res := &Result{Map: make([]int, n)}
+	next := 0
+	for v := 0; v < n; v++ {
+		if mate[v] != -1 && mate[v] < v {
+			res.Map[v] = res.Map[mate[v]]
+			continue
+		}
+		res.Map[v] = next
+		next++
+	}
+
+	b := hypergraph.NewBuilder(next)
+	weights := make([]int64, next)
+	for v := 0; v < n; v++ {
+		weights[res.Map[v]] += h.VertexWeight(v)
+	}
+	for cv, w := range weights {
+		b.SetVertexWeight(cv, w)
+	}
+	// Contract nets, dropping singletons and merging duplicates with
+	// summed weights.
+	type key string
+	merged := map[key]int{} // pin signature → builder edge id
+	mergedWeight := map[int]int64{}
+	scratch := make([]int, 0, 16)
+	for e := 0; e < h.NumEdges(); e++ {
+		scratch = scratch[:0]
+		for _, v := range h.EdgePins(e) {
+			scratch = append(scratch, res.Map[v])
+		}
+		sort.Ints(scratch)
+		out := scratch[:0]
+		prev := -1
+		for _, p := range scratch {
+			if p != prev {
+				out = append(out, p)
+				prev = p
+			}
+		}
+		if len(out) < 2 {
+			continue
+		}
+		sig := make([]byte, 0, 4*len(out))
+		for _, p := range out {
+			sig = append(sig, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		k := key(sig)
+		if id, ok := merged[k]; ok {
+			mergedWeight[id] += h.EdgeWeight(e)
+			continue
+		}
+		id := b.AddEdge(out...)
+		merged[k] = id
+		mergedWeight[id] = h.EdgeWeight(e)
+	}
+	for id, w := range mergedWeight {
+		b.SetEdgeWeight(id, w)
+	}
+	coarse, err := b.Build()
+	if err != nil {
+		panic("coarsen: contraction produced invalid hypergraph: " + err.Error())
+	}
+	res.Coarse = coarse
+	return res
+}
+
+// Hierarchy coarsens h repeatedly until at most minVertices remain, the
+// contraction stops making progress (shrink factor > 0.95), or
+// maxLevels levels were produced. Levels are ordered fine→coarse.
+func Hierarchy(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels int) []*Result {
+	if minVertices < 2 {
+		minVertices = 2
+	}
+	if maxLevels <= 0 {
+		maxLevels = 30
+	}
+	var levels []*Result
+	cur := h
+	for len(levels) < maxLevels && cur.NumVertices() > minVertices {
+		step := Step(cur, rng)
+		if float64(step.Coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+			break
+		}
+		levels = append(levels, step)
+		cur = step.Coarse
+	}
+	return levels
+}
+
+// Project lifts a partition of the coarse hypergraph to the fine one:
+// every fine vertex takes its coarse vertex's side.
+func Project(fineN int, m []int, coarse *partition.Bipartition) *partition.Bipartition {
+	p := partition.New(fineN)
+	for v := 0; v < fineN; v++ {
+		p.Assign(v, coarse.Side(m[v]))
+	}
+	return p
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/matching"
+	"fasthgp/internal/partition"
+)
+
+// CompleteCutGreedy runs the paper's Complete-Cut rule on the boundary
+// graph and returns the winner flag per boundary-graph vertex:
+//
+//	<1> select the minimum-degree remaining vertex and mark it a winner;
+//	<2> mark all remaining vertices adjacent to it losers;
+//	<3> delete the winner, the losers and their incident edges; repeat.
+//
+// Winners keep all their modules on their own side; losers cross the
+// cut. The winner set is an independent set of G′ by construction, so
+// the completion is always consistent; the paper's theorem states the
+// loser count is within one of the optimum completion for each
+// connected component of G′.
+func CompleteCutGreedy(bg *BoundaryGraph) []bool {
+	g := bg.G
+	n := g.NumVertices()
+	winner := make([]bool, n)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	maxd := 0
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+		if deg[v] > maxd {
+			maxd = deg[v]
+		}
+	}
+	// Lazy bucket queue over degrees: vertices are (re)pushed whenever
+	// their degree drops; stale entries are skipped on pop. Each vertex
+	// is pushed at most 1+deg times, so the loop is O(V + E) amortized.
+	buckets := make([][]int, maxd+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	d := 0
+	for d <= maxd {
+		if len(buckets[d]) == 0 {
+			d++
+			continue
+		}
+		v := buckets[d][0]
+		buckets[d] = buckets[d][1:]
+		if !alive[v] || deg[v] != d {
+			continue // stale entry
+		}
+		winner[v] = true
+		alive[v] = false
+		for _, u := range g.Neighbors(v) {
+			if !alive[u] {
+				continue
+			}
+			alive[u] = false // loser
+			for _, w := range g.Neighbors(u) {
+				if alive[w] {
+					deg[w]--
+					buckets[deg[w]] = append(buckets[deg[w]], w)
+					if deg[w] < d {
+						d = deg[w]
+					}
+				}
+			}
+		}
+	}
+	return winner
+}
+
+// CompleteCutExact returns the optimum completion of the boundary
+// graph: winners form a maximum independent set of G′ (equivalently,
+// losers form a minimum vertex cover, computable exactly by König's
+// theorem because G′ is bipartite). This is the library's enhancement
+// over the paper's greedy; Section 5 invites "alternative greedy
+// methods for partitioning the boundary graph".
+func CompleteCutExact(bg *BoundaryGraph) []bool {
+	indep, _, ok := matching.MaxIndependentSet(bg.G)
+	if !ok {
+		// G′ is bipartite by construction (only cross edges are kept);
+		// non-bipartiteness indicates internal corruption.
+		panic("core: boundary graph is not bipartite")
+	}
+	return indep
+}
+
+// completeCutWeighted implements the paper's "engineer's method" for
+// the weighted r-bipartition constraint (Section 3):
+//
+//	Rule: if the left (right) side of the partition has less weight
+//	than the right (left), pick the smallest-degree vertex remaining
+//	in G′_L (G′_R) as the next winner.
+//
+// The weight of a side is the total module weight committed to it by
+// non-boundary nets and by winners chosen so far. The returned winner
+// set is independent in G′, like the greedy rule's, but the balance of
+// the final partition is much tighter at a small cutsize premium — the
+// trade the paper reports.
+func completeCutWeighted(h *hypergraph.Hypergraph, pb *Partial) []bool {
+	bg := pb.Boundary
+	g := bg.G
+	n := g.NumVertices()
+	p, leftW, rightW := pb.BaseAssignment(h)
+
+	winner := make([]bool, n)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	aliveCount := n
+	maxd := 0
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+		if deg[v] > maxd {
+			maxd = deg[v]
+		}
+	}
+	// Per-side lazy bucket queues, same discipline as CompleteCutGreedy.
+	var buckets [2][][]int
+	var dptr [2]int
+	sideIdx := func(v int) int {
+		if bg.SideOf[v] == partition.Left {
+			return 0
+		}
+		return 1
+	}
+	for s := 0; s < 2; s++ {
+		buckets[s] = make([][]int, maxd+1)
+	}
+	for v := 0; v < n; v++ {
+		buckets[sideIdx(v)][deg[v]] = append(buckets[sideIdx(v)][deg[v]], v)
+	}
+	pop := func(s int) (int, bool) {
+		for dptr[s] <= maxd {
+			b := buckets[s][dptr[s]]
+			if len(b) == 0 {
+				dptr[s]++
+				continue
+			}
+			v := b[0]
+			buckets[s][dptr[s]] = b[1:]
+			if alive[v] && deg[v] == dptr[s] {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+
+	for aliveCount > 0 {
+		// The lighter side supplies the next winner (ties go left, as in
+		// the bisection convention that L absorbs the odd vertex).
+		s := 0
+		if leftW > rightW {
+			s = 1
+		}
+		v, ok := pop(s)
+		if !ok {
+			v, ok = pop(1 - s)
+			if !ok {
+				break // only stale entries remained
+			}
+		}
+		winner[v] = true
+		alive[v] = false
+		aliveCount--
+		// Commit the winner's uncommitted modules to its side.
+		vs := bg.SideOf[v]
+		for _, m := range h.EdgePins(bg.Nets[v]) {
+			if p.Side(m) == partition.Unassigned {
+				p.Assign(m, vs)
+				if vs == partition.Left {
+					leftW += h.VertexWeight(m)
+				} else {
+					rightW += h.VertexWeight(m)
+				}
+			}
+		}
+		for _, u := range g.Neighbors(v) {
+			if !alive[u] {
+				continue
+			}
+			alive[u] = false // loser
+			aliveCount--
+			for _, w := range g.Neighbors(u) {
+				if alive[w] {
+					deg[w]--
+					si := sideIdx(w)
+					buckets[si][deg[w]] = append(buckets[si][deg[w]], w)
+					if deg[w] < dptr[si] {
+						dptr[si] = deg[w]
+					}
+				}
+			}
+		}
+	}
+	return winner
+}
+
+// WinnersIndependent reports whether the winner set is independent in
+// the boundary graph — the consistency invariant every completion rule
+// must satisfy. Exposed for tests.
+func WinnersIndependent(bg *BoundaryGraph, winner []bool) bool {
+	for v := 0; v < bg.G.NumVertices(); v++ {
+		if !winner[v] {
+			continue
+		}
+		for _, u := range bg.G.Neighbors(v) {
+			if winner[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LoserCount counts the losers implied by a winner flag vector.
+func LoserCount(winner []bool) int {
+	c := 0
+	for _, w := range winner {
+		if !w {
+			c++
+		}
+	}
+	return c
+}
+
+// OptimalLoserCount returns the optimum (minimum) number of losers for
+// the boundary graph: the size of a minimum vertex cover of G′.
+func OptimalLoserCount(bg *BoundaryGraph) int {
+	_, size, ok := matching.MinVertexCover(bg.G)
+	if !ok {
+		panic("core: boundary graph is not bipartite")
+	}
+	return size
+}

@@ -1,0 +1,388 @@
+// Package core implements Algorithm I of Kahng's "Fast Hypergraph
+// Partition" (DAC 1989): an O(n²) heuristic for hypergraph min-cut
+// bipartitioning based on the intersection graph G dual to the input
+// hypergraph H.
+//
+// The pipeline, following Section 2 of the paper:
+//
+//  1. Build the intersection graph G (one vertex per net; nets adjacent
+//     iff they share a module), optionally excluding nets at or above a
+//     size threshold (Section 3 argues k ≥ 10 is safe).
+//  2. Pick a random vertex u of G and BFS to a furthest vertex v — a
+//     "random longest BFS path", which for bounded-degree random graphs
+//     has depth diam(G) − O(1) with probability near 1.
+//  3. Run BFS from u and v simultaneously until the expanding sets meet;
+//     this cuts G into V_L and V_R and identifies the boundary set B of
+//     G-vertices adjacent across the cut. Every net not in B has all of
+//     its modules placed on one side: a partial bipartition of H that is
+//     expected to place all but a constant proportion of the modules.
+//  4. Build the bipartite boundary graph G′ on B (cross edges only) and
+//     complete the partition: each boundary net becomes a winner (stays
+//     uncut; its modules go to its side) or a loser (crosses the cut).
+//     The paper's Complete-Cut greedy — repeatedly take a minimum-degree
+//     vertex as winner and mark its neighbours losers — is within one of
+//     the optimum completion per connected component of G′. The library
+//     additionally offers the exact optimum completion (König minimum
+//     vertex cover) and the weight-balancing "engineer's method".
+//  5. Modules belonging only to losers (or to no included net) are
+//     packed onto the lighter side.
+//
+// Multi-start (Options.Starts) repeats steps 2–5 over several random
+// longest paths and keeps the best result, as in the paper's test runs
+// (which examined 50 random longest paths).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/partition"
+)
+
+// Completion selects the rule used to partition the boundary set.
+type Completion int
+
+// Completion rules.
+const (
+	// CompletionGreedy is the paper's Complete-Cut rule: repeatedly pick
+	// a minimum-degree vertex of the boundary graph as a winner, mark
+	// its neighbours losers, delete all of them. Provably within one of
+	// optimum per connected component of the boundary graph.
+	CompletionGreedy Completion = iota
+	// CompletionExact computes the optimum completion: losers form a
+	// minimum vertex cover of the bipartite boundary graph, found via
+	// Hopcroft–Karp matching and König's theorem. O(E·√V) on the
+	// boundary graph.
+	CompletionExact
+	// CompletionWeighted is the paper's "engineer's method" (Section 3):
+	// the next winner is the smallest-degree remaining vertex on the
+	// side of the partial bipartition currently having less total
+	// module weight, trading slightly higher cutsize for weight balance.
+	CompletionWeighted
+)
+
+// String names the completion rule.
+func (c Completion) String() string {
+	switch c {
+	case CompletionGreedy:
+		return "greedy"
+	case CompletionExact:
+		return "exact"
+	case CompletionWeighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Completion(%d)", int(c))
+	}
+}
+
+// Objective selects what multi-start minimizes.
+type Objective int
+
+// Objectives.
+const (
+	// MinCut minimizes the number of crossing nets (ties: lower weight
+	// imbalance). The paper's primary objective.
+	MinCut Objective = iota
+	// MinQuotient minimizes cut / min(|V_L|,|V_R|), the quotient-cut
+	// metric the paper's Section 5 proposes studying.
+	MinQuotient
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == MinQuotient {
+		return "quotient"
+	}
+	return "cut"
+}
+
+// Options configures Algorithm I.
+type Options struct {
+	// Starts is the number of random longest BFS paths to examine
+	// (Section 5 extension; the paper's tests used 50). Values < 1 are
+	// treated as 1.
+	Starts int
+	// Threshold excludes nets with at least this many pins from the
+	// intersection graph (0 disables). The paper's Section 3 shows
+	// thresholds as low as 10 cost very little expected cutsize.
+	Threshold int
+	// Completion selects the boundary completion rule.
+	Completion Completion
+	// Objective selects what multi-start minimizes.
+	Objective Objective
+	// BalancedBFS switches the double-BFS frontier policy from strict
+	// alternation (the paper's prescription, the default) to
+	// smaller-side-first expansion. Ablated in the benchmark suite.
+	BalancedBFS bool
+	// Seed seeds the random source; runs are deterministic per seed.
+	Seed int64
+}
+
+// Stats reports per-run diagnostics matching the quantities the paper's
+// analysis tracks.
+type Stats struct {
+	// GVertices and GEdges describe the (filtered) intersection graph.
+	GVertices, GEdges int
+	// ExcludedNets is the number of nets dropped by the size threshold.
+	ExcludedNets int
+	// Disconnected reports that the intersection graph was disconnected,
+	// i.e. a zero-cut partition of the included nets exists (the paper's
+	// pathological c = 0 case); BFS "finds the unconnectedness".
+	Disconnected bool
+	// BFSDepth is the depth of the best start's longest BFS path — the
+	// pseudo-diameter estimate of G.
+	BFSDepth int
+	// BoundarySize is the size |B| of the best start's boundary set.
+	BoundarySize int
+	// StartsRun is the number of starts actually executed.
+	StartsRun int
+	// Repaired reports that the best start needed the degenerate-side
+	// repair: the completion placed every module on one side (possible
+	// when the G-cut leaves no non-boundary nets on a side — the
+	// paper's theorem explicitly assumes "non-empty node sets on either
+	// side of the boundary"). When set, Losers no longer upper-bounds
+	// the crossing nets.
+	Repaired bool
+}
+
+// Result is the outcome of Algorithm I.
+type Result struct {
+	// Partition is the final complete bipartition of the modules.
+	Partition *partition.Bipartition
+	// CutSize is the number of nets of the input hypergraph crossing
+	// Partition, recomputed from scratch (it therefore includes any
+	// threshold-excluded nets that cross).
+	CutSize int
+	// Losers lists the boundary nets the completion chose to cross the
+	// cut, ascending by net index. Every crossing included net is a
+	// loser, though a loser may coincidentally end up uncut when its
+	// modules are all claimed by one side.
+	Losers []int
+	// Boundary lists the boundary-set nets of the winning start,
+	// ascending by net index.
+	Boundary []int
+	// Stats carries diagnostics.
+	Stats Stats
+}
+
+// Bipartition runs Algorithm I on h and returns the best result over
+// opts.Starts random longest paths.
+//
+// Errors are returned only for degenerate inputs on which no proper
+// bipartition exists (fewer than two vertices).
+func Bipartition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	if h.NumVertices() < 2 {
+		return nil, fmt.Errorf("core: hypergraph has %d vertices; need at least 2 to bipartition", h.NumVertices())
+	}
+	if opts.Starts < 1 {
+		opts.Starts = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	ig := intersect.Build(h, intersect.Options{Threshold: opts.Threshold})
+	baseStats := Stats{
+		GVertices:    ig.G.NumVertices(),
+		GEdges:       ig.G.NumEdges(),
+		ExcludedNets: len(ig.Excluded),
+	}
+
+	// Degenerate or disconnected intersection graphs admit a zero-cut
+	// partition of the included nets; handle them by component packing
+	// rather than BFS.
+	if ig.G.NumVertices() == 0 || !ig.G.IsConnected() {
+		res := packComponents(h, ig)
+		res.Stats = baseStats
+		res.Stats.Disconnected = true
+		res.Stats.StartsRun = 1
+		return res, nil
+	}
+
+	var best *Result
+	for s := 0; s < opts.Starts; s++ {
+		cand := runOnce(h, ig, rng, opts)
+		cand.Stats.GVertices = baseStats.GVertices
+		cand.Stats.GEdges = baseStats.GEdges
+		cand.Stats.ExcludedNets = baseStats.ExcludedNets
+		if best == nil || better(h, cand, best, opts.Objective) {
+			best = cand
+		}
+	}
+	best.Stats.StartsRun = opts.Starts
+	return best, nil
+}
+
+// better reports whether candidate a improves on b under the objective.
+func better(h *hypergraph.Hypergraph, a, b *Result, obj Objective) bool {
+	switch obj {
+	case MinQuotient:
+		qa := partition.QuotientCut(h, a.Partition)
+		qb := partition.QuotientCut(h, b.Partition)
+		if qa != qb {
+			return qa < qb
+		}
+	default:
+		if a.CutSize != b.CutSize {
+			return a.CutSize < b.CutSize
+		}
+	}
+	return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
+}
+
+// runOnce executes one start: longest BFS path, double-BFS cut,
+// boundary completion, module assignment, repair, scoring.
+func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options) *Result {
+	u, v, depth := ig.G.LongestBFSPath(rng)
+	pb := PartialFromCutPolicy(h, ig, u, v, opts.BalancedBFS)
+
+	var winner []bool
+	switch opts.Completion {
+	case CompletionExact:
+		winner = CompleteCutExact(pb.Boundary)
+	case CompletionWeighted:
+		winner = completeCutWeighted(h, pb)
+	default:
+		winner = CompleteCutGreedy(pb.Boundary)
+	}
+
+	p, losers := pb.Apply(h, winner)
+	assignLeftovers(h, p)
+
+	repaired := false
+	if l, r, _ := p.Counts(); l == 0 || r == 0 {
+		// Degenerate completion: every module landed on one side. Fall
+		// back to splitting modules by the majority side of their nets
+		// under the G-cut — the geometry of the cut without the
+		// completion — and keep whichever partition cuts less.
+		repaired = true
+		q := majorityFallback(h, pb)
+		repairNonempty(h, p)
+		repairNonempty(h, q)
+		if partition.CutSize(h, q) < partition.CutSize(h, p) {
+			p = q
+		}
+	}
+
+	res := &Result{
+		Partition: p,
+		CutSize:   partition.CutSize(h, p),
+		Losers:    losers,
+		Boundary:  append([]int(nil), pb.Boundary.Nets...),
+	}
+	res.Stats.BFSDepth = depth
+	res.Stats.BoundarySize = len(pb.Boundary.Nets)
+	res.Stats.Repaired = repaired
+	return res
+}
+
+// majorityFallback assigns each module to the side held by the
+// majority of its included nets under the G-cut labeling (ties and
+// netless modules go by weight balance afterwards).
+func majorityFallback(h *hypergraph.Hypergraph, pb *Partial) *partition.Bipartition {
+	p := partition.New(h.NumVertices())
+	for m := 0; m < h.NumVertices(); m++ {
+		votes := 0
+		for _, e := range h.VertexEdges(m) {
+			gi := pb.IG.GVertexOf[e]
+			if gi < 0 {
+				continue
+			}
+			if pb.NetSide[gi] == partition.Left {
+				votes++
+			} else {
+				votes--
+			}
+		}
+		switch {
+		case votes > 0:
+			p.Assign(m, partition.Left)
+		case votes < 0:
+			p.Assign(m, partition.Right)
+		}
+	}
+	assignLeftovers(h, p)
+	return p
+}
+
+// assignLeftovers places every still-unassigned module (modules
+// belonging only to loser or excluded nets, or to no net at all) on the
+// lighter side, heaviest first — the first-fit-decreasing flavor of the
+// paper's weight packing.
+func assignLeftovers(h *hypergraph.Hypergraph, p *partition.Bipartition) {
+	var leftovers []int
+	for m := 0; m < h.NumVertices(); m++ {
+		if p.Side(m) == partition.Unassigned {
+			leftovers = append(leftovers, m)
+		}
+	}
+	if len(leftovers) == 0 {
+		return
+	}
+	sortByWeightDesc(h, leftovers)
+	lw, rw := partition.SideWeights(h, p)
+	for _, m := range leftovers {
+		if lw <= rw {
+			p.Assign(m, partition.Left)
+			lw += h.VertexWeight(m)
+		} else {
+			p.Assign(m, partition.Right)
+			rw += h.VertexWeight(m)
+		}
+	}
+}
+
+// repairNonempty guarantees both sides are nonempty by moving the
+// single module whose move increases the cut the least. Only degenerate
+// inputs (e.g. a single net spanning everything) reach this path.
+func repairNonempty(h *hypergraph.Hypergraph, p *partition.Bipartition) {
+	l, r, _ := p.Counts()
+	if l > 0 && r > 0 {
+		return
+	}
+	var from, to partition.Side
+	if l == 0 {
+		from, to = partition.Right, partition.Left
+	} else {
+		from, to = partition.Left, partition.Right
+	}
+	bestM, bestCut := -1, 0
+	for m := 0; m < h.NumVertices(); m++ {
+		if p.Side(m) != from {
+			continue
+		}
+		p.Assign(m, to)
+		cut := partition.CutSize(h, p)
+		p.Assign(m, from)
+		if bestM == -1 || cut < bestCut {
+			bestM, bestCut = m, cut
+		}
+	}
+	if bestM >= 0 {
+		p.Assign(bestM, to)
+	}
+}
+
+// sortByWeightDesc sorts module ids by descending weight, stable on id
+// for determinism.
+func sortByWeightDesc(h *hypergraph.Hypergraph, ms []int) {
+	// Insertion sort: leftover lists are tiny (the boundary is a
+	// constant fraction and most of its modules are claimed by winners).
+	for i := 1; i < len(ms); i++ {
+		x := ms[i]
+		j := i - 1
+		for j >= 0 && less(h, x, ms[j]) {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = x
+	}
+}
+
+func less(h *hypergraph.Hypergraph, a, b int) bool {
+	wa, wb := h.VertexWeight(a), h.VertexWeight(b)
+	if wa != wb {
+		return wa > wb
+	}
+	return a < b
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/partition"
+)
+
+// packComponents handles disconnected (or empty) intersection graphs —
+// the paper's pathological case c = 0, where "BFS in G finds the
+// unconnectedness while standard heuristics will often output a locally
+// minimum cut of size Θ(|E|)". Each connected component of G drags a
+// disjoint set of modules with it, so assigning whole components to
+// sides yields a cut of zero among the included nets. Components (and
+// modules touched by no included net) are packed onto the lighter side
+// heaviest-first for weight balance.
+func packComponents(h *hypergraph.Hypergraph, ig *intersect.Result) *Result {
+	comp, k := ig.G.Components()
+
+	// Gather the module set and weight of each G component. A module
+	// belongs to at most one component (two nets sharing it would be
+	// adjacent); modules in no included net form singleton groups.
+	groupOf := make([]int, h.NumVertices())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	weights := make([]int64, k)
+	members := make([][]int, k)
+	for gi, netID := range ig.NetOf {
+		c := comp[gi]
+		for _, m := range h.EdgePins(netID) {
+			if groupOf[m] == -1 {
+				groupOf[m] = c
+				weights[c] += h.VertexWeight(m)
+				members[c] = append(members[c], m)
+			}
+		}
+	}
+	type group struct {
+		weight  int64
+		modules []int
+	}
+	groups := make([]group, 0, k)
+	for c := 0; c < k; c++ {
+		if len(members[c]) > 0 {
+			groups = append(groups, group{weights[c], members[c]})
+		}
+	}
+	for m := 0; m < h.NumVertices(); m++ {
+		if groupOf[m] == -1 {
+			groups = append(groups, group{h.VertexWeight(m), []int{m}})
+		}
+	}
+
+	// First-fit decreasing onto the lighter side. Stable sort keeps the
+	// result deterministic across identical weights.
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].weight > groups[j].weight })
+	p := partition.New(h.NumVertices())
+	var lw, rw int64
+	leftEmpty, rightEmpty := true, true
+	for _, g := range groups {
+		s := partition.Left
+		if lw > rw || (lw == rw && !leftEmpty && rightEmpty) {
+			s = partition.Right
+		}
+		for _, m := range g.modules {
+			p.Assign(m, s)
+		}
+		if s == partition.Left {
+			lw += g.weight
+			leftEmpty = false
+		} else {
+			rw += g.weight
+			rightEmpty = false
+		}
+	}
+	repairNonempty(h, p)
+	return &Result{
+		Partition: p,
+		CutSize:   partition.CutSize(h, p),
+	}
+}

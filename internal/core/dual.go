@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sort"
+
+	"fasthgp/internal/graph"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+	"fasthgp/internal/partition"
+)
+
+// BoundaryGraph is the bipartite graph G′ on the boundary set of a cut
+// in the intersection graph: its vertices are the boundary nets and its
+// edges are exactly the G-edges joining boundary nets on opposite sides
+// of the cut (same-side edges are deleted, making it bipartite by
+// construction).
+type BoundaryGraph struct {
+	// G is the bipartite boundary graph; vertex k of G is net Nets[k].
+	G *graph.Graph
+	// Nets maps boundary-graph vertex → hypergraph net index.
+	Nets []int
+	// SideOf maps boundary-graph vertex → its side of the G-cut.
+	SideOf []partition.Side
+}
+
+// Partial is a partial bipartition of the hypergraph induced by a cut
+// of its intersection graph, before boundary completion. See the
+// paper's Figure 2: the non-boundary nets of each side place all of
+// their modules; only the boundary remains.
+type Partial struct {
+	// IG is the intersection-graph construction this cut lives in.
+	IG *intersect.Result
+	// NetSide is the side of every G-vertex under the double-BFS cut.
+	NetSide []partition.Side
+	// IsBoundary flags the boundary G-vertices.
+	IsBoundary []bool
+	// Boundary is the bipartite boundary graph G′.
+	Boundary *BoundaryGraph
+	// U and V are the G-vertex BFS sources (the pseudo-diameter pair).
+	U, V int
+}
+
+// PartialFromCut cuts the intersection graph by double BFS from
+// G-vertices u and v and assembles the induced partial bipartition.
+// The intersection graph must be connected (Bipartition handles the
+// disconnected case separately); every G-vertex is then labeled.
+func PartialFromCut(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int) *Partial {
+	return PartialFromCutPolicy(h, ig, u, v, false)
+}
+
+// PartialFromCutPolicy is PartialFromCut with an explicit frontier tie
+// policy: balanced=false expands the two BFS frontiers in strict
+// alternation (the paper's prescription); balanced=true expands the
+// side that has claimed fewer vertices (ablated in the benchmarks).
+func PartialFromCutPolicy(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, balanced bool) *Partial {
+	g := ig.G
+	var raw []int
+	if balanced {
+		raw = g.DoubleBFSSidesBalanced(u, v)
+	} else {
+		raw = g.DoubleBFSSides(u, v)
+	}
+	n := g.NumVertices()
+	pb := &Partial{
+		IG:         ig,
+		NetSide:    make([]partition.Side, n),
+		IsBoundary: make([]bool, n),
+		U:          u,
+		V:          v,
+	}
+	for i, s := range raw {
+		switch s {
+		case 0:
+			pb.NetSide[i] = partition.Left
+		case 1:
+			pb.NetSide[i] = partition.Right
+		default:
+			// Unreachable vertices cannot occur on a connected G; treat
+			// defensively as Left so downstream stays total.
+			pb.NetSide[i] = partition.Left
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range g.Neighbors(i) {
+			if pb.NetSide[j] != pb.NetSide[i] {
+				pb.IsBoundary[i] = true
+				break
+			}
+		}
+	}
+	pb.Boundary = buildBoundaryGraph(ig, pb.NetSide, pb.IsBoundary)
+	return pb
+}
+
+// buildBoundaryGraph extracts G′ from the cut labeling.
+func buildBoundaryGraph(ig *intersect.Result, side []partition.Side, isBoundary []bool) *BoundaryGraph {
+	g := ig.G
+	bgIndex := make([]int, g.NumVertices())
+	bg := &BoundaryGraph{}
+	for i := 0; i < g.NumVertices(); i++ {
+		if isBoundary[i] {
+			bgIndex[i] = len(bg.Nets)
+			bg.Nets = append(bg.Nets, ig.NetOf[i])
+			bg.SideOf = append(bg.SideOf, side[i])
+		} else {
+			bgIndex[i] = -1
+		}
+	}
+	b := graph.NewBuilder(len(bg.Nets))
+	for i := 0; i < g.NumVertices(); i++ {
+		if !isBoundary[i] {
+			continue
+		}
+		for _, j := range g.Neighbors(i) {
+			// Keep only cross edges; same-side edges are deleted, which
+			// is what makes G′ bipartite.
+			if j > i && isBoundary[j] && side[j] != side[i] {
+				b.AddEdge(bgIndex[i], bgIndex[j])
+			}
+		}
+	}
+	g2, err := b.Build()
+	if err != nil {
+		panic("core: boundary graph build: " + err.Error())
+	}
+	bg.G = g2
+	return bg
+}
+
+// BaseAssignment places the modules of every non-boundary net on that
+// net's side and returns the resulting partial module bipartition along
+// with the committed weight per side. Modules of boundary nets stay
+// Unassigned until completion.
+func (pb *Partial) BaseAssignment(h *hypergraph.Hypergraph) (p *partition.Bipartition, leftW, rightW int64) {
+	p = partition.New(h.NumVertices())
+	for i, netID := range pb.IG.NetOf {
+		if pb.IsBoundary[i] {
+			continue
+		}
+		s := pb.NetSide[i]
+		for _, m := range h.EdgePins(netID) {
+			if p.Side(m) == partition.Unassigned {
+				p.Assign(m, s)
+				if s == partition.Left {
+					leftW += h.VertexWeight(m)
+				} else {
+					rightW += h.VertexWeight(m)
+				}
+			}
+		}
+	}
+	return p, leftW, rightW
+}
+
+// CommitWinners assigns the modules of every winner net to its side of
+// the cut and returns the loser nets (ascending by net index). Modules
+// already placed (by non-boundary nets or earlier winners) are left
+// untouched; by the independence of the winner set this never
+// conflicts.
+func (pb *Partial) CommitWinners(h *hypergraph.Hypergraph, p *partition.Bipartition, winner []bool) (losers []int) {
+	bg := pb.Boundary
+	for k := range bg.Nets {
+		if !winner[k] {
+			losers = append(losers, bg.Nets[k])
+			continue
+		}
+		s := bg.SideOf[k]
+		for _, m := range h.EdgePins(bg.Nets[k]) {
+			if p.Side(m) == partition.Unassigned {
+				p.Assign(m, s)
+			}
+		}
+	}
+	sort.Ints(losers)
+	return losers
+}
+
+// Apply completes the partial bipartition under the given winner flags
+// (one per boundary-graph vertex): non-boundary nets place their
+// modules, winners place theirs, and the loser list is returned.
+// Leftover modules remain Unassigned; see assignLeftovers.
+func (pb *Partial) Apply(h *hypergraph.Hypergraph, winner []bool) (*partition.Bipartition, []int) {
+	p, _, _ := pb.BaseAssignment(h)
+	losers := pb.CommitWinners(h, p, winner)
+	return p, losers
+}
+
+// BoundaryNets returns the boundary net indices, ascending.
+func (pb *Partial) BoundaryNets() []int {
+	nets := append([]int(nil), pb.Boundary.Nets...)
+	sort.Ints(nets)
+	return nets
+}

@@ -1,0 +1,116 @@
+package core
+
+// Edge-case coverage: degenerate thresholds, tiny inputs, and stat
+// consistency that the main suite doesn't reach.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func TestThresholdExcludesEverything(t *testing.T) {
+	// All nets at or above the threshold: G is empty and the zero-cut
+	// packing path runs, yet every module must still be placed.
+	h := mkHG(t, 6, [][]int{{0, 1, 2}, {3, 4, 5}, {0, 1, 2, 3}})
+	res, err := Bipartition(h, Options{Threshold: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Disconnected {
+		t.Error("empty G should report Disconnected")
+	}
+	if res.Stats.GVertices != 0 || res.Stats.ExcludedNets != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestTwoVertexHypergraph(t *testing.T) {
+	h := mkHG(t, 2, [][]int{{0, 1}})
+	res, err := Bipartition(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	if res.CutSize != 1 {
+		t.Errorf("cut = %d, want 1 (the single net must split)", res.CutSize)
+	}
+}
+
+func TestStartsClampedToOne(t *testing.T) {
+	h := twoClusters(t, 5, 1)
+	res, err := Bipartition(h, Options{Starts: -3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StartsRun != 1 {
+		t.Errorf("StartsRun = %d, want clamped 1", res.Stats.StartsRun)
+	}
+}
+
+func TestBoundaryReportedSorted(t *testing.T) {
+	h := twoClusters(t, 6, 2)
+	res, err := Bipartition(h, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Boundary); i++ {
+		if res.Boundary[i] < res.Boundary[i-1] {
+			t.Fatalf("Boundary not sorted: %v", res.Boundary)
+		}
+	}
+	for i := 1; i < len(res.Losers); i++ {
+		if res.Losers[i] < res.Losers[i-1] {
+			t.Fatalf("Losers not sorted: %v", res.Losers)
+		}
+	}
+}
+
+func TestZeroWeightModules(t *testing.T) {
+	b := hypergraph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(2, 3)
+	for v := 0; v < 6; v++ {
+		b.SetVertexWeight(v, 0)
+	}
+	h := b.MustBuild()
+	for _, comp := range []Completion{CompletionGreedy, CompletionWeighted} {
+		res, err := Bipartition(h, Options{Seed: 2, Completion: comp})
+		if err != nil {
+			t.Fatalf("%v: %v", comp, err)
+		}
+		if err := res.Partition.Validate(h); err != nil {
+			t.Fatalf("%v: %v", comp, err)
+		}
+	}
+}
+
+func TestMajorityFallbackDirect(t *testing.T) {
+	// Exercise majorityFallback directly on a crafted partial.
+	h := twoClusters(t, 5, 1)
+	ig := buildIG(h)
+	u, v, _ := ig.G.LongestBFSPath(newRng(3))
+	pb := PartialFromCut(h, ig, u, v)
+	p := majorityFallback(h, pb)
+	if !p.IsComplete() {
+		t.Error("majorityFallback left modules unassigned")
+	}
+	l, r, _ := p.Counts()
+	if l == 0 || r == 0 {
+		t.Errorf("majorityFallback one-sided: %d|%d", l, r)
+	}
+	_ = partition.CutSize(h, p)
+}
+
+// newRng is a tiny helper for the edge tests.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,179 @@
+package flowpart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func mkHG(t *testing.T, n int, edges [][]int) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMinNetCutBridge(t *testing.T) {
+	// Two triangles joined by one net: separating a module of each
+	// triangle must cut exactly the bridge.
+	h := mkHG(t, 6, [][]int{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
+	p, value, err := MinNetCut(h, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value != 1 {
+		t.Errorf("flow value = %d, want 1", value)
+	}
+	if got := partition.CutSize(h, p); got != 1 {
+		t.Errorf("cut = %d, want 1", got)
+	}
+	if p.Side(0) != partition.Left || p.Side(5) != partition.Right {
+		t.Error("seeds on wrong sides")
+	}
+}
+
+func TestMinNetCutHyperedgeCountsOnce(t *testing.T) {
+	// A single 4-pin net between the seeds: value must be 1, not the
+	// number of crossing pins.
+	h := mkHG(t, 4, [][]int{{0, 1, 2, 3}})
+	_, value, err := MinNetCut(h, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value != 1 {
+		t.Errorf("flow value = %d, want 1 (net model must charge per net)", value)
+	}
+}
+
+func TestMinNetCutWeighted(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	e0 := b.AddEdge(0, 1)
+	e1 := b.AddEdge(1, 2)
+	b.SetEdgeWeight(e0, 5)
+	b.SetEdgeWeight(e1, 2)
+	h := b.MustBuild()
+	_, value, err := MinNetCut(h, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value != 2 {
+		t.Errorf("flow value = %d, want 2 (cut the cheaper net)", value)
+	}
+}
+
+func TestMinNetCutErrors(t *testing.T) {
+	h := mkHG(t, 3, [][]int{{0, 1, 2}})
+	if _, _, err := MinNetCut(h, 0, 0); err == nil {
+		t.Error("accepted s == t")
+	}
+	if _, _, err := MinNetCut(h, -1, 1); err == nil {
+		t.Error("accepted out-of-range seed")
+	}
+}
+
+func TestBisectValid(t *testing.T) {
+	h := mkHG(t, 8, [][]int{
+		{0, 1}, {1, 2}, {2, 3}, {0, 3},
+		{4, 5}, {5, 6}, {6, 7}, {4, 7},
+		{3, 4},
+	})
+	res, err := Bisect(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	if res.CutSize != 1 {
+		t.Errorf("cut = %d, want 1", res.CutSize)
+	}
+	if _, err := Bisect(mkHG(t, 1, [][]int{{0}}), Options{}); err == nil {
+		t.Error("accepted 1-vertex hypergraph")
+	}
+}
+
+// TestPropertyFlowCertifiesOptimum: minimizing MinNetCut over all seed
+// pairs equals the brute-force unconstrained minimum cut.
+func TestPropertyFlowCertifiesOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		m := 2 + rng.Intn(10)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			size := 2 + rng.Intn(3)
+			pins := make([]int, size)
+			for j := range pins {
+				pins[j] = rng.Intn(n)
+			}
+			b.AddEdge(pins...)
+		}
+		h, err := b.Build()
+		if err != nil {
+			return false
+		}
+		_, opt, err := bruteforce.MinCutUnconstrained(h)
+		if err != nil {
+			return false
+		}
+		best := int64(1 << 60)
+		for s := 0; s < n; s++ {
+			for tt := s + 1; tt < n; tt++ {
+				_, v, err := MinNetCut(h, s, tt)
+				if err != nil {
+					return false
+				}
+				if v < best {
+					best = v
+				}
+			}
+		}
+		return best == int64(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFlowValueMatchesRealizedCut: the flow value equals the
+// weighted cut of the returned partition.
+func TestPropertyFlowValueMatchesRealizedCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(12)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			size := 2 + rng.Intn(3)
+			pins := make([]int, size)
+			for j := range pins {
+				pins[j] = rng.Intn(n)
+			}
+			e := b.AddEdge(pins...)
+			b.SetEdgeWeight(e, int64(1+rng.Intn(4)))
+		}
+		h, err := b.Build()
+		if err != nil {
+			return false
+		}
+		s, tt := 0, n-1
+		p, value, err := MinNetCut(h, s, tt)
+		if err != nil {
+			return false
+		}
+		return partition.WeightedCutSize(h, p) == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

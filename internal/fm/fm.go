@@ -1,0 +1,256 @@
+// Package fm implements the Fiduccia–Mattheyses linear-time heuristic
+// for improving hypergraph bipartitions — reference [9] of the paper
+// ("A Linear-Time Heuristic for Improving Network Partitions", DAC
+// 1982) and the strongest of the classical move-based baselines.
+//
+// One pass moves single cells (not pairs, unlike Kernighan–Lin) in
+// descending gain order under a balance constraint, locking each moved
+// cell, then rewinds to the best prefix. Cell gains live in a bucket
+// structure indexed by gain and are updated incrementally with the
+// standard critical-net rules, so a pass costs O(pins).
+package fm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/cutstate"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/partition"
+)
+
+// Options configures the partitioner.
+type Options struct {
+	// MaxPasses bounds improvement passes (default 12).
+	MaxPasses int
+	// BalanceFraction is the allowed deviation from perfect weight
+	// balance: each side must keep at least (0.5 − BalanceFraction) of
+	// the total vertex weight (default 0.1, the r-bipartition spirit of
+	// the original paper). Values ≥ 0.5 disable the constraint except
+	// for non-emptiness.
+	BalanceFraction float64
+	// Seed seeds the initial random bisection used by Bisect.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 12
+	}
+	if o.BalanceFraction <= 0 {
+		o.BalanceFraction = 0.1
+	}
+}
+
+// Result is the outcome of an FM run.
+type Result struct {
+	// Partition is the final bipartition.
+	Partition *partition.Bipartition
+	// CutSize is its cutsize.
+	CutSize int
+	// Passes is the number of passes executed.
+	Passes int
+}
+
+// Bisect partitions h starting from a random balanced bisection.
+func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	if h.NumVertices() < 2 {
+		return nil, fmt.Errorf("fm: hypergraph has %d vertices; need at least 2", h.NumVertices())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p := kl.RandomBisection(h.NumVertices(), rng)
+	return Improve(h, p, opts)
+}
+
+// Improve runs FM passes from the given complete bipartition, modified
+// in place and returned.
+func Improve(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (*Result, error) {
+	return ImproveLocked(h, p, nil, opts)
+}
+
+// ImproveLocked is Improve with a set of permanently fixed vertices
+// (fixed[v] = true ⇒ v never moves). This is the hook for
+// terminal-propagation placement (Dunlop–Kernighan): anchor vertices
+// representing external pins are fixed to their side. A nil fixed
+// slice fixes nothing.
+func ImproveLocked(h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []bool, opts Options) (*Result, error) {
+	opts.defaults()
+	if err := p.Validate(h); err != nil {
+		return nil, fmt.Errorf("fm: %w", err)
+	}
+	if fixed != nil && len(fixed) != h.NumVertices() {
+		return nil, fmt.Errorf("fm: fixed covers %d vertices, hypergraph has %d", len(fixed), h.NumVertices())
+	}
+	s, err := cutstate.New(h, p)
+	if err != nil {
+		return nil, fmt.Errorf("fm: %w", err)
+	}
+	minSide := int64(float64(h.TotalVertexWeight()) * (0.5 - opts.BalanceFraction))
+	if minSide < 0 {
+		minSide = 0
+	}
+	passes := 0
+	for passes < opts.MaxPasses {
+		passes++
+		if gain := runPass(s, minSide, fixed); gain <= 0 {
+			break
+		}
+	}
+	return &Result{Partition: p, CutSize: s.Cut(), Passes: passes}, nil
+}
+
+// buckets is a lazy max-gain bucket queue: stale entries are skipped on
+// pop (an entry is valid only if the vertex is unlocked and its current
+// gain matches the bucket it is popped from).
+type buckets struct {
+	offset int
+	lists  [][]int
+	maxPtr int
+}
+
+func newBuckets(maxGain int) *buckets {
+	return &buckets{
+		offset: maxGain,
+		lists:  make([][]int, 2*maxGain+1),
+		maxPtr: -1,
+	}
+}
+
+func (b *buckets) push(v, gain int) {
+	i := gain + b.offset
+	b.lists[i] = append(b.lists[i], v)
+	if i > b.maxPtr {
+		b.maxPtr = i
+	}
+}
+
+// pop returns the highest-gain entry satisfying valid, skipping and
+// discarding stale ones.
+func (b *buckets) pop(valid func(v, gain int) bool) (int, bool) {
+	for b.maxPtr >= 0 {
+		l := b.lists[b.maxPtr]
+		if len(l) == 0 {
+			b.maxPtr--
+			continue
+		}
+		v := l[len(l)-1]
+		b.lists[b.maxPtr] = l[:len(l)-1]
+		if valid(v, b.maxPtr-b.offset) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// runPass executes one FM pass and returns the cut improvement kept.
+// Vertices with fixed[v] = true start locked and never move.
+func runPass(s *cutstate.State, minSide int64, fixed []bool) int {
+	h := s.Hypergraph()
+	n := h.NumVertices()
+	locked := make([]bool, n)
+	if fixed != nil {
+		copy(locked, fixed)
+	}
+	gain := make([]int, n)
+	maxDeg := h.MaxVertexDegree()
+	bq := newBuckets(maxDeg)
+	for v := 0; v < n; v++ {
+		gain[v] = s.Gain(v)
+		if !locked[v] {
+			bq.push(v, gain[v])
+		}
+	}
+
+	legal := func(v int) bool {
+		// Moving v must leave its side with at least minSide weight and
+		// at least one vertex.
+		lw, rw := s.Weights()
+		w := h.VertexWeight(v)
+		l, r, _ := s.Partition().Counts()
+		if s.Side(v) == partition.Left {
+			return lw-w >= minSide && l > 1
+		}
+		return rw-w >= minSide && r > 1
+	}
+
+	var seq []int
+	cum, bestCum, bestIdx := 0, 0, -1
+	// Scratch for net counts on the to-side before the move.
+	for {
+		v, ok := bq.pop(func(v, g int) bool {
+			return !locked[v] && gain[v] == g && legal(v)
+		})
+		if !ok {
+			break
+		}
+		updateGainsAndMove(s, v, locked, gain, bq)
+		locked[v] = true
+		seq = append(seq, v)
+		cum += gain[v]
+		if cum > bestCum {
+			bestCum, bestIdx = cum, len(seq)-1
+		}
+	}
+	for i := len(seq) - 1; i > bestIdx; i-- {
+		s.Move(seq[i])
+	}
+	return bestCum
+}
+
+// updateGainsAndMove applies the standard FM incremental gain rules
+// around moving v, then performs the move. For each net of v with
+// from-side count F and to-side count T before the move:
+//
+//	T == 0: every unlocked cell on the net gains (the net could now be
+//	        uncut by following v);
+//	T == 1: the lone to-side cell loses (it can no longer uncut the
+//	        net by itself);
+//
+// and after the move, with F′ = F − 1:
+//
+//	F′ == 0: every unlocked cell on the net loses;
+//	F′ == 1: the lone remaining from-side cell gains.
+func updateGainsAndMove(s *cutstate.State, v int, locked []bool, gain []int, bq *buckets) {
+	h := s.Hypergraph()
+	from := s.Side(v)
+	bump := func(u, d int) {
+		if locked[u] || u == v {
+			return
+		}
+		gain[u] += d
+		bq.push(u, gain[u])
+	}
+	for _, e := range h.VertexEdges(v) {
+		l, r := s.Counts(e)
+		f, t := l, r
+		if from == partition.Right {
+			f, t = r, l
+		}
+		switch t {
+		case 0:
+			for _, u := range h.EdgePins(e) {
+				bump(u, +1)
+			}
+		case 1:
+			for _, u := range h.EdgePins(e) {
+				if u != v && s.Side(u) != from {
+					bump(u, -1)
+				}
+			}
+		}
+		switch f - 1 {
+		case 0:
+			for _, u := range h.EdgePins(e) {
+				bump(u, -1)
+			}
+		case 1:
+			for _, u := range h.EdgePins(e) {
+				if u != v && s.Side(u) == from {
+					bump(u, +1)
+				}
+			}
+		}
+	}
+	s.Move(v)
+}

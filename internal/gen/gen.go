@@ -1,0 +1,252 @@
+// Package gen generates the synthetic workloads used to reproduce the
+// paper's evaluation:
+//
+//   - uniform random hypergraphs H(n, d, r) with bounded vertex degree
+//     d and edge size r (the class the paper's probabilistic analysis
+//     works in);
+//   - "difficult" planted-cut instances H(n, d, r, c) with minimum
+//     cutsize c = o(n^{1-1/d}) in the sense of Bui–Chaudhuri–Leighton–
+//     Sipser (the Diff rows of Table 2), where standard heuristics get
+//     stuck but Algorithm I provably succeeds;
+//   - pathological disconnected instances (c = 0);
+//   - circuit-profile netlists standing in for the paper's proprietary
+//     industry suite (Bd/IC rows of Table 2 and the four technologies
+//     of Table 1): a recursive cluster hierarchy provides the "natural
+//     functional partitions (logical hierarchy)" the paper observes in
+//     real netlists, with technology-specific net-size and module-
+//     weight distributions and a sprinkling of large bus nets.
+//
+// All generators are deterministic given the caller's *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	// NumEdges is the number of nets to generate.
+	NumEdges int
+	// MinEdgeSize and MaxEdgeSize bound pins per net (defaults 2 and 4).
+	MinEdgeSize, MaxEdgeSize int
+	// MaxDegree softly bounds vertex degree d: pin sampling avoids
+	// vertices already at the bound when alternatives remain. 0 means
+	// unbounded.
+	MaxDegree int
+}
+
+func (c *RandomConfig) defaults() {
+	if c.MinEdgeSize < 1 {
+		c.MinEdgeSize = 2
+	}
+	if c.MaxEdgeSize < c.MinEdgeSize {
+		c.MaxEdgeSize = c.MinEdgeSize + 2
+	}
+}
+
+// Random generates a uniform random hypergraph on n vertices.
+func Random(n int, cfg RandomConfig, rng *rand.Rand) (*hypergraph.Hypergraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: Random needs n >= 1, got %d", n)
+	}
+	cfg.defaults()
+	b := hypergraph.NewBuilder(n)
+	deg := make([]int, n)
+	for e := 0; e < cfg.NumEdges; e++ {
+		size := cfg.MinEdgeSize + rng.Intn(cfg.MaxEdgeSize-cfg.MinEdgeSize+1)
+		if size > n {
+			size = n
+		}
+		pins := samplePins(n, size, deg, cfg.MaxDegree, rng, 0, n)
+		for _, p := range pins {
+			deg[p]++
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+// samplePins draws `size` distinct vertices from [lo,hi), preferring
+// vertices below the degree bound. It falls back to over-bound vertices
+// when the range is exhausted, so generation always succeeds.
+func samplePins(n, size int, deg []int, maxDeg int, rng *rand.Rand, lo, hi int) []int {
+	width := hi - lo
+	if size > width {
+		size = width
+	}
+	pins := make([]int, 0, size)
+	seen := make(map[int]bool, size)
+	const tries = 64
+	for len(pins) < size {
+		v := -1
+		for t := 0; t < tries; t++ {
+			cand := lo + rng.Intn(width)
+			if seen[cand] {
+				continue
+			}
+			if maxDeg > 0 && deg[cand] >= maxDeg {
+				continue
+			}
+			v = cand
+			break
+		}
+		if v == -1 {
+			// Degree bound saturated in this range: accept any unseen
+			// vertex.
+			for t := 0; t < tries*4 && v == -1; t++ {
+				cand := lo + rng.Intn(width)
+				if !seen[cand] {
+					v = cand
+				}
+			}
+			if v == -1 {
+				break // range effectively exhausted
+			}
+		}
+		seen[v] = true
+		pins = append(pins, v)
+	}
+	return pins
+}
+
+// PlantedConfig parameterizes PlantedCut.
+type PlantedConfig struct {
+	// CutSize is the number of planted crossing nets c. The instance is
+	// "difficult" in the paper's sense when c = o(n^{1-1/d}).
+	CutSize int
+	// IntraEdges is the total number of one-sided nets (split evenly
+	// between the halves).
+	IntraEdges int
+	// MinEdgeSize and MaxEdgeSize bound pins per net (defaults 2, 4).
+	MinEdgeSize, MaxEdgeSize int
+	// MaxDegree softly bounds vertex degree (0 = unbounded).
+	MaxDegree int
+}
+
+func (c *PlantedConfig) defaults() {
+	if c.MinEdgeSize < 2 {
+		c.MinEdgeSize = 2
+	}
+	if c.MaxEdgeSize < c.MinEdgeSize {
+		c.MaxEdgeSize = c.MinEdgeSize + 2
+	}
+}
+
+// PlantedCut builds a difficult instance: two halves [0,n/2) and
+// [n/2,n), each internally connected by a Hamiltonian chain of 2-pin
+// nets plus random intra-half nets, joined by exactly CutSize crossing
+// nets. The bisection splitting the halves therefore cuts exactly
+// CutSize nets, and (for c below the connectivity of the halves) it is
+// the unique minimum bisection. The planted crossing net indices are
+// returned.
+func PlantedCut(n int, cfg PlantedConfig, rng *rand.Rand) (*hypergraph.Hypergraph, []int, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, nil, fmt.Errorf("gen: PlantedCut needs even n >= 4, got %d", n)
+	}
+	cfg.defaults()
+	half := n / 2
+	b := hypergraph.NewBuilder(n)
+	deg := make([]int, n)
+	addPins := func(pins []int) int {
+		for _, p := range pins {
+			deg[p]++
+		}
+		return b.AddEdge(pins...)
+	}
+	// Overlapping 4-pin chain nets keep each half connected while
+	// spending few nets on it, leaving most of the budget for random
+	// intra nets — the expander-like structure the paper's difficult-
+	// input theorem assumes. (A 2-pin chain would make the dual G
+	// path-like, which is outside the theorem's regime.)
+	chains := 0
+	for _, lo := range []int{0, half} {
+		hi := lo + half
+		for i := lo; i < hi-1; i += 3 {
+			end := i + 4
+			if end > hi {
+				end = hi
+			}
+			pins := make([]int, 0, 4)
+			for p := i; p < end; p++ {
+				pins = append(pins, p)
+			}
+			if len(pins) >= 2 {
+				addPins(pins)
+				chains++
+			}
+		}
+	}
+	remaining := cfg.IntraEdges - chains
+	for e := 0; e < remaining; e++ {
+		lo, hi := 0, half
+		if e%2 == 1 {
+			lo, hi = half, n
+		}
+		size := cfg.MinEdgeSize + rng.Intn(cfg.MaxEdgeSize-cfg.MinEdgeSize+1)
+		pins := samplePins(n, size, deg, cfg.MaxDegree, rng, lo, hi)
+		if len(pins) >= 1 {
+			addPins(pins)
+		}
+	}
+	planted := make([]int, 0, cfg.CutSize)
+	for c := 0; c < cfg.CutSize; c++ {
+		size := cfg.MinEdgeSize + rng.Intn(cfg.MaxEdgeSize-cfg.MinEdgeSize+1)
+		if size < 2 {
+			size = 2
+		}
+		// At least one pin on each side.
+		kLeft := 1 + rng.Intn(size-1)
+		left := samplePins(n, kLeft, deg, cfg.MaxDegree, rng, 0, half)
+		right := samplePins(n, size-kLeft, deg, cfg.MaxDegree, rng, half, n)
+		if len(left) == 0 {
+			left = []int{rng.Intn(half)}
+		}
+		if len(right) == 0 {
+			right = []int{half + rng.Intn(half)}
+		}
+		planted = append(planted, addPins(append(left, right...)))
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, planted, nil
+}
+
+// Disconnected builds k disjoint random connected blobs of roughly
+// equal size — the pathological c = 0 family on which standard
+// heuristics "output a locally minimum cut of size Θ(|E|)" while BFS on
+// the intersection graph detects the disconnection immediately.
+func Disconnected(n, k int, edgesPerBlob int, rng *rand.Rand) (*hypergraph.Hypergraph, error) {
+	if k < 2 || n < 2*k {
+		return nil, fmt.Errorf("gen: Disconnected needs k >= 2 and n >= 2k, got n=%d k=%d", n, k)
+	}
+	b := hypergraph.NewBuilder(n)
+	deg := make([]int, n)
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	for blob := 0; blob < k; blob++ {
+		lo, hi := bounds[blob], bounds[blob+1]
+		for i := lo; i+1 < hi; i++ {
+			b.AddEdge(i, i+1)
+			deg[i]++
+			deg[i+1]++
+		}
+		for e := 0; e < edgesPerBlob; e++ {
+			size := 2 + rng.Intn(2)
+			pins := samplePins(n, size, deg, 0, rng, lo, hi)
+			if len(pins) > 0 {
+				b.AddEdge(pins...)
+				for _, p := range pins {
+					deg[p]++
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func TestRandomBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := Random(50, RandomConfig{NumEdges: 100, MinEdgeSize: 2, MaxEdgeSize: 5, MaxDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 50 || h.NumEdges() != 100 {
+		t.Fatalf("dims = %d,%d", h.NumVertices(), h.NumEdges())
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if s := h.EdgeSize(e); s < 1 || s > 5 {
+			t.Errorf("edge %d size %d outside [1,5]", e, s)
+		}
+	}
+}
+
+func TestRandomDegreeBoundSoft(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h, err := Random(30, RandomConfig{NumEdges: 60, MinEdgeSize: 2, MaxEdgeSize: 3, MaxDegree: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Soft bound: the vast majority must respect it; tolerate tiny
+	// overflow from the fallback path.
+	over := 0
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexDegree(v) > 6 {
+			over++
+		}
+	}
+	if over > 2 {
+		t.Errorf("%d vertices exceed the degree bound", over)
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Random(0, RandomConfig{NumEdges: 1}, rng); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestPlantedCutStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, c := 40, 3
+	h, planted, err := PlantedCut(n, PlantedConfig{CutSize: c, IntraEdges: 80, MaxEdgeSize: 4, MaxDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planted) != c {
+		t.Fatalf("planted = %v, want %d nets", planted, c)
+	}
+	// The planted bisection cuts exactly the planted nets.
+	p := partition.New(n)
+	for v := 0; v < n; v++ {
+		if v < n/2 {
+			p.Assign(v, partition.Left)
+		} else {
+			p.Assign(v, partition.Right)
+		}
+	}
+	if got := partition.CutSize(h, p); got != c {
+		t.Errorf("planted bisection cuts %d, want %d", got, c)
+	}
+	for _, e := range planted {
+		if !partition.Crosses(h, p, e) {
+			t.Errorf("planted net %d does not cross", e)
+		}
+	}
+	// Each half is connected: the whole hypergraph has 1 component.
+	if _, k := h.Components(); k != 1 {
+		t.Errorf("components = %d, want 1", k)
+	}
+}
+
+func TestPlantedCutIsOptimalOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h, _, err := PlantedCut(16, PlantedConfig{CutSize: 1, IntraEdges: 40, MaxEdgeSize: 3, MaxDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := bruteforce.MinBisection(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("optimum bisection = %d, want the planted 1", opt)
+	}
+}
+
+func TestPlantedCutErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, _, err := PlantedCut(7, PlantedConfig{CutSize: 1, IntraEdges: 10}, rng); err == nil {
+		t.Error("accepted odd n")
+	}
+	if _, _, err := PlantedCut(2, PlantedConfig{CutSize: 1, IntraEdges: 10}, rng); err == nil {
+		t.Error("accepted n=2")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, err := Disconnected(60, 3, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := h.Components()
+	if k != 3 {
+		t.Errorf("components = %d, want 3", k)
+	}
+	if _, err := Disconnected(3, 2, 5, rng); err == nil {
+		t.Error("accepted n < 2k")
+	}
+	if _, err := Disconnected(10, 1, 5, rng); err == nil {
+		t.Error("accepted k=1")
+	}
+}
+
+func TestProfileDimensionsAndConnectivity(t *testing.T) {
+	for _, tech := range []Technology{PCB, StdCell, GateArray, Hybrid} {
+		rng := rand.New(rand.NewSource(int64(tech) + 10))
+		h, err := Profile(ProfileConfig{Modules: 120, Signals: 240, Technology: tech}, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if h.NumVertices() != 120 {
+			t.Errorf("%v: modules = %d", tech, h.NumVertices())
+		}
+		if h.NumEdges() != 240 {
+			t.Errorf("%v: signals = %d", tech, h.NumEdges())
+		}
+		if _, k := h.Components(); k != 1 {
+			t.Errorf("%v: %d components, want connected", tech, k)
+		}
+	}
+}
+
+func TestProfileHasLargeNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h, err := Profile(ProfileConfig{Modules: 400, Signals: 900, Technology: PCB, LargeNetFraction: 0.05}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.EdgeSize(e) >= 14 {
+			large++
+		}
+	}
+	if large < 10 {
+		t.Errorf("only %d nets with >= 14 pins; Table 1 needs a population", large)
+	}
+}
+
+func TestProfileWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h, err := Profile(ProfileConfig{Modules: 100, Signals: 200, Technology: GateArray}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexWeight(v) != 1 {
+			t.Fatalf("gate-array module %d weight %d, want 1", v, h.VertexWeight(v))
+		}
+	}
+	rng = rand.New(rand.NewSource(13))
+	hs, err := Profile(ProfileConfig{Modules: 100, Signals: 200, Technology: StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for v := 0; v < hs.NumVertices(); v++ {
+		if hs.VertexWeight(v) != hs.VertexWeight(0) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("std-cell weights all equal; should track pin counts")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Profile(ProfileConfig{Modules: 2, Signals: 5}, rng); err == nil {
+		t.Error("accepted tiny module count")
+	}
+	if _, err := Profile(ProfileConfig{Modules: 10, Signals: 0}, rng); err == nil {
+		t.Error("accepted zero signals")
+	}
+}
+
+func TestTable2Instances(t *testing.T) {
+	wantDims := map[Table2Name][2]int{
+		Bd1: {103, 211}, Bd2: {160, 320}, Bd3: {242, 502},
+		IC1: {561, 800}, IC2: {2471, 3496},
+		Diff1: {500, 700}, Diff2: {500, 700}, Diff3: {500, 700},
+	}
+	for _, name := range Table2Names() {
+		h, err := Table2Instance(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := wantDims[name]
+		if h.NumVertices() != want[0] || h.NumEdges() != want[1] {
+			t.Errorf("%s: dims (%d,%d), want (%d,%d)", name, h.NumVertices(), h.NumEdges(), want[0], want[1])
+		}
+	}
+	if _, err := Table2Instance("nope", 1); err == nil {
+		t.Error("accepted unknown instance name")
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	if PCB.String() != "PCB" || StdCell.String() != "Std-cell" ||
+		GateArray.String() != "GA" || Hybrid.String() != "Hybrid" {
+		t.Error("Technology names broken")
+	}
+	if Technology(9).String() != "Technology(9)" {
+		t.Error("unknown technology name broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *hypergraph.Hypergraph {
+		h, err := Table2Instance(Bd1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	if a.NumPins() != b.NumPins() {
+		t.Fatal("same seed produced different pin counts")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		pa, pb := a.EdgePins(e), b.EdgePins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("edge %d size differs", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("edge %d pins differ", e)
+			}
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// Technology selects a circuit-profile family, mirroring the four rows
+// of the paper's Table 1.
+type Technology int
+
+// Technologies.
+const (
+	// PCB: printed-circuit boards — wide net-size distribution, heavy
+	// modules of very uneven weight, relatively many large nets.
+	PCB Technology = iota
+	// StdCell: standard-cell ICs — mostly 2–4 pin nets, cell area
+	// roughly proportional to pin count (the paper's granularization
+	// remark), a few wide buses.
+	StdCell
+	// GateArray: gate arrays — uniform unit-weight modules, small nets.
+	GateArray
+	// Hybrid: mixed technology — a blend of the above.
+	Hybrid
+)
+
+// String names the technology as in Table 1.
+func (t Technology) String() string {
+	switch t {
+	case PCB:
+		return "PCB"
+	case StdCell:
+		return "Std-cell"
+	case GateArray:
+		return "GA"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// ProfileConfig parameterizes Profile.
+type ProfileConfig struct {
+	// Modules and Signals are the hypergraph dimensions (the paper's
+	// "(Mods,Sigs)" columns).
+	Modules, Signals int
+	// Technology selects the distribution family.
+	Technology Technology
+	// LargeNetFraction overrides the technology's default fraction of
+	// bus-like large nets when positive.
+	LargeNetFraction float64
+}
+
+// profileParams are the per-technology knobs.
+type profileParams struct {
+	// sizes is a discrete distribution over small-net sizes.
+	sizes []sizeProb
+	// largeFrac is the fraction of nets that are wide buses.
+	largeFrac float64
+	// largeMin, largeMax bound bus-net sizes.
+	largeMin, largeMax int
+	// leafSize is the module count of a leaf cluster.
+	leafSize int
+	// localDecay is the per-level probability decay of scoping a net
+	// one level higher in the cluster tree (smaller ⇒ more local).
+	localDecay float64
+	// weight draws a module weight given its pin count.
+	weight func(pins int, rng *rand.Rand) int64
+}
+
+type sizeProb struct {
+	size int
+	p    float64
+}
+
+func paramsFor(t Technology) profileParams {
+	switch t {
+	case PCB:
+		return profileParams{
+			sizes:      []sizeProb{{2, 0.35}, {3, 0.25}, {4, 0.15}, {5, 0.10}, {6, 0.07}, {8, 0.05}, {10, 0.03}},
+			largeFrac:  0.04,
+			largeMin:   14,
+			largeMax:   40,
+			leafSize:   10,
+			localDecay: 0.45,
+			weight: func(pins int, rng *rand.Rand) int64 {
+				return int64(1 + pins + rng.Intn(1+4*pins))
+			},
+		}
+	case StdCell:
+		return profileParams{
+			sizes:      []sizeProb{{2, 0.50}, {3, 0.30}, {4, 0.12}, {5, 0.05}, {6, 0.03}},
+			largeFrac:  0.02,
+			largeMin:   16,
+			largeMax:   32,
+			leafSize:   8,
+			localDecay: 0.35,
+			weight: func(pins int, rng *rand.Rand) int64 {
+				// Cell area roughly proportional to the number of I/Os.
+				return int64(1 + pins)
+			},
+		}
+	case GateArray:
+		return profileParams{
+			sizes:      []sizeProb{{2, 0.55}, {3, 0.28}, {4, 0.12}, {5, 0.05}},
+			largeFrac:  0.015,
+			largeMin:   14,
+			largeMax:   24,
+			leafSize:   8,
+			localDecay: 0.35,
+			weight:     func(int, *rand.Rand) int64 { return 1 },
+		}
+	default: // Hybrid
+		return profileParams{
+			sizes:      []sizeProb{{2, 0.40}, {3, 0.25}, {4, 0.15}, {5, 0.08}, {6, 0.07}, {8, 0.05}},
+			largeFrac:  0.03,
+			largeMin:   14,
+			largeMax:   36,
+			leafSize:   9,
+			localDecay: 0.40,
+			weight: func(pins int, rng *rand.Rand) int64 {
+				if rng.Intn(2) == 0 {
+					return int64(1 + pins)
+				}
+				return int64(1 + pins + rng.Intn(1+3*pins))
+			},
+		}
+	}
+}
+
+// Profile generates a circuit-profile netlist: modules are leaves of a
+// recursive binary cluster tree (the logical hierarchy), each net is
+// scoped to a random tree node — leaf-biased, so most nets are local —
+// and draws its pins inside that node's module range; a fraction of
+// nets are wide buses scoped high in the tree. One glue net per
+// internal node spans its children, guaranteeing a connected netlist.
+// Module labels are randomly permuted so the hierarchy is not encoded
+// in the index order.
+func Profile(cfg ProfileConfig, rng *rand.Rand) (*hypergraph.Hypergraph, error) {
+	if cfg.Modules < 4 {
+		return nil, fmt.Errorf("gen: Profile needs >= 4 modules, got %d", cfg.Modules)
+	}
+	if cfg.Signals < 1 {
+		return nil, fmt.Errorf("gen: Profile needs >= 1 signals, got %d", cfg.Signals)
+	}
+	pp := paramsFor(cfg.Technology)
+	if cfg.LargeNetFraction > 0 {
+		pp.largeFrac = cfg.LargeNetFraction
+	}
+	n := cfg.Modules
+
+	// Build the cluster tree as a list of [lo,hi) ranges per level.
+	type node struct{ lo, hi int }
+	levels := [][]node{{{0, n}}}
+	for {
+		last := levels[len(levels)-1]
+		if last[0].hi-last[0].lo <= pp.leafSize {
+			break
+		}
+		var next []node
+		for _, nd := range last {
+			mid := (nd.lo + nd.hi) / 2
+			if mid == nd.lo || mid == nd.hi {
+				next = append(next, nd)
+				continue
+			}
+			next = append(next, node{nd.lo, mid}, node{mid, nd.hi})
+		}
+		levels = append(levels, next)
+	}
+	leafLevel := len(levels) - 1
+
+	perm := rng.Perm(n) // hierarchy position → module label
+	deg := make([]int, n)
+	var nets [][]int // position-indexed pins; labels applied at build
+	addNet := func(pins []int) {
+		cp := make([]int, len(pins))
+		copy(cp, pins)
+		for _, p := range cp {
+			deg[p]++
+		}
+		nets = append(nets, cp)
+	}
+
+	// Glue nets along the hierarchy (one per internal split).
+	glue := 0
+	for l := 0; l < leafLevel; l++ {
+		for _, nd := range levels[l] {
+			mid := (nd.lo + nd.hi) / 2
+			if mid == nd.lo || mid == nd.hi {
+				continue
+			}
+			left := samplePins(n, 1+rng.Intn(2), deg, 0, rng, nd.lo, mid)
+			right := samplePins(n, 1+rng.Intn(2), deg, 0, rng, mid, nd.hi)
+			addNet(append(left, right...))
+			glue++
+			if glue >= cfg.Signals {
+				break
+			}
+		}
+		if glue >= cfg.Signals {
+			break
+		}
+	}
+
+	// Remaining nets: local small nets and wide buses.
+	for s := glue; s < cfg.Signals; s++ {
+		if rng.Float64() < pp.largeFrac {
+			width := pp.largeMin + rng.Intn(pp.largeMax-pp.largeMin+1)
+			// Buses are global: their pins sample the whole chip, which
+			// is what makes them near-certain to cross any balanced cut
+			// (the paper's Table 1 observation).
+			pins := samplePins(n, width, deg, 0, rng, 0, n)
+			if len(pins) >= 2 {
+				addNet(pins)
+			} else {
+				s--
+			}
+			continue
+		}
+		// Choose scope level: leaf with prob (1-decay), parent with
+		// prob decay·(1-decay), etc.
+		lvl := leafLevel
+		for lvl > 0 && rng.Float64() < pp.localDecay {
+			lvl--
+		}
+		nd := levels[lvl][rng.Intn(len(levels[lvl]))]
+		size := drawSize(pp.sizes, rng)
+		pins := samplePins(n, size, deg, 0, rng, nd.lo, nd.hi)
+		if len(pins) < 1 {
+			s--
+			continue
+		}
+		addNet(pins)
+	}
+
+	// Connectivity repair in two passes. Pass 1: attach modules no net
+	// touched to a net scoped to their own leaf cluster when one
+	// exists, keeping the repair local. Pass 2: whatever components
+	// remain are joined onto the top-level glue net — the synthetic
+	// analogue of a global clock/reset net.
+	if len(nets) > 0 {
+		leaf := levels[leafLevel]
+		leafOf := func(pos int) int {
+			for li, nd := range leaf {
+				if pos >= nd.lo && pos < nd.hi {
+					return li
+				}
+			}
+			return -1
+		}
+		netInLeaf := make([]int, len(leaf))
+		for li := range netInLeaf {
+			netInLeaf[li] = -1
+		}
+		for ni, pins := range nets {
+			li := leafOf(pins[0])
+			if li >= 0 && netInLeaf[li] == -1 {
+				netInLeaf[li] = ni
+			}
+		}
+		for pos := 0; pos < n; pos++ {
+			if deg[pos] > 0 {
+				continue
+			}
+			if li := leafOf(pos); li >= 0 && netInLeaf[li] >= 0 {
+				ni := netInLeaf[li]
+				nets[ni] = append(nets[ni], pos)
+				deg[pos]++
+			}
+		}
+
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, pins := range nets {
+			for _, p := range pins[1:] {
+				parent[find(p)] = find(pins[0])
+			}
+		}
+		root := find(nets[0][0])
+		for pos := 0; pos < n; pos++ {
+			if find(pos) == root {
+				continue
+			}
+			nets[0] = append(nets[0], pos)
+			deg[pos]++
+			parent[find(pos)] = root
+		}
+	}
+
+	b := hypergraph.NewBuilder(n)
+	for _, pins := range nets {
+		labeled := make([]int, len(pins))
+		for i, p := range pins {
+			labeled[i] = perm[p]
+		}
+		b.AddEdge(labeled...)
+	}
+	// Weights depend on final pin counts (position-indexed deg ↔ label
+	// via perm).
+	for pos := 0; pos < n; pos++ {
+		b.SetVertexWeight(perm[pos], pp.weight(deg[pos], rng))
+	}
+	return b.Build()
+}
+
+func drawSize(dist []sizeProb, rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for _, sp := range dist {
+		acc += sp.p
+		if x < acc {
+			return sp.size
+		}
+	}
+	return dist[len(dist)-1].size
+}
+
+// Table2Name identifies a canned Table-2 instance.
+type Table2Name string
+
+// The paper's Table 2 example set with its (Mods,Sigs) dimensions.
+// Bd2's dimensions are garbled in the source scan; we use an
+// interpolated (160, 320).
+const (
+	Bd1   Table2Name = "Bd1"
+	Bd2   Table2Name = "Bd2"
+	Bd3   Table2Name = "Bd3"
+	IC1   Table2Name = "IC1"
+	IC2   Table2Name = "IC2"
+	Diff1 Table2Name = "Diff1"
+	Diff2 Table2Name = "Diff2"
+	Diff3 Table2Name = "Diff3"
+)
+
+// Table2Names lists the Table-2 instances in paper order.
+func Table2Names() []Table2Name {
+	return []Table2Name{Bd1, Bd2, Bd3, IC1, IC2, Diff1, Diff2, Diff3}
+}
+
+// Table2Instance builds the named synthetic stand-in for a Table-2
+// example (see DESIGN.md §2 for the substitution rationale). Bd rows
+// are PCB profiles, IC rows std-cell profiles, Diff rows planted-cut
+// difficult instances on (500,700) with c ∈ {4, 8, 12}.
+func Table2Instance(name Table2Name, seed int64) (*hypergraph.Hypergraph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case Bd1:
+		return Profile(ProfileConfig{Modules: 103, Signals: 211, Technology: PCB}, rng)
+	case Bd2:
+		return Profile(ProfileConfig{Modules: 160, Signals: 320, Technology: PCB}, rng)
+	case Bd3:
+		return Profile(ProfileConfig{Modules: 242, Signals: 502, Technology: PCB}, rng)
+	case IC1:
+		return Profile(ProfileConfig{Modules: 561, Signals: 800, Technology: StdCell}, rng)
+	case IC2:
+		return Profile(ProfileConfig{Modules: 2471, Signals: 3496, Technology: StdCell}, rng)
+	case Diff1, Diff2, Diff3:
+		c := map[Table2Name]int{Diff1: 4, Diff2: 8, Diff3: 12}[name]
+		h, _, err := PlantedCut(500, PlantedConfig{CutSize: c, IntraEdges: 700 - c, MaxEdgeSize: 4, MaxDegree: 6}, rng)
+		return h, err
+	default:
+		return nil, fmt.Errorf("gen: unknown Table 2 instance %q", name)
+	}
+}

@@ -1,0 +1,151 @@
+// Package granular implements the paper's netlist granularization
+// extension (Section 5): "replacing larger modules with linked uniform
+// small modules. This seems to work particularly well in the
+// standard-cell regime, where cell area is roughly proportional to the
+// number of I/Os."
+//
+// A module whose weight exceeds the grain is split into k = ⌈w/grain⌉
+// submodules of near-equal weight, chained together with high-weight
+// 2-pin link nets (so partitioners are strongly discouraged from
+// splitting a module). The original nets distribute their pin over the
+// submodules round-robin, modelling I/O spread across the cell. A
+// partition of the granularized netlist projects back to the original
+// modules by weighted majority.
+package granular
+
+import (
+	"fmt"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// Result describes a granularized hypergraph and the bookkeeping to map
+// results back.
+type Result struct {
+	// H is the granularized hypergraph.
+	H *hypergraph.Hypergraph
+	// OrigOf maps each new module to its original module.
+	OrigOf []int
+	// SubsOf maps each original module to its new submodule indices.
+	SubsOf [][]int
+	// LinkNets lists the added chain-net indices in H.
+	LinkNets []int
+}
+
+// Granularize splits every module of h heavier than grain. The link
+// nets receive weight linkWeight (values < 1 default to 1). Nets and
+// module weights are otherwise preserved; names are dropped (the
+// granularized netlist is an internal artifact).
+func Granularize(h *hypergraph.Hypergraph, grain int64, linkWeight int64) (*Result, error) {
+	if grain < 1 {
+		return nil, fmt.Errorf("granular: grain must be >= 1, got %d", grain)
+	}
+	if linkWeight < 1 {
+		linkWeight = 1
+	}
+	res := &Result{SubsOf: make([][]int, h.NumVertices())}
+	var weights []int64
+	for v := 0; v < h.NumVertices(); v++ {
+		w := h.VertexWeight(v)
+		k := int64(1)
+		if w > grain {
+			k = (w + grain - 1) / grain
+		}
+		subs := make([]int, 0, k)
+		for i := int64(0); i < k; i++ {
+			// Spread the weight as evenly as integer division allows.
+			sw := w / k
+			if i < w%k {
+				sw++
+			}
+			subs = append(subs, len(res.OrigOf))
+			res.OrigOf = append(res.OrigOf, v)
+			weights = append(weights, sw)
+		}
+		res.SubsOf[v] = subs
+	}
+
+	b := hypergraph.NewBuilder(len(res.OrigOf))
+	for nv, w := range weights {
+		b.SetVertexWeight(nv, w)
+	}
+	// Original nets: each pin lands on one submodule of its module,
+	// round-robin per module so multi-net modules spread their I/O.
+	cursor := make([]int, h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		pins := h.EdgePins(e)
+		newPins := make([]int, len(pins))
+		for i, v := range pins {
+			subs := res.SubsOf[v]
+			newPins[i] = subs[cursor[v]%len(subs)]
+			cursor[v]++
+		}
+		ne := b.AddEdge(newPins...)
+		b.SetEdgeWeight(ne, h.EdgeWeight(e))
+	}
+	// Link chains.
+	for v := 0; v < h.NumVertices(); v++ {
+		subs := res.SubsOf[v]
+		for i := 0; i+1 < len(subs); i++ {
+			le := b.AddEdge(subs[i], subs[i+1])
+			b.SetEdgeWeight(le, linkWeight)
+			res.LinkNets = append(res.LinkNets, le)
+		}
+	}
+	gh, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("granular: %w", err)
+	}
+	res.H = gh
+	return res, nil
+}
+
+// Project maps a complete partition of the granularized hypergraph back
+// to the original: each original module takes the side holding the
+// majority of its submodule weight (ties go Left). The returned
+// partition covers the original module set.
+func (r *Result) Project(p *partition.Bipartition) (*partition.Bipartition, error) {
+	if p.Len() != r.H.NumVertices() {
+		return nil, fmt.Errorf("granular: partition covers %d modules, granularized hypergraph has %d", p.Len(), r.H.NumVertices())
+	}
+	if !p.IsComplete() {
+		return nil, fmt.Errorf("granular: partition incomplete")
+	}
+	orig := partition.New(len(r.SubsOf))
+	for v, subs := range r.SubsOf {
+		var lw, rw int64
+		for _, s := range subs {
+			if p.Side(s) == partition.Left {
+				lw += r.H.VertexWeight(s)
+			} else {
+				rw += r.H.VertexWeight(s)
+			}
+		}
+		if lw >= rw {
+			orig.Assign(v, partition.Left)
+		} else {
+			orig.Assign(v, partition.Right)
+		}
+	}
+	return orig, nil
+}
+
+// SplitModules counts original modules whose submodules ended up on
+// both sides of p — the "torn" modules a high link weight suppresses.
+func (r *Result) SplitModules(p *partition.Bipartition) int {
+	torn := 0
+	for _, subs := range r.SubsOf {
+		if len(subs) < 2 {
+			continue
+		}
+		s0 := p.Side(subs[0])
+		for _, s := range subs[1:] {
+			if p.Side(s) != s0 {
+				torn++
+				break
+			}
+		}
+	}
+	return torn
+}

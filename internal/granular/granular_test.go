@@ -1,0 +1,171 @@
+package granular
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/core"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func weighted(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 3)
+	b.SetVertexWeight(0, 10) // splits into ceil(10/3)=4 grains
+	b.SetVertexWeight(1, 3)
+	b.SetVertexWeight(2, 1)
+	b.SetVertexWeight(3, 7) // splits into 3 grains
+	return b.MustBuild()
+}
+
+func TestGranularizeStructure(t *testing.T) {
+	h := weighted(t)
+	res, err := Granularize(h, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.SubsOf[0]); got != 4 {
+		t.Errorf("module 0 split into %d, want 4", got)
+	}
+	if got := len(res.SubsOf[1]); got != 1 {
+		t.Errorf("module 1 split into %d, want 1", got)
+	}
+	if got := len(res.SubsOf[3]); got != 3 {
+		t.Errorf("module 3 split into %d, want 3", got)
+	}
+	// Total weight preserved.
+	if res.H.TotalVertexWeight() != h.TotalVertexWeight() {
+		t.Errorf("total weight %d → %d", h.TotalVertexWeight(), res.H.TotalVertexWeight())
+	}
+	// Link nets: (4-1) + (3-1) = 5 chains.
+	if len(res.LinkNets) != 5 {
+		t.Errorf("link nets = %d, want 5", len(res.LinkNets))
+	}
+	for _, e := range res.LinkNets {
+		if res.H.EdgeWeight(e) != 5 {
+			t.Errorf("link net %d weight %d, want 5", e, res.H.EdgeWeight(e))
+		}
+		if res.H.EdgeSize(e) != 2 {
+			t.Errorf("link net %d size %d, want 2", e, res.H.EdgeSize(e))
+		}
+	}
+	// Original nets preserved in count.
+	if res.H.NumEdges() != h.NumEdges()+len(res.LinkNets) {
+		t.Errorf("edges = %d", res.H.NumEdges())
+	}
+	// OrigOf and SubsOf are inverse.
+	for v, subs := range res.SubsOf {
+		for _, s := range subs {
+			if res.OrigOf[s] != v {
+				t.Errorf("OrigOf[%d] = %d, want %d", s, res.OrigOf[s], v)
+			}
+		}
+	}
+	// Max grain weight respected.
+	for nv := 0; nv < res.H.NumVertices(); nv++ {
+		if res.H.VertexWeight(nv) > 3 {
+			t.Errorf("grain %d weight %d > 3", nv, res.H.VertexWeight(nv))
+		}
+	}
+}
+
+func TestGranularizeNoHeavyModules(t *testing.T) {
+	h, err := hypergraph.FromEdges(3, [][]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Granularize(h, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H.NumVertices() != 3 || len(res.LinkNets) != 0 {
+		t.Error("unit-weight netlist should be unchanged")
+	}
+}
+
+func TestGranularizeErrors(t *testing.T) {
+	h, err := hypergraph.FromEdges(2, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Granularize(h, 0, 1); err == nil {
+		t.Error("accepted grain 0")
+	}
+}
+
+func TestProjectMajority(t *testing.T) {
+	h := weighted(t)
+	res, err := Granularize(h, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(res.H.NumVertices())
+	for nv := 0; nv < res.H.NumVertices(); nv++ {
+		p.Assign(nv, partition.Right)
+	}
+	// Flip one submodule of module 0 Left: majority stays Right.
+	p.Assign(res.SubsOf[0][0], partition.Left)
+	orig, err := res.Project(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Side(0) != partition.Right {
+		t.Error("majority projection failed")
+	}
+	if res.SplitModules(p) != 1 {
+		t.Errorf("SplitModules = %d, want 1", res.SplitModules(p))
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	h := weighted(t)
+	res, err := Granularize(h, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Project(partition.New(2)); err == nil {
+		t.Error("accepted wrong-size partition")
+	}
+	if _, err := res.Project(partition.New(res.H.NumVertices())); err == nil {
+		t.Error("accepted incomplete partition")
+	}
+}
+
+func TestGranularizedPartitionImprovesBalance(t *testing.T) {
+	// A netlist with one giant module: direct partitioning cannot
+	// balance; granularized partitioning can, and link nets keep the
+	// giant intact or torn only rarely.
+	rng := rand.New(rand.NewSource(3))
+	b := hypergraph.NewBuilder(20)
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(10+i, 10+i+1)
+	}
+	b.AddEdge(0, 10)
+	for v := 0; v < 20; v++ {
+		b.SetVertexWeight(v, int64(1+rng.Intn(3)))
+	}
+	b.SetVertexWeight(5, 60) // the giant
+	h := b.MustBuild()
+
+	res, err := Granularize(h, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.Bipartition(res.H, core.Options{Starts: 10, Seed: 1, Completion: core.CompletionWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := res.Project(out.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Validate(h); err != nil {
+		t.Fatalf("projected partition invalid: %v", err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package hypergraph provides the core hypergraph data structure used
+// throughout the library.
+//
+// In the VLSI/PCB CAD setting of Kahng's "Fast Hypergraph Partition"
+// (DAC 1989), a circuit netlist defines a hypergraph H: vertices are
+// modules (cells, chips) and hyperedges are signal nets, each net being
+// the subset of modules it connects. The Hypergraph type stores pins in
+// compressed sparse row (CSR) form in both directions — edge→pins and
+// vertex→incident edges — so that all traversals used by the
+// partitioning algorithms are cache-friendly and allocation-free.
+//
+// A Hypergraph is immutable after construction; build one with a
+// Builder. Vertices and edges are identified by dense indices
+// 0..NumVertices-1 and 0..NumEdges-1. Optional names may be attached
+// for I/O and worked examples.
+package hypergraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Hypergraph is an immutable weighted hypergraph.
+//
+// The zero value is an empty hypergraph with no vertices and no edges;
+// use a Builder to construct anything useful.
+type Hypergraph struct {
+	numVertices int
+
+	// Edge → pins, CSR. pins[edgeStart[e]:edgeStart[e+1]] are the
+	// vertices of edge e, sorted ascending.
+	edgeStart []int
+	pins      []int
+
+	// Vertex → incident edges, CSR. incident[vertStart[v]:vertStart[v+1]]
+	// are the edges containing vertex v, sorted ascending.
+	vertStart []int
+	incident  []int
+
+	vertexWeight []int64
+	edgeWeight   []int64
+
+	totalVertexWeight int64
+
+	// Optional names; nil when not set.
+	vertexNames []string
+	edgeNames   []string
+}
+
+// NumVertices returns the number of vertices (modules).
+func (h *Hypergraph) NumVertices() int { return h.numVertices }
+
+// NumEdges returns the number of hyperedges (nets).
+func (h *Hypergraph) NumEdges() int {
+	if h.edgeStart == nil {
+		return 0
+	}
+	return len(h.edgeStart) - 1
+}
+
+// NumPins returns the total number of pins, i.e. the sum of edge sizes.
+func (h *Hypergraph) NumPins() int { return len(h.pins) }
+
+// EdgePins returns the vertices of edge e, sorted ascending.
+// The returned slice aliases internal storage and must not be modified.
+func (h *Hypergraph) EdgePins(e int) []int {
+	return h.pins[h.edgeStart[e]:h.edgeStart[e+1]]
+}
+
+// EdgeSize returns the number of pins of edge e.
+func (h *Hypergraph) EdgeSize(e int) int {
+	return h.edgeStart[e+1] - h.edgeStart[e]
+}
+
+// VertexEdges returns the edges incident to vertex v, sorted ascending.
+// The returned slice aliases internal storage and must not be modified.
+func (h *Hypergraph) VertexEdges(v int) []int {
+	return h.incident[h.vertStart[v]:h.vertStart[v+1]]
+}
+
+// VertexDegree returns the number of edges incident to vertex v.
+func (h *Hypergraph) VertexDegree(v int) int {
+	return h.vertStart[v+1] - h.vertStart[v]
+}
+
+// VertexWeight returns the weight of vertex v. Weights default to 1.
+func (h *Hypergraph) VertexWeight(v int) int64 { return h.vertexWeight[v] }
+
+// EdgeWeight returns the weight of edge e. Weights default to 1.
+func (h *Hypergraph) EdgeWeight(e int) int64 { return h.edgeWeight[e] }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (h *Hypergraph) TotalVertexWeight() int64 { return h.totalVertexWeight }
+
+// VertexName returns the name of vertex v, or a synthesized "v<i>" name
+// when no names were attached.
+func (h *Hypergraph) VertexName(v int) string {
+	if h.vertexNames != nil && h.vertexNames[v] != "" {
+		return h.vertexNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// EdgeName returns the name of edge e, or a synthesized "e<i>" name
+// when no names were attached.
+func (h *Hypergraph) EdgeName(e int) string {
+	if h.edgeNames != nil && h.edgeNames[e] != "" {
+		return h.edgeNames[e]
+	}
+	return fmt.Sprintf("e%d", e)
+}
+
+// HasNames reports whether explicit vertex or edge names were attached.
+func (h *Hypergraph) HasNames() bool {
+	return h.vertexNames != nil || h.edgeNames != nil
+}
+
+// MaxEdgeSize returns the largest edge size, or 0 for an edgeless
+// hypergraph.
+func (h *Hypergraph) MaxEdgeSize() int {
+	m := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if s := h.EdgeSize(e); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// MaxVertexDegree returns the largest vertex degree, or 0 when there
+// are no vertices.
+func (h *Hypergraph) MaxVertexDegree() int {
+	m := 0
+	for v := 0; v < h.numVertices; v++ {
+		if d := h.VertexDegree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AverageEdgeSize returns the mean edge size, or 0 for an edgeless
+// hypergraph.
+func (h *Hypergraph) AverageEdgeSize() float64 {
+	if h.NumEdges() == 0 {
+		return 0
+	}
+	return float64(h.NumPins()) / float64(h.NumEdges())
+}
+
+// IsGraph reports whether every edge has exactly two pins, i.e. the
+// hypergraph is an ordinary graph.
+func (h *Hypergraph) IsGraph() bool {
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.EdgeSize(e) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeContains reports whether edge e contains vertex v, by binary
+// search over the sorted pin list.
+func (h *Hypergraph) EdgeContains(e, v int) bool {
+	p := h.EdgePins(e)
+	i := sort.SearchInts(p, v)
+	return i < len(p) && p[i] == v
+}
+
+// Components returns the connected components of the hypergraph as a
+// vertex labeling comp (comp[v] in 0..k-1) and the component count k.
+// Two vertices are connected when some chain of edges joins them.
+// Isolated vertices each form their own component.
+func (h *Hypergraph) Components() (comp []int, k int) {
+	parent := make([]int, h.numVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		p := h.EdgePins(e)
+		for i := 1; i < len(p); i++ {
+			union(p[0], p[i])
+		}
+	}
+	comp = make([]int, h.numVertices)
+	label := make(map[int]int)
+	for v := 0; v < h.numVertices; v++ {
+		r := find(v)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		comp[v] = id
+	}
+	return comp, len(label)
+}
+
+// FilterEdges returns a new hypergraph containing only the edges for
+// which keep returns true, over the same vertex set, together with a
+// mapping from new edge indices to original edge indices. Vertex and
+// edge weights and names are preserved.
+func (h *Hypergraph) FilterEdges(keep func(e int) bool) (*Hypergraph, []int) {
+	b := NewBuilder(h.numVertices)
+	origOf := make([]int, 0, h.NumEdges())
+	for v := 0; v < h.numVertices; v++ {
+		b.SetVertexWeight(v, h.vertexWeight[v])
+		if h.vertexNames != nil {
+			b.SetVertexName(v, h.vertexNames[v])
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if !keep(e) {
+			continue
+		}
+		ne := b.AddEdge(h.EdgePins(e)...)
+		b.SetEdgeWeight(ne, h.edgeWeight[e])
+		if h.edgeNames != nil {
+			b.SetEdgeName(ne, h.edgeNames[e])
+		}
+		origOf = append(origOf, e)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		// keep cannot introduce invalid structure; Build on a subset of a
+		// valid hypergraph never fails.
+		panic("hypergraph: FilterEdges produced invalid hypergraph: " + err.Error())
+	}
+	return sub, origOf
+}
+
+// Builder incrementally assembles a Hypergraph.
+//
+// Duplicate pins within an edge are merged. Edges may be added in any
+// order; Build finalizes into CSR form.
+type Builder struct {
+	numVertices  int
+	edges        [][]int
+	vertexWeight []int64
+	edgeWeight   []int64
+	vertexNames  []string
+	edgeNames    []string
+	hasVNames    bool
+	hasENames    bool
+}
+
+// NewBuilder returns a Builder for a hypergraph with n vertices.
+func NewBuilder(n int) *Builder {
+	b := &Builder{numVertices: n}
+	b.vertexWeight = make([]int64, n)
+	for i := range b.vertexWeight {
+		b.vertexWeight[i] = 1
+	}
+	b.vertexNames = make([]string, n)
+	return b
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.numVertices }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge adds a hyperedge with the given pins and returns its index.
+// Pins are copied; duplicates are merged at Build time. Out-of-range
+// pins are reported by Build.
+func (b *Builder) AddEdge(pins ...int) int {
+	cp := make([]int, len(pins))
+	copy(cp, pins)
+	b.edges = append(b.edges, cp)
+	b.edgeWeight = append(b.edgeWeight, 1)
+	b.edgeNames = append(b.edgeNames, "")
+	return len(b.edges) - 1
+}
+
+// SetVertexWeight sets the weight of vertex v (default 1).
+func (b *Builder) SetVertexWeight(v int, w int64) { b.vertexWeight[v] = w }
+
+// SetEdgeWeight sets the weight of edge e (default 1).
+func (b *Builder) SetEdgeWeight(e int, w int64) { b.edgeWeight[e] = w }
+
+// SetVertexName attaches a name to vertex v.
+func (b *Builder) SetVertexName(v int, name string) {
+	b.vertexNames[v] = name
+	if name != "" {
+		b.hasVNames = true
+	}
+}
+
+// SetEdgeName attaches a name to edge e.
+func (b *Builder) SetEdgeName(e int, name string) {
+	b.edgeNames[e] = name
+	if name != "" {
+		b.hasENames = true
+	}
+}
+
+// errBuild is the sentinel prefix for all Build errors.
+var errBuild = errors.New("hypergraph: build")
+
+// Build validates and finalizes the hypergraph.
+//
+// It returns an error if any pin index is out of range, any edge is
+// empty after duplicate merging, or any weight is negative. Weights of
+// zero are permitted (a zero-weight vertex is free to place).
+func (b *Builder) Build() (*Hypergraph, error) {
+	h := &Hypergraph{numVertices: b.numVertices}
+	numEdges := len(b.edges)
+
+	h.edgeStart = make([]int, numEdges+1)
+	totalPins := 0
+	normalized := make([][]int, numEdges)
+	for e, pins := range b.edges {
+		if len(pins) == 0 {
+			return nil, fmt.Errorf("%w: edge %d has no pins", errBuild, e)
+		}
+		cp := make([]int, len(pins))
+		copy(cp, pins)
+		sort.Ints(cp)
+		// Merge duplicates in place.
+		out := cp[:1]
+		for _, p := range cp[1:] {
+			if p != out[len(out)-1] {
+				out = append(out, p)
+			}
+		}
+		for _, p := range out {
+			if p < 0 || p >= b.numVertices {
+				return nil, fmt.Errorf("%w: edge %d pin %d out of range [0,%d)", errBuild, e, p, b.numVertices)
+			}
+		}
+		normalized[e] = out
+		totalPins += len(out)
+	}
+	h.pins = make([]int, 0, totalPins)
+	for e, pins := range normalized {
+		h.edgeStart[e] = len(h.pins)
+		h.pins = append(h.pins, pins...)
+	}
+	h.edgeStart[numEdges] = len(h.pins)
+
+	// Vertex → incident edges CSR by counting sort.
+	deg := make([]int, b.numVertices+1)
+	for _, p := range h.pins {
+		deg[p+1]++
+	}
+	h.vertStart = make([]int, b.numVertices+1)
+	for v := 0; v < b.numVertices; v++ {
+		h.vertStart[v+1] = h.vertStart[v] + deg[v+1]
+	}
+	h.incident = make([]int, totalPins)
+	cursor := make([]int, b.numVertices)
+	copy(cursor, h.vertStart[:b.numVertices])
+	for e := 0; e < numEdges; e++ {
+		for _, p := range h.pins[h.edgeStart[e]:h.edgeStart[e+1]] {
+			h.incident[cursor[p]] = e
+			cursor[p]++
+		}
+	}
+
+	h.vertexWeight = make([]int64, b.numVertices)
+	copy(h.vertexWeight, b.vertexWeight)
+	for v, w := range h.vertexWeight {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: vertex %d has negative weight %d", errBuild, v, w)
+		}
+		h.totalVertexWeight += w
+	}
+	h.edgeWeight = make([]int64, numEdges)
+	copy(h.edgeWeight, b.edgeWeight)
+	for e, w := range h.edgeWeight {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: edge %d has negative weight %d", errBuild, e, w)
+		}
+	}
+	if b.hasVNames {
+		h.vertexNames = make([]string, b.numVertices)
+		copy(h.vertexNames, b.vertexNames)
+	}
+	if b.hasENames {
+		h.edgeNames = make([]string, numEdges)
+		copy(h.edgeNames, b.edgeNames)
+	}
+	return h, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// hand-constructed examples.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromEdges is a convenience constructor building an unweighted
+// hypergraph with n vertices from a pin list per edge.
+func FromEdges(n int, edges [][]int) (*Hypergraph, error) {
+	b := NewBuilder(n)
+	for _, pins := range edges {
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+// String returns a compact human-readable summary.
+func (h *Hypergraph) String() string {
+	return fmt.Sprintf("Hypergraph{vertices: %d, edges: %d, pins: %d}",
+		h.NumVertices(), h.NumEdges(), h.NumPins())
+}

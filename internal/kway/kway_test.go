@@ -1,0 +1,155 @@
+package kway
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+)
+
+func profileHG(t *testing.T, n, m int) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: n, Signals: m, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestErrors(t *testing.T) {
+	h := profileHG(t, 40, 80)
+	if _, err := Partition(h, Options{K: 1}); err == nil {
+		t.Error("accepted K=1")
+	}
+	if _, err := Partition(h, Options{K: 41}); err == nil {
+		t.Error("accepted K > n")
+	}
+}
+
+func TestPartitionBasics(t *testing.T) {
+	h := profileHG(t, 200, 420)
+	for _, k := range []int{2, 3, 4, 7, 8} {
+		res, err := Partition(h, Options{K: k, Seed: int64(k)})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if res.K != k || len(res.Part) != h.NumVertices() {
+			t.Fatalf("K=%d: malformed result", k)
+		}
+		counts := make([]int, k)
+		for v, p := range res.Part {
+			if p < 0 || p >= k {
+				t.Fatalf("K=%d: vertex %d part %d out of range", k, v, p)
+			}
+			counts[p]++
+		}
+		for p, c := range counts {
+			if c == 0 {
+				t.Errorf("K=%d: part %d empty", k, p)
+			}
+		}
+		// PartWeights consistent.
+		var sum int64
+		for _, w := range res.PartWeights {
+			sum += w
+		}
+		if sum != h.TotalVertexWeight() {
+			t.Errorf("K=%d: part weights sum %d != total %d", k, sum, h.TotalVertexWeight())
+		}
+		// Connectivity dominates cut nets and is bounded by (k-1)·cut.
+		if res.Connectivity < int64(res.CutNets) {
+			t.Errorf("K=%d: connectivity %d < cut nets %d", k, res.Connectivity, res.CutNets)
+		}
+		if res.Connectivity > int64(k-1)*int64(res.CutNets) {
+			t.Errorf("K=%d: connectivity %d > (k-1)*cutnets", k, res.Connectivity)
+		}
+	}
+}
+
+func TestMetricsKnown(t *testing.T) {
+	h, err := hypergraph.FromEdges(6, [][]int{
+		{0, 1},       // inside part 0
+		{0, 2},       // parts 0,1 → λ=2
+		{0, 2, 4},    // parts 0,1,2 → λ=3
+		{4, 5},       // inside part 2
+		{1, 3, 5, 2}, // parts 0,1,2 → λ=3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := []int{0, 0, 1, 1, 2, 2}
+	cut, conn := Metrics(h, part, 3)
+	if cut != 3 {
+		t.Errorf("cut nets = %d, want 3", cut)
+	}
+	if conn != 1+2+2 {
+		t.Errorf("connectivity = %d, want 5", conn)
+	}
+}
+
+func TestK2MatchesBipartitionMetrics(t *testing.T) {
+	h := profileHG(t, 120, 250)
+	res, err := Partition(h, Options{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For K=2 connectivity == cut nets.
+	if res.Connectivity != int64(res.CutNets) {
+		t.Errorf("K=2: connectivity %d != cut nets %d", res.Connectivity, res.CutNets)
+	}
+}
+
+func TestBalanceAcrossParts(t *testing.T) {
+	h := profileHG(t, 240, 500)
+	res, err := Partition(h, Options{K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := h.TotalVertexWeight() / 4
+	for p, w := range res.PartWeights {
+		if w < ideal/3 || w > 3*ideal {
+			t.Errorf("part %d weight %d far from ideal %d", p, w, ideal)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	h := profileHG(t, 100, 200)
+	a, err := Partition(h, Options{K: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, Options{K: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Part {
+		if a.Part[v] != b.Part[v] {
+			t.Fatal("same seed gave different partitions")
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	h, err := hypergraph.FromEdges(5, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(h, Options{K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Part {
+		if seen[p] {
+			t.Fatal("K=n must give singleton parts")
+		}
+		seen[p] = true
+	}
+	// Every net crosses when each vertex is its own part.
+	if res.CutNets != h.NumEdges() {
+		t.Errorf("cut nets = %d, want all %d", res.CutNets, h.NumEdges())
+	}
+}

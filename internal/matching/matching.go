@@ -1,0 +1,196 @@
+// Package matching implements maximum bipartite matching
+// (Hopcroft–Karp) and the König construction of a minimum vertex
+// cover.
+//
+// The connection to the paper: completing Algorithm I's partial
+// bipartition means choosing, for each node of the bipartite boundary
+// graph G′, whether it is a "winner" (stays uncut) or a "loser"
+// (crosses the cut). Winners must form an independent set of G′, so
+// losers form a vertex cover, and the optimum completion has exactly
+// min-vertex-cover(G′) losers. By König's theorem that equals the size
+// of a maximum matching. This package supplies the exact optimum
+// against which the paper's greedy Complete-Cut rule (provably within
+// one per connected component) is verified, and powers the library's
+// CompletionExact mode.
+package matching
+
+import "fasthgp/internal/graph"
+
+// Unmatched marks a vertex with no matching partner.
+const Unmatched = -1
+
+// BipartiteMatching holds a maximum matching of a bipartite graph and
+// the two-coloring it was computed under.
+type BipartiteMatching struct {
+	// Mate[v] is v's partner, or Unmatched.
+	Mate []int
+	// Size is the number of matched pairs.
+	Size int
+	// Color is the bipartition coloring used (0/1 per vertex).
+	Color []int
+}
+
+// MaxMatching computes a maximum matching of the bipartite graph g
+// using Hopcroft–Karp in O(E·√V). The graph must be bipartite; ok is
+// false otherwise.
+func MaxMatching(g *graph.Graph) (m *BipartiteMatching, ok bool) {
+	color, ok := g.IsBipartite()
+	if !ok {
+		return nil, false
+	}
+	n := g.NumVertices()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = Unmatched
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	// BFS phase: layer the left (color 0) free vertices.
+	bfs := func() bool {
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			if color[v] == 0 && mate[v] == Unmatched {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = inf
+			}
+		}
+		foundAugmenting := false
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(v) {
+				w := mate[u]
+				if w == Unmatched {
+					foundAugmenting = true
+				} else if dist[w] == inf {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return foundAugmenting
+	}
+
+	// DFS phase: find vertex-disjoint shortest augmenting paths.
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		for _, u := range g.Neighbors(v) {
+			w := mate[u]
+			if w == Unmatched || (dist[w] == dist[v]+1 && dfs(w)) {
+				mate[v] = u
+				mate[u] = v
+				return true
+			}
+		}
+		dist[v] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for v := 0; v < n; v++ {
+			if color[v] == 0 && mate[v] == Unmatched && dfs(v) {
+				size++
+			}
+		}
+	}
+	return &BipartiteMatching{Mate: mate, Size: size, Color: color}, true
+}
+
+// MinVertexCover returns a minimum vertex cover of the bipartite graph
+// g via König's theorem, as a boolean membership slice and the cover
+// size (equal to the maximum matching size). ok is false when g is not
+// bipartite.
+//
+// Construction: let Z be the set of vertices reachable from unmatched
+// left vertices by alternating paths (unmatched edges left→right,
+// matched edges right→left). The cover is (Left \ Z) ∪ (Right ∩ Z).
+func MinVertexCover(g *graph.Graph) (cover []bool, size int, ok bool) {
+	m, ok := MaxMatching(g)
+	if !ok {
+		return nil, 0, false
+	}
+	n := g.NumVertices()
+	inZ := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if m.Color[v] == 0 && m.Mate[v] == Unmatched {
+			inZ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if m.Color[v] == 0 {
+			// Traverse non-matching edges to the right side.
+			for _, u := range g.Neighbors(v) {
+				if m.Mate[v] != u && !inZ[u] {
+					inZ[u] = true
+					queue = append(queue, u)
+				}
+			}
+		} else if w := m.Mate[v]; w != Unmatched && !inZ[w] {
+			// Traverse the matching edge back to the left side.
+			inZ[w] = true
+			queue = append(queue, w)
+		}
+	}
+	cover = make([]bool, n)
+	for v := 0; v < n; v++ {
+		if (m.Color[v] == 0 && !inZ[v]) || (m.Color[v] == 1 && inZ[v]) {
+			cover[v] = true
+			size++
+		}
+	}
+	return cover, size, true
+}
+
+// MaxIndependentSet returns a maximum independent set of the bipartite
+// graph g (the complement of a minimum vertex cover) and its size.
+// ok is false when g is not bipartite.
+func MaxIndependentSet(g *graph.Graph) (indep []bool, size int, ok bool) {
+	cover, coverSize, ok := MinVertexCover(g)
+	if !ok {
+		return nil, 0, false
+	}
+	indep = make([]bool, len(cover))
+	for v, c := range cover {
+		indep[v] = !c
+	}
+	return indep, g.NumVertices() - coverSize, true
+}
+
+// IsVertexCover verifies that cover hits every edge of g. Exposed for
+// tests and for validating completion results.
+func IsVertexCover(g *graph.Graph, cover []bool) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		if cover[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if u > v && !cover[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMatching verifies that mate encodes a valid matching of g:
+// symmetric, partners adjacent, no vertex matched twice.
+func IsMatching(g *graph.Graph, mate []int) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		u := mate[v]
+		if u == Unmatched {
+			continue
+		}
+		if u < 0 || u >= g.NumVertices() || mate[u] != v || !g.HasEdge(v, u) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fasthgp/internal/graph"
+)
+
+// completeBipartite builds K_{a,b}: left vertices 0..a-1, right a..a+b-1.
+func completeBipartite(a, b int) *graph.Graph {
+	bld := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bld.AddEdge(i, a+j)
+		}
+	}
+	return bld.MustBuild()
+}
+
+func evenPath(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func TestMaxMatchingCompleteBipartite(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{1, 1, 1}, {2, 3, 2}, {4, 4, 4}, {5, 2, 2},
+	}
+	for _, c := range cases {
+		g := completeBipartite(c.a, c.b)
+		m, ok := MaxMatching(g)
+		if !ok {
+			t.Fatalf("K_{%d,%d} reported non-bipartite", c.a, c.b)
+		}
+		if m.Size != c.want {
+			t.Errorf("K_{%d,%d} matching = %d, want %d", c.a, c.b, m.Size, c.want)
+		}
+		if !IsMatching(g, m.Mate) {
+			t.Errorf("K_{%d,%d}: invalid matching", c.a, c.b)
+		}
+	}
+}
+
+func TestMaxMatchingPath(t *testing.T) {
+	// A path on n vertices has a maximum matching of floor(n/2).
+	for n := 1; n <= 9; n++ {
+		g := evenPath(n)
+		m, ok := MaxMatching(g)
+		if !ok {
+			t.Fatalf("path non-bipartite")
+		}
+		if m.Size != n/2 {
+			t.Errorf("path(%d) matching = %d, want %d", n, m.Size, n/2)
+		}
+	}
+}
+
+func TestMaxMatchingOddCycleRejected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+	}
+	if _, ok := MaxMatching(b.MustBuild()); ok {
+		t.Error("odd cycle accepted as bipartite")
+	}
+	if _, _, ok := MinVertexCover(b.MustBuild()); ok {
+		t.Error("MinVertexCover accepted odd cycle")
+	}
+	if _, _, ok := MaxIndependentSet(b.MustBuild()); ok {
+		t.Error("MaxIndependentSet accepted odd cycle")
+	}
+}
+
+func TestMinVertexCoverStar(t *testing.T) {
+	// Star K_{1,4}: cover = {center}, size 1.
+	g := completeBipartite(1, 4)
+	cover, size, ok := MinVertexCover(g)
+	if !ok || size != 1 {
+		t.Fatalf("star cover size = %d, ok=%v, want 1", size, ok)
+	}
+	if !cover[0] {
+		t.Error("star cover should be the center")
+	}
+	if !IsVertexCover(g, cover) {
+		t.Error("cover does not cover")
+	}
+}
+
+func TestMinVertexCoverEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).MustBuild()
+	cover, size, ok := MinVertexCover(g)
+	if !ok || size != 0 {
+		t.Errorf("edgeless cover size = %d", size)
+	}
+	for _, c := range cover {
+		if c {
+			t.Error("edgeless graph needs no cover vertices")
+		}
+	}
+}
+
+func TestMaxIndependentSet(t *testing.T) {
+	g := completeBipartite(3, 5)
+	indep, size, ok := MaxIndependentSet(g)
+	if !ok || size != 5 {
+		t.Fatalf("K_{3,5} independent set = %d, want 5", size)
+	}
+	// The larger side must be the independent set.
+	for v := 3; v < 8; v++ {
+		if !indep[v] {
+			t.Errorf("right vertex %d missing from independent set", v)
+		}
+	}
+}
+
+func TestIsMatchingRejectsBad(t *testing.T) {
+	g := evenPath(4)
+	if IsMatching(g, []int{1, 0, 0, Unmatched}) {
+		t.Error("asymmetric matching accepted")
+	}
+	if IsMatching(g, []int{2, Unmatched, 0, Unmatched}) {
+		t.Error("non-adjacent pair accepted")
+	}
+	if !IsMatching(g, []int{1, 0, 3, 2}) {
+		t.Error("perfect path matching rejected")
+	}
+}
+
+// randomBipartite generates a random bipartite graph with parts of size
+// a and b and edge probability p.
+func randomBipartite(rng *rand.Rand, a, b int, p float64) *graph.Graph {
+	bld := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if rng.Float64() < p {
+				bld.AddEdge(i, a+j)
+			}
+		}
+	}
+	return bld.MustBuild()
+}
+
+// bruteMinCover finds the minimum vertex cover by subset enumeration;
+// only usable for tiny graphs.
+func bruteMinCover(g *graph.Graph) int {
+	n := g.NumVertices()
+	best := n
+	for mask := 0; mask < 1<<n; mask++ {
+		cover := make([]bool, n)
+		cnt := 0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				cover[v] = true
+				cnt++
+			}
+		}
+		if cnt < best && IsVertexCover(g, cover) {
+			best = cnt
+		}
+	}
+	return best
+}
+
+// TestPropertyKonig: matching size == min vertex cover size == brute
+// force optimum, and the cover covers.
+func TestPropertyKonig(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(5)
+		b := 1 + rng.Intn(5)
+		g := randomBipartite(rng, a, b, 0.4)
+		m, ok := MaxMatching(g)
+		if !ok || !IsMatching(g, m.Mate) {
+			return false
+		}
+		cover, size, ok := MinVertexCover(g)
+		if !ok || size != m.Size || !IsVertexCover(g, cover) {
+			return false
+		}
+		return size == bruteMinCover(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIndependentSetComplement: independent set size + cover
+// size == n and the set is independent.
+func TestPropertyIndependentSetComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(6)
+		b := 1 + rng.Intn(6)
+		g := randomBipartite(rng, a, b, 0.35)
+		indep, size, ok := MaxIndependentSet(g)
+		if !ok {
+			return false
+		}
+		_, coverSize, _ := MinVertexCover(g)
+		if size+coverSize != g.NumVertices() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if !indep[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if indep[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHopcroftKarpLargerRandom exercises the layered phases on a graph
+// big enough to require several BFS/DFS rounds.
+func TestHopcroftKarpLargerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomBipartite(rng, 60, 60, 0.05)
+	m, ok := MaxMatching(g)
+	if !ok {
+		t.Fatal("non-bipartite")
+	}
+	if !IsMatching(g, m.Mate) {
+		t.Fatal("invalid matching")
+	}
+	cover, size, _ := MinVertexCover(g)
+	if size != m.Size {
+		t.Errorf("König violated: cover %d vs matching %d", size, m.Size)
+	}
+	if !IsVertexCover(g, cover) {
+		t.Error("cover does not cover")
+	}
+}

@@ -1,0 +1,144 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on integer-
+// capacity directed networks, with minimum s–t cut extraction. It is
+// the engine behind the flow-based hypergraph bipartitioner
+// (internal/flowpart), which reproduces the "network flow" family of
+// methods the paper's introduction cites — accurate but O(n³)-ish and
+// therefore "impractical for large problem instances".
+package maxflow
+
+import "fmt"
+
+// Inf is the capacity used for uncuttable arcs.
+const Inf int64 = 1 << 60
+
+// Network is a directed flow network under construction and solving.
+// Nodes are 0..n-1; arcs are added with AddArc (a reverse arc of
+// capacity 0 is created automatically).
+type Network struct {
+	head  []int // per node: first arc index, -1 end
+	next  []int // per arc
+	to    []int
+	cap   []int64
+	level []int
+	iter  []int
+}
+
+// New returns a network with n nodes and no arcs.
+func New(n int) *Network {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &Network{head: h}
+}
+
+// NumNodes returns the node count.
+func (g *Network) NumNodes() int { return len(g.head) }
+
+// AddArc adds a directed arc u→v with the given capacity and returns
+// its arc id (the paired reverse arc is id^1).
+func (g *Network) AddArc(u, v int, capacity int64) int {
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %d", capacity))
+	}
+	id := len(g.to)
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.next = append(g.next, g.head[u], g.head[v])
+	g.head[u] = id
+	g.head[v] = id + 1
+	return id
+}
+
+// bfs builds the level graph; returns false when t is unreachable.
+func (g *Network) bfs(s, t int) bool {
+	n := g.NumNodes()
+	if g.level == nil {
+		g.level = make([]int, n)
+	}
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, n)
+	g.level[s] = 0
+	queue = append(queue, s)
+	for h := 0; h < len(queue); h++ {
+		u := queue[h]
+		for a := g.head[u]; a != -1; a = g.next[a] {
+			v := g.to[a]
+			if g.cap[a] > 0 && g.level[v] == -1 {
+				g.level[v] = g.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return g.level[t] != -1
+}
+
+// dfs sends blocking flow along the level graph.
+func (g *Network) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] != -1; g.iter[u] = g.next[g.iter[u]] {
+		a := g.iter[u]
+		v := g.to[a]
+		if g.cap[a] <= 0 || g.level[v] != g.level[u]+1 {
+			continue
+		}
+		d := f
+		if g.cap[a] < d {
+			d = g.cap[a]
+		}
+		got := g.dfs(v, t, d)
+		if got > 0 {
+			g.cap[a] -= got
+			g.cap[a^1] += got
+			return got
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s→t flow, mutating residual capacities.
+func (g *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	if g.iter == nil {
+		g.iter = make([]int, g.NumNodes())
+	}
+	var total int64
+	for g.bfs(s, t) {
+		copy(g.iter, g.head)
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MinCutSourceSide returns, after MaxFlow, the set of nodes reachable
+// from s in the residual network — the source side of a minimum cut.
+func (g *Network) MinCutSourceSide(s int) []bool {
+	n := g.NumNodes()
+	side := make([]bool, n)
+	queue := make([]int, 0, n)
+	side[s] = true
+	queue = append(queue, s)
+	for h := 0; h < len(queue); h++ {
+		u := queue[h]
+		for a := g.head[u]; a != -1; a = g.next[a] {
+			v := g.to[a]
+			if g.cap[a] > 0 && !side[v] {
+				side[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,120 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleArc(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 7)
+	if f := g.MaxFlow(0, 1); f != 7 {
+		t.Errorf("flow = %d, want 7", f)
+	}
+	side := g.MinCutSourceSide(0)
+	if !side[0] || side[1] {
+		t.Errorf("cut side = %v", side)
+	}
+}
+
+func TestSameSourceSink(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 3)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Errorf("s==t flow = %d", f)
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	// Two parallel paths 0→1→3 (caps 3,4) and 0→2→3 (caps 5,2): max
+	// flow = min(3,4) + min(5,2) = 5.
+	g := New(4)
+	g.AddArc(0, 1, 3)
+	g.AddArc(1, 3, 4)
+	g.AddArc(0, 2, 5)
+	g.AddArc(2, 3, 2)
+	if f := g.MaxFlow(0, 3); f != 5 {
+		t.Errorf("flow = %d, want 5", f)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// The CLRS flow network with max flow 23.
+	g := New(6)
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 2, 10)
+	g.AddArc(2, 1, 4)
+	g.AddArc(1, 3, 12)
+	g.AddArc(3, 2, 9)
+	g.AddArc(2, 4, 14)
+	g.AddArc(4, 3, 7)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Errorf("flow = %d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 5)
+	g.AddArc(2, 3, 5)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Errorf("flow across disconnection = %d", f)
+	}
+	side := g.MinCutSourceSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("side = %v", side)
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative capacity")
+		}
+	}()
+	New(2).AddArc(0, 1, -1)
+}
+
+// TestPropertyFlowEqualsCut: max-flow equals the capacity across the
+// extracted minimum cut, and the cut separates s from t.
+func TestPropertyFlowEqualsCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := New(n)
+		type arc struct {
+			u, v int
+			c    int64
+		}
+		var arcs []arc
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(10))
+			g.AddArc(u, v, c)
+			arcs = append(arcs, arc{u, v, c})
+		}
+		s, tt := 0, n-1
+		flow := g.MaxFlow(s, tt)
+		side := g.MinCutSourceSide(s)
+		if !side[s] || side[tt] {
+			return false
+		}
+		var cut int64
+		for _, a := range arcs {
+			if side[a.u] && !side[a.v] {
+				cut += a.c
+			}
+		}
+		return cut == flow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/core"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func TestErrorTooSmall(t *testing.T) {
+	h, err := hypergraph.FromEdges(1, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bisect(h, Options{}); err == nil {
+		t.Error("accepted 1-vertex hypergraph")
+	}
+}
+
+func TestValidOnProfiles(t *testing.T) {
+	for _, tech := range []gen.Technology{gen.StdCell, gen.PCB} {
+		rng := rand.New(rand.NewSource(int64(tech)))
+		h, err := gen.Profile(gen.ProfileConfig{Modules: 400, Signals: 800, Technology: tech}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Bisect(h, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if err := res.Partition.Validate(h); err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if got := partition.CutSize(h, res.Partition); got != res.CutSize {
+			t.Errorf("%v: reported %d != recomputed %d", tech, res.CutSize, got)
+		}
+		if res.Levels < 1 {
+			t.Errorf("%v: no coarsening levels used", tech)
+		}
+		if res.CoarsestVertices > 128 {
+			t.Errorf("%v: coarsest %d vertices", tech, res.CoarsestVertices)
+		}
+	}
+}
+
+func TestSmallInputSkipsCoarsening(t *testing.T) {
+	h, err := hypergraph.FromEdges(8, [][]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bisect(h, Options{Seed: 2, MinCoarseVertices: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != 0 {
+		t.Errorf("levels = %d, want 0 for an already-small input", res.Levels)
+	}
+	if res.CutSize != 1 {
+		t.Errorf("cut = %d, want 1", res.CutSize)
+	}
+}
+
+func TestMatchesOptimumOnSmall(t *testing.T) {
+	h, err := hypergraph.FromEdges(10, [][]int{
+		{0, 1, 2}, {2, 3, 4}, {0, 4}, {1, 3},
+		{5, 6, 7}, {7, 8, 9}, {5, 9}, {6, 8},
+		{4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := bruteforce.MinCut(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 1 << 30
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Bisect(h, Options{Seed: seed, MinCoarseVertices: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CutSize < best {
+			best = res.CutSize
+		}
+	}
+	if best != opt {
+		t.Errorf("best multilevel cut = %d, optimum = %d", best, opt)
+	}
+}
+
+func TestCompetitiveWithFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 600, Signals: 1200, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Bisect(h, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := core.Bipartition(h, core.Options{Starts: 10, Seed: 3, Threshold: 10, BalancedBFS: true, Completion: core.CompletionWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multilevel scheme with FM refinement should be at least
+	// competitive with a balanced flat run (generous 2x envelope keeps
+	// the test robust across platforms).
+	if flat.CutSize > 0 && ml.CutSize > 2*flat.CutSize {
+		t.Errorf("multilevel cut %d far worse than flat %d", ml.CutSize, flat.CutSize)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 200, Signals: 400, Technology: gen.GateArray}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Bisect(h, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bisect(h, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CutSize != b.CutSize {
+		t.Error("same seed gave different cuts")
+	}
+}

@@ -1,0 +1,167 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// The hMETIS .hgr format is the de-facto exchange format for hypergraph
+// partitioning benchmarks:
+//
+//	% comment
+//	<numEdges> <numVertices> [fmt]
+//	[edgeWeight] v1 v2 ...      (one line per edge, vertices 1-indexed)
+//	[vertexWeight]              (one line per vertex, when fmt has 10)
+//
+// fmt is 0 (unweighted), 1 (edge weights), 10 (vertex weights) or 11
+// (both). ReadHMetis and WriteHMetis implement the full format.
+
+// ReadHMetis parses an hMETIS .hgr file.
+func ReadHMetis(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("netio: hmetis: missing header: %w", err)
+	}
+	if len(header) < 2 || len(header) > 3 {
+		return nil, fmt.Errorf("netio: hmetis: header wants 2 or 3 fields, got %d", len(header))
+	}
+	numEdges, err1 := strconv.Atoi(header[0])
+	numVerts, err2 := strconv.Atoi(header[1])
+	if err1 != nil || err2 != nil || numEdges < 0 || numVerts < 0 {
+		return nil, fmt.Errorf("netio: hmetis: bad header %v", header)
+	}
+	edgeWeighted, vertexWeighted := false, false
+	if len(header) == 3 {
+		switch header[2] {
+		case "0":
+		case "1":
+			edgeWeighted = true
+		case "10":
+			vertexWeighted = true
+		case "11":
+			edgeWeighted, vertexWeighted = true, true
+		default:
+			return nil, fmt.Errorf("netio: hmetis: unknown fmt %q", header[2])
+		}
+	}
+
+	b := hypergraph.NewBuilder(numVerts)
+	for e := 0; e < numEdges; e++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("netio: hmetis: edge %d: %w", e+1, err)
+		}
+		start := 0
+		weight := int64(1)
+		if edgeWeighted {
+			w, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("netio: hmetis: edge %d: bad weight %q", e+1, fields[0])
+			}
+			weight = w
+			start = 1
+		}
+		if len(fields) <= start {
+			return nil, fmt.Errorf("netio: hmetis: edge %d has no pins", e+1)
+		}
+		pins := make([]int, 0, len(fields)-start)
+		for _, f := range fields[start:] {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 || v > numVerts {
+				return nil, fmt.Errorf("netio: hmetis: edge %d: bad vertex %q", e+1, f)
+			}
+			pins = append(pins, v-1)
+		}
+		id := b.AddEdge(pins...)
+		b.SetEdgeWeight(id, weight)
+	}
+	if vertexWeighted {
+		for v := 0; v < numVerts; v++ {
+			fields, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("netio: hmetis: vertex weight %d: %w", v+1, err)
+			}
+			w, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("netio: hmetis: vertex weight %d: bad value %q", v+1, fields[0])
+			}
+			b.SetVertexWeight(v, w)
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("netio: hmetis: %w", err)
+	}
+	return h, nil
+}
+
+// WriteHMetis emits h in hMETIS format, choosing the minimal fmt code
+// that preserves the weights.
+func WriteHMetis(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	edgeWeighted, vertexWeighted := false, false
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.EdgeWeight(e) != 1 {
+			edgeWeighted = true
+			break
+		}
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexWeight(v) != 1 {
+			vertexWeighted = true
+			break
+		}
+	}
+	code := ""
+	switch {
+	case edgeWeighted && vertexWeighted:
+		code = " 11"
+	case vertexWeighted:
+		code = " 10"
+	case edgeWeighted:
+		code = " 1"
+	}
+	fmt.Fprintf(bw, "%d %d%s\n", h.NumEdges(), h.NumVertices(), code)
+	for e := 0; e < h.NumEdges(); e++ {
+		if edgeWeighted {
+			fmt.Fprintf(bw, "%d ", h.EdgeWeight(e))
+		}
+		for i, v := range h.EdgePins(e) {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%d", v+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	if vertexWeighted {
+		for v := 0; v < h.NumVertices(); v++ {
+			fmt.Fprintf(bw, "%d\n", h.VertexWeight(v))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("netio: hmetis: %w", err)
+	}
+	return nil
+}

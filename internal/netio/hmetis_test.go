@@ -1,0 +1,150 @@
+package netio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+)
+
+func TestReadHMetisUnweighted(t *testing.T) {
+	in := `% a comment
+4 7
+1 2
+1 7 5 6
+5 6 4
+2 3 4
+`
+	h, err := ReadHMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 4 || h.NumVertices() != 7 {
+		t.Fatalf("dims = %d,%d", h.NumEdges(), h.NumVertices())
+	}
+	// 1-indexed input → 0-indexed pins, sorted.
+	want := [][]int{{0, 1}, {0, 4, 5, 6}, {3, 4, 5}, {1, 2, 3}}
+	for e, pins := range want {
+		got := h.EdgePins(e)
+		if len(got) != len(pins) {
+			t.Fatalf("edge %d: %v", e, got)
+		}
+		for i := range pins {
+			if got[i] != pins[i] {
+				t.Errorf("edge %d pins = %v, want %v", e, got, pins)
+			}
+		}
+	}
+}
+
+func TestReadHMetisWeights(t *testing.T) {
+	in := `3 4 11
+5 1 2
+1 2 3
+7 3 4
+2
+1
+1
+9
+`
+	h, err := ReadHMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EdgeWeight(0) != 5 || h.EdgeWeight(1) != 1 || h.EdgeWeight(2) != 7 {
+		t.Errorf("edge weights %d,%d,%d", h.EdgeWeight(0), h.EdgeWeight(1), h.EdgeWeight(2))
+	}
+	if h.VertexWeight(0) != 2 || h.VertexWeight(3) != 9 {
+		t.Errorf("vertex weights %d,%d", h.VertexWeight(0), h.VertexWeight(3))
+	}
+}
+
+func TestReadHMetisErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "x y\n",
+		"header arity":      "1 2 3 4\n",
+		"bad fmt":           "1 2 7\n1 2\n",
+		"missing edge":      "2 3\n1 2\n",
+		"vertex range low":  "1 3\n0 1\n",
+		"vertex range high": "1 3\n1 4\n",
+		"bad edge weight":   "1 2 1\n-3 1 2\n",
+		"weightless edge":   "1 2 1\n5\n",
+		"missing vweights":  "1 2 10\n1 2\n3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadHMetis(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestHMetisRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := hypergraph.NewBuilder(15)
+	for i := 0; i < 30; i++ {
+		size := 2 + rng.Intn(4)
+		pins := make([]int, size)
+		for j := range pins {
+			pins[j] = rng.Intn(15)
+		}
+		e := b.AddEdge(pins...)
+		if rng.Intn(2) == 0 {
+			b.SetEdgeWeight(e, int64(1+rng.Intn(9)))
+		}
+	}
+	for v := 0; v < 15; v++ {
+		b.SetVertexWeight(v, int64(1+rng.Intn(6)))
+	}
+	h := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumVertices() != h.NumVertices() || h2.NumEdges() != h.NumEdges() {
+		t.Fatalf("dims changed")
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if h2.EdgeWeight(e) != h.EdgeWeight(e) {
+			t.Errorf("edge %d weight changed", e)
+		}
+		pa, pb := h.EdgePins(e), h2.EdgePins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("edge %d size changed", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Errorf("edge %d pins changed", e)
+			}
+		}
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if h2.VertexWeight(v) != h.VertexWeight(v) {
+			t.Errorf("vertex %d weight changed", v)
+		}
+	}
+}
+
+func TestHMetisRoundTripUnweighted(t *testing.T) {
+	h, err := hypergraph.FromEdges(4, [][]int{{0, 1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHMetis(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "2 4\n") {
+		t.Errorf("unweighted header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if _, err := ReadHMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

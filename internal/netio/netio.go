@@ -1,0 +1,184 @@
+// Package netio reads and writes netlists in a simple line-oriented
+// text format, so the command-line tools can exchange hypergraphs:
+//
+//	# comment
+//	module <name> [weight]        # optional pre-registration
+//	net <name> <module> ...       # pins; unknown modules auto-register
+//	netweight <name> <weight>     # optional net weight
+//
+// Module and net names are arbitrary whitespace-free tokens. Modules
+// referenced only in net lines get weight 1. Indices are assigned in
+// first-appearance order, so write→read round-trips preserve them.
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// Read parses a netlist from r.
+func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	moduleID := map[string]int{}
+	var moduleNames []string
+	var moduleWeights []int64
+	netID := map[string]int{}
+	type netDecl struct {
+		name   string
+		pins   []string
+		weight int64
+	}
+	var nets []netDecl
+
+	module := func(name string) int {
+		if id, ok := moduleID[name]; ok {
+			return id
+		}
+		id := len(moduleNames)
+		moduleID[name] = id
+		moduleNames = append(moduleNames, name)
+		moduleWeights = append(moduleWeights, 1)
+		return id
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "module":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("netio: line %d: module wants a name and optional weight", lineNo)
+			}
+			id := module(fields[1])
+			if len(fields) == 3 {
+				w, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil || w < 0 {
+					return nil, fmt.Errorf("netio: line %d: bad module weight %q", lineNo, fields[2])
+				}
+				moduleWeights[id] = w
+			}
+		case "net":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netio: line %d: net wants a name and at least one pin", lineNo)
+			}
+			name := fields[1]
+			if _, dup := netID[name]; dup {
+				return nil, fmt.Errorf("netio: line %d: duplicate net %q", lineNo, name)
+			}
+			netID[name] = len(nets)
+			nets = append(nets, netDecl{name: name, pins: fields[2:], weight: 1})
+		case "netweight":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("netio: line %d: netweight wants a name and a weight", lineNo)
+			}
+			id, ok := netID[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("netio: line %d: netweight for undeclared net %q", lineNo, fields[1])
+			}
+			w, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("netio: line %d: bad net weight %q", lineNo, fields[2])
+			}
+			nets[id].weight = w
+		default:
+			return nil, fmt.Errorf("netio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+
+	// Register net pins in order so indices are reproducible.
+	for i := range nets {
+		for _, p := range nets[i].pins {
+			module(p)
+		}
+	}
+	b := hypergraph.NewBuilder(len(moduleNames))
+	for id, name := range moduleNames {
+		b.SetVertexName(id, name)
+		b.SetVertexWeight(id, moduleWeights[id])
+	}
+	for _, nd := range nets {
+		pins := make([]int, len(nd.pins))
+		for i, p := range nd.pins {
+			pins[i] = moduleID[p]
+		}
+		e := b.AddEdge(pins...)
+		b.SetEdgeName(e, nd.name)
+		b.SetEdgeWeight(e, nd.weight)
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	return h, nil
+}
+
+// Write emits h in the netio format. Module lines are emitted only for
+// modules with non-unit weight or no incident nets; net order and pin
+// order follow the hypergraph.
+func Write(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# netlist: %d modules, %d nets\n", h.NumVertices(), h.NumEdges())
+	// Emit all module declarations first so indices round-trip even for
+	// modules that appear only late in net pin order.
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexWeight(v) != 1 {
+			fmt.Fprintf(bw, "module %s %d\n", token(h.VertexName(v)), h.VertexWeight(v))
+		} else {
+			fmt.Fprintf(bw, "module %s\n", token(h.VertexName(v)))
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(bw, "net %s", token(h.EdgeName(e)))
+		for _, v := range h.EdgePins(e) {
+			fmt.Fprintf(bw, " %s", token(h.VertexName(v)))
+		}
+		fmt.Fprintln(bw)
+		if h.EdgeWeight(e) != 1 {
+			fmt.Fprintf(bw, "netweight %s %d\n", token(h.EdgeName(e)), h.EdgeWeight(e))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	return nil
+}
+
+// token sanitizes a name into a whitespace-free token.
+func token(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n") {
+		return strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' || r == '\n' {
+				return '_'
+			}
+			return r
+		}, s)
+	}
+	return s
+}
+
+// SortedModuleNames returns all module names, sorted; a convenience for
+// stable CLI output.
+func SortedModuleNames(h *hypergraph.Hypergraph) []string {
+	names := make([]string, h.NumVertices())
+	for v := range names {
+		names[v] = h.VertexName(v)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,140 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `
+# a tiny netlist
+module alpha 5
+net n1 alpha beta gamma
+net n2 beta gamma
+netweight n2 3
+`
+	h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 3 || h.NumEdges() != 2 {
+		t.Fatalf("dims = %d,%d", h.NumVertices(), h.NumEdges())
+	}
+	if h.VertexName(0) != "alpha" || h.VertexWeight(0) != 5 {
+		t.Errorf("module 0 = %s/%d", h.VertexName(0), h.VertexWeight(0))
+	}
+	if h.VertexWeight(1) != 1 {
+		t.Errorf("implicit module weight = %d", h.VertexWeight(1))
+	}
+	if h.EdgeName(0) != "n1" || h.EdgeSize(0) != 3 {
+		t.Errorf("net 0 = %s size %d", h.EdgeName(0), h.EdgeSize(0))
+	}
+	if h.EdgeWeight(1) != 3 {
+		t.Errorf("net n2 weight = %d", h.EdgeWeight(1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":  "frob x y\n",
+		"net too short":      "net lonely\n",
+		"module bad weight":  "module a -2\n",
+		"module extra":       "module a 1 2\n",
+		"netweight unknown":  "netweight ghost 2\n",
+		"netweight badvalue": "net n a b\nnetweight n x\n",
+		"netweight arity":    "net n a b\nnetweight n\n",
+		"duplicate net":      "net n a b\nnet n c d\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := hypergraph.NewBuilder(4)
+	b.SetVertexName(0, "m0")
+	b.SetVertexName(1, "m1")
+	b.SetVertexName(2, "m2")
+	b.SetVertexName(3, "m3")
+	b.SetVertexWeight(2, 7)
+	e0 := b.AddEdge(0, 1, 2)
+	e1 := b.AddEdge(2, 3)
+	b.SetEdgeName(e0, "clk")
+	b.SetEdgeName(e1, "d0")
+	b.SetEdgeWeight(e1, 2)
+	h := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v\noutput was:\n%s", err, buf.String())
+	}
+	if h2.NumVertices() != h.NumVertices() || h2.NumEdges() != h.NumEdges() {
+		t.Fatalf("dims changed: (%d,%d) → (%d,%d)", h.NumVertices(), h.NumEdges(), h2.NumVertices(), h2.NumEdges())
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if h2.VertexName(v) != h.VertexName(v) || h2.VertexWeight(v) != h.VertexWeight(v) {
+			t.Errorf("module %d changed: %s/%d → %s/%d", v, h.VertexName(v), h.VertexWeight(v), h2.VertexName(v), h2.VertexWeight(v))
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if h2.EdgeName(e) != h.EdgeName(e) || h2.EdgeWeight(e) != h.EdgeWeight(e) {
+			t.Errorf("net %d meta changed", e)
+		}
+		pa, pb := h.EdgePins(e), h2.EdgePins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("net %d size changed", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Errorf("net %d pins changed: %v → %v", e, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRoundTripUnnamed(t *testing.T) {
+	h, err := hypergraph.FromEdges(3, [][]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumVertices() != 3 || h2.NumEdges() != 2 {
+		t.Errorf("dims = %d,%d", h2.NumVertices(), h2.NumEdges())
+	}
+}
+
+func TestSortedModuleNames(t *testing.T) {
+	h, err := Read(strings.NewReader("net n1 zeta alpha mid\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SortedModuleNames(h)
+	if names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTokenSanitizes(t *testing.T) {
+	if token("a b") != "a_b" {
+		t.Errorf("token(%q) = %q", "a b", token("a b"))
+	}
+	if token("clean") != "clean" {
+		t.Error("token mangled a clean name")
+	}
+}

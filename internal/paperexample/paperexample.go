@@ -1,0 +1,86 @@
+// Package paperexample holds reconstructions of the worked examples in
+// Kahng's "Fast Hypergraph Partition" (DAC 1989): the Figure-1
+// hypergraph/intersection-graph pair and the Section-2 twelve-module
+// netlist of Figure 4. The source scan is OCR-damaged, so these are
+// faithful reconstructions (same sizes, same qualitative outcomes:
+// final cutsize 2 achieved by two crossing signals) rather than
+// verbatim copies; see DESIGN.md §2.
+package paperexample
+
+import (
+	"strconv"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// Figure1 returns the 8-module, 5-net hypergraph of Figure 1, whose
+// intersection graph is the path A–B–C–D–E.
+func Figure1() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(8)
+	names := []string{"A", "B", "C", "D", "E"}
+	pins := [][]int{
+		{0, 1},
+		{1, 2, 3},
+		{3, 4},
+		{4, 5, 6},
+		{6, 7},
+	}
+	for i, p := range pins {
+		e := b.AddEdge(p...)
+		b.SetEdgeName(e, names[i])
+	}
+	for v := 0; v < 8; v++ {
+		b.SetVertexName(v, string(rune('1'+v)))
+	}
+	return b.MustBuild()
+}
+
+// WorkedExample returns the Section-2 netlist: 12 modules (named
+// "1".."12") and 12 signals a–l. Modules {1,2,4,8,11,12} form one
+// logical cluster and {3,5,6,7,9,10} the other; signals c and h are the
+// only ones spanning both, so the optimum bisection has cutsize 2.
+func WorkedExample() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(12)
+	type net struct {
+		name string
+		pins []int // 1-indexed module numbers, as in the paper's table
+	}
+	nets := []net{
+		{"a", []int{1, 2, 11}},
+		{"b", []int{2, 4, 11}},
+		{"c", []int{1, 3, 4}}, // spans both clusters
+		{"d", []int{4, 11, 12}},
+		{"e", []int{3, 6, 7}},
+		{"f", []int{3, 5, 6}},
+		{"g", []int{5, 9, 10}},
+		{"h", []int{6, 7, 8, 9}}, // spans both clusters (module 8)
+		{"i", []int{1, 8, 12}},
+		{"j", []int{7, 9, 10}},
+		{"k", []int{2, 8}},
+		{"l", []int{5, 9}},
+	}
+	for _, nt := range nets {
+		zero := make([]int, len(nt.pins))
+		for i, p := range nt.pins {
+			zero[i] = p - 1
+		}
+		e := b.AddEdge(zero...)
+		b.SetEdgeName(e, nt.name)
+	}
+	for v := 0; v < 12; v++ {
+		b.SetVertexName(v, itoa(v+1))
+	}
+	return b.MustBuild()
+}
+
+// WorkedExampleOptimalCut is the optimum bisection cutsize of the
+// worked-example netlist (signals c and h cross).
+const WorkedExampleOptimalCut = 2
+
+// WorkedExampleClusters returns the two module clusters (0-indexed) of
+// the worked example: the intended optimum bisection.
+func WorkedExampleClusters() (left, right []int) {
+	return []int{0, 1, 3, 7, 10, 11}, []int{2, 4, 5, 6, 8, 9}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,290 @@
+// Package partition defines the bipartition result type shared by all
+// partitioners in this library, together with the cut metrics from the
+// paper: cutsize, the r-bipartition balance constraint of Fiduccia–
+// Mattheyses, the weight imbalance used by the "engineer's method", and
+// the quotient-cut objective of Leighton–Rao that the paper's Section 5
+// discusses as the culmination of balance-relaxed metrics.
+package partition
+
+import (
+	"fmt"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// Side identifies which half of a bipartition a vertex belongs to.
+type Side int8
+
+// Bipartition side values. Unassigned marks vertices not yet placed
+// (used for partial bipartitions during Algorithm I).
+const (
+	Unassigned Side = iota - 1
+	Left
+	Right
+)
+
+// String returns "L", "R" or "?".
+func (s Side) String() string {
+	switch s {
+	case Left:
+		return "L"
+	case Right:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// Opposite returns the other side; Unassigned maps to itself.
+func (s Side) Opposite() Side {
+	switch s {
+	case Left:
+		return Right
+	case Right:
+		return Left
+	default:
+		return Unassigned
+	}
+}
+
+// Bipartition assigns each vertex of a hypergraph to Left, Right, or
+// Unassigned. The zero value is unusable; create with New.
+type Bipartition struct {
+	side []Side
+}
+
+// New returns a Bipartition over n vertices with every vertex
+// Unassigned.
+func New(n int) *Bipartition {
+	p := &Bipartition{side: make([]Side, n)}
+	for i := range p.side {
+		p.side[i] = Unassigned
+	}
+	return p
+}
+
+// FromSides wraps an explicit side slice (not copied).
+func FromSides(side []Side) *Bipartition { return &Bipartition{side: side} }
+
+// Len returns the number of vertices covered.
+func (p *Bipartition) Len() int { return len(p.side) }
+
+// Side returns the side of vertex v.
+func (p *Bipartition) Side(v int) Side { return p.side[v] }
+
+// Assign places vertex v on side s.
+func (p *Bipartition) Assign(v int, s Side) { p.side[v] = s }
+
+// Sides returns the underlying side slice (not a copy).
+func (p *Bipartition) Sides() []Side { return p.side }
+
+// Clone returns a deep copy.
+func (p *Bipartition) Clone() *Bipartition {
+	cp := make([]Side, len(p.side))
+	copy(cp, p.side)
+	return &Bipartition{side: cp}
+}
+
+// Counts returns the number of vertices on each side and the number
+// unassigned.
+func (p *Bipartition) Counts() (left, right, unassigned int) {
+	for _, s := range p.side {
+		switch s {
+		case Left:
+			left++
+		case Right:
+			right++
+		default:
+			unassigned++
+		}
+	}
+	return
+}
+
+// IsComplete reports whether every vertex is assigned.
+func (p *Bipartition) IsComplete() bool {
+	for _, s := range p.side {
+		if s == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Flip swaps the two sides in place and returns the receiver.
+func (p *Bipartition) Flip() *Bipartition {
+	for i, s := range p.side {
+		p.side[i] = s.Opposite()
+	}
+	return p
+}
+
+// Validate checks that p is a complete, proper bipartition of h: every
+// vertex assigned and both sides nonempty. It returns a descriptive
+// error otherwise.
+func (p *Bipartition) Validate(h *hypergraph.Hypergraph) error {
+	if len(p.side) != h.NumVertices() {
+		return fmt.Errorf("partition: has %d vertices, hypergraph has %d", len(p.side), h.NumVertices())
+	}
+	l, r, u := p.Counts()
+	if u > 0 {
+		return fmt.Errorf("partition: %d vertices unassigned", u)
+	}
+	if l == 0 || r == 0 {
+		return fmt.Errorf("partition: side empty (left=%d right=%d)", l, r)
+	}
+	return nil
+}
+
+// SideWeights returns the total vertex weight on each side of p.
+func SideWeights(h *hypergraph.Hypergraph, p *Bipartition) (left, right int64) {
+	for v := 0; v < h.NumVertices(); v++ {
+		switch p.Side(v) {
+		case Left:
+			left += h.VertexWeight(v)
+		case Right:
+			right += h.VertexWeight(v)
+		}
+	}
+	return
+}
+
+// Imbalance returns |weight(Left) − weight(Right)|.
+func Imbalance(h *hypergraph.Hypergraph, p *Bipartition) int64 {
+	l, r := SideWeights(h, p)
+	if l > r {
+		return l - r
+	}
+	return r - l
+}
+
+// EdgeCut describes how one edge relates to a (possibly partial)
+// bipartition.
+type EdgeCut int8
+
+// EdgeCut values.
+const (
+	// EdgeUncut means all assigned pins lie on a single side.
+	EdgeUncut EdgeCut = iota
+	// EdgeCrossing means the edge has assigned pins on both sides.
+	EdgeCrossing
+	// EdgeOpen means the edge has no assigned pins at all.
+	EdgeOpen
+)
+
+// ClassifyEdge reports how edge e relates to p. Unassigned pins are
+// ignored except that an edge with no assigned pins is EdgeOpen.
+func ClassifyEdge(h *hypergraph.Hypergraph, p *Bipartition, e int) EdgeCut {
+	sawLeft, sawRight := false, false
+	for _, v := range h.EdgePins(e) {
+		switch p.Side(v) {
+		case Left:
+			sawLeft = true
+		case Right:
+			sawRight = true
+		}
+		if sawLeft && sawRight {
+			return EdgeCrossing
+		}
+	}
+	if !sawLeft && !sawRight {
+		return EdgeOpen
+	}
+	return EdgeUncut
+}
+
+// Crosses reports whether edge e has pins on both sides of p.
+func Crosses(h *hypergraph.Hypergraph, p *Bipartition, e int) bool {
+	return ClassifyEdge(h, p, e) == EdgeCrossing
+}
+
+// CutSize returns the number of edges of h crossing the cut p.
+// Edge weights are ignored; see WeightedCutSize.
+func CutSize(h *hypergraph.Hypergraph, p *Bipartition) int {
+	cut := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if Crosses(h, p, e) {
+			cut++
+		}
+	}
+	return cut
+}
+
+// WeightedCutSize returns the total weight of edges crossing p.
+func WeightedCutSize(h *hypergraph.Hypergraph, p *Bipartition) int64 {
+	var cut int64
+	for e := 0; e < h.NumEdges(); e++ {
+		if Crosses(h, p, e) {
+			cut += h.EdgeWeight(e)
+		}
+	}
+	return cut
+}
+
+// CutEdges returns the indices of all edges crossing p, ascending.
+func CutEdges(h *hypergraph.Hypergraph, p *Bipartition) []int {
+	var cut []int
+	for e := 0; e < h.NumEdges(); e++ {
+		if Crosses(h, p, e) {
+			cut = append(cut, e)
+		}
+	}
+	return cut
+}
+
+// IsBisection reports whether p satisfies the strict bisection
+// criterion | |V_L| − |V_R| | ≤ 1 on vertex counts.
+func IsBisection(p *Bipartition) bool {
+	l, r, u := p.Counts()
+	if u > 0 {
+		return false
+	}
+	d := l - r
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1
+}
+
+// IsRBipartition reports whether p satisfies the r-bipartition metric
+// of Fiduccia–Mattheyses: the difference in vertex counts is at most r.
+func IsRBipartition(p *Bipartition, r int) bool {
+	l, right, u := p.Counts()
+	if u > 0 {
+		return false
+	}
+	d := l - right
+	if d < 0 {
+		d = -d
+	}
+	return d <= r
+}
+
+// QuotientCut returns the Leighton–Rao quotient cut objective
+// cut(p) / min(|V_L|, |V_R|). It returns +Inf semantics as the maximum
+// float when a side is empty (such a "cut" is not a cut at all).
+func QuotientCut(h *hypergraph.Hypergraph, p *Bipartition) float64 {
+	l, r, _ := p.Counts()
+	m := min(l, r)
+	if m == 0 {
+		return maxFloat
+	}
+	return float64(CutSize(h, p)) / float64(m)
+}
+
+// RatioCut returns cut(p) / (|V_L| · |V_R|), the ratio-cut variant.
+func RatioCut(h *hypergraph.Hypergraph, p *Bipartition) float64 {
+	l, r, _ := p.Counts()
+	if l == 0 || r == 0 {
+		return maxFloat
+	}
+	return float64(CutSize(h, p)) / (float64(l) * float64(r))
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// String summarizes the partition.
+func (p *Bipartition) String() string {
+	l, r, u := p.Counts()
+	return fmt.Sprintf("Bipartition{left: %d, right: %d, unassigned: %d}", l, r, u)
+}

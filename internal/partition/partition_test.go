@@ -1,0 +1,281 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fasthgp/internal/hypergraph"
+)
+
+func mkHG(t *testing.T, n int, edges [][]int) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func sides(ss ...Side) *Bipartition { return FromSides(ss) }
+
+func TestSideString(t *testing.T) {
+	if Left.String() != "L" || Right.String() != "R" || Unassigned.String() != "?" {
+		t.Errorf("Side strings: %s %s %s", Left, Right, Unassigned)
+	}
+}
+
+func TestSideOpposite(t *testing.T) {
+	if Left.Opposite() != Right || Right.Opposite() != Left || Unassigned.Opposite() != Unassigned {
+		t.Error("Opposite broken")
+	}
+}
+
+func TestNewAllUnassigned(t *testing.T) {
+	p := New(4)
+	for v := 0; v < 4; v++ {
+		if p.Side(v) != Unassigned {
+			t.Fatalf("Side(%d) = %v", v, p.Side(v))
+		}
+	}
+	if p.IsComplete() {
+		t.Error("IsComplete = true")
+	}
+	l, r, u := p.Counts()
+	if l != 0 || r != 0 || u != 4 {
+		t.Errorf("Counts = %d,%d,%d", l, r, u)
+	}
+}
+
+func TestAssignAndFlip(t *testing.T) {
+	p := New(3)
+	p.Assign(0, Left)
+	p.Assign(1, Right)
+	p.Assign(2, Left)
+	if !p.IsComplete() {
+		t.Error("IsComplete = false")
+	}
+	p.Flip()
+	if p.Side(0) != Right || p.Side(1) != Left || p.Side(2) != Right {
+		t.Errorf("after Flip: %v %v %v", p.Side(0), p.Side(1), p.Side(2))
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(2)
+	p.Assign(0, Left)
+	q := p.Clone()
+	q.Assign(0, Right)
+	if p.Side(0) != Left {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := mkHG(t, 3, [][]int{{0, 1, 2}})
+	p := New(3)
+	if err := p.Validate(h); err == nil {
+		t.Error("Validate accepted unassigned vertices")
+	}
+	p.Assign(0, Left)
+	p.Assign(1, Left)
+	p.Assign(2, Left)
+	if err := p.Validate(h); err == nil {
+		t.Error("Validate accepted empty right side")
+	}
+	p.Assign(2, Right)
+	if err := p.Validate(h); err != nil {
+		t.Errorf("Validate rejected proper partition: %v", err)
+	}
+	bad := New(2)
+	if err := bad.Validate(h); err == nil {
+		t.Error("Validate accepted size mismatch")
+	}
+}
+
+func TestClassifyEdge(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	p := sides(Left, Left, Right, Unassigned)
+	if got := ClassifyEdge(h, p, 0); got != EdgeUncut {
+		t.Errorf("edge 0: %v, want EdgeUncut", got)
+	}
+	if got := ClassifyEdge(h, p, 1); got != EdgeCrossing {
+		t.Errorf("edge 1: %v, want EdgeCrossing", got)
+	}
+	if got := ClassifyEdge(h, p, 2); got != EdgeUncut {
+		t.Errorf("edge 2 (one pin unassigned): %v, want EdgeUncut", got)
+	}
+	pOpen := sides(Unassigned, Left, Left, Unassigned)
+	if got := ClassifyEdge(h, pOpen, 3); got != EdgeOpen {
+		t.Errorf("edge 3: %v, want EdgeOpen", got)
+	}
+}
+
+func TestCutSize(t *testing.T) {
+	// K3 plus a pendant: cut {0} | {1,2,3}.
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	p := sides(Left, Right, Right, Right)
+	if got := CutSize(h, p); got != 2 {
+		t.Errorf("CutSize = %d, want 2", got)
+	}
+	edges := CutEdges(h, p)
+	if len(edges) != 2 || edges[0] != 0 || edges[1] != 2 {
+		t.Errorf("CutEdges = %v, want [0 2]", edges)
+	}
+}
+
+func TestWeightedCutSize(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	e0 := b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetEdgeWeight(e0, 5)
+	h := b.MustBuild()
+	p := sides(Left, Right, Right)
+	if got := WeightedCutSize(h, p); got != 5 {
+		t.Errorf("WeightedCutSize = %d, want 5", got)
+	}
+}
+
+func TestSideWeightsAndImbalance(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	b.SetVertexWeight(0, 10)
+	b.SetVertexWeight(1, 3)
+	b.SetVertexWeight(2, 4)
+	h := b.MustBuild()
+	p := sides(Left, Right, Right)
+	l, r := SideWeights(h, p)
+	if l != 10 || r != 7 {
+		t.Errorf("SideWeights = %d,%d", l, r)
+	}
+	if Imbalance(h, p) != 3 {
+		t.Errorf("Imbalance = %d, want 3", Imbalance(h, p))
+	}
+	if Imbalance(h, p.Clone().Flip()) != 3 {
+		t.Error("Imbalance not symmetric under Flip")
+	}
+}
+
+func TestBisectionAndR(t *testing.T) {
+	p := sides(Left, Right, Left)
+	if !IsBisection(p) {
+		t.Error("IsBisection = false for 2|1 split")
+	}
+	q := sides(Left, Left, Left, Right)
+	if IsBisection(q) {
+		t.Error("IsBisection = true for 3|1 split")
+	}
+	if !IsRBipartition(q, 2) {
+		t.Error("IsRBipartition(2) = false for 3|1 split")
+	}
+	if IsRBipartition(q, 1) {
+		t.Error("IsRBipartition(1) = true for 3|1 split")
+	}
+	incomplete := sides(Left, Unassigned)
+	if IsBisection(incomplete) || IsRBipartition(incomplete, 10) {
+		t.Error("balance predicates accepted incomplete partition")
+	}
+}
+
+func TestQuotientAndRatioCut(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	p := sides(Left, Left, Right, Right)
+	if got := QuotientCut(h, p); got != 0.5 {
+		t.Errorf("QuotientCut = %g, want 0.5", got)
+	}
+	if got := RatioCut(h, p); got != 0.25 {
+		t.Errorf("RatioCut = %g, want 0.25", got)
+	}
+	empty := sides(Left, Left, Left, Left)
+	if QuotientCut(h, empty) != math.MaxFloat64 || RatioCut(h, empty) != math.MaxFloat64 {
+		t.Error("degenerate partitions should score MaxFloat64")
+	}
+}
+
+func randomPartition(rng *rand.Rand, n int) *Bipartition {
+	p := New(n)
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 0 {
+			p.Assign(v, Left)
+		} else {
+			p.Assign(v, Right)
+		}
+	}
+	return p
+}
+
+// TestPropertyCutSymmetricUnderFlip: flipping the partition preserves
+// all cut metrics.
+func TestPropertyCutSymmetricUnderFlip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := 1 + rng.Intn(30)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			size := 2 + rng.Intn(3)
+			pins := make([]int, size)
+			for j := range pins {
+				pins[j] = rng.Intn(n)
+			}
+			b.AddEdge(pins...)
+		}
+		h, err := b.Build()
+		if err != nil {
+			return false
+		}
+		p := randomPartition(rng, n)
+		q := p.Clone().Flip()
+		return CutSize(h, p) == CutSize(h, q) &&
+			WeightedCutSize(h, p) == WeightedCutSize(h, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCutBounds: 0 ≤ cut ≤ #edges, and single-pin edges never
+// cross.
+func TestPropertyCutBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		m := rng.Intn(25)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			size := 1 + rng.Intn(4)
+			pins := make([]int, size)
+			for j := range pins {
+				pins[j] = rng.Intn(n)
+			}
+			b.AddEdge(pins...)
+		}
+		h, err := b.Build()
+		if err != nil {
+			return false
+		}
+		p := randomPartition(rng, n)
+		cut := CutSize(h, p)
+		if cut < 0 || cut > h.NumEdges() {
+			return false
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			if h.EdgeSize(e) == 1 && Crosses(h, p, e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := sides(Left, Right, Unassigned)
+	want := "Bipartition{left: 1, right: 1, unassigned: 1}"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,201 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+)
+
+func testNetlist(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 96, Signals: 200, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMinCutPlaceValid(t *testing.T) {
+	h := testNetlist(t)
+	pl, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.X) != h.NumVertices() {
+		t.Errorf("placed %d modules, want %d", len(pl.X), h.NumVertices())
+	}
+	// All 16 slots should be populated for 96 modules.
+	used := map[[2]int]bool{}
+	for v := range pl.X {
+		used[[2]int{pl.X[v], pl.Y[v]}] = true
+	}
+	if len(used) < 12 {
+		t.Errorf("only %d/16 slots used", len(used))
+	}
+}
+
+func TestMinCutBeatsRandom(t *testing.T) {
+	h := testNetlist(t)
+	pl, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := HPWL(h, pl)
+	rng := rand.New(rand.NewSource(3))
+	var rsum int64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		rp, err := RandomPlace(h, 4, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsum += HPWL(h, rp)
+	}
+	ravg := rsum / trials
+	if mc >= ravg {
+		t.Errorf("min-cut HPWL %d not better than random average %d", mc, ravg)
+	}
+}
+
+func TestTerminalPropagationHelpsOrTies(t *testing.T) {
+	h := testNetlist(t)
+	plain, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 4, TerminalPropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// TP is a heuristic; assert it is in the same quality band (within
+	// 25%) rather than strictly better on one seed.
+	a, b := HPWL(h, plain), HPWL(h, tp)
+	if b > a+a/4 {
+		t.Errorf("terminal propagation HPWL %d far worse than plain %d", b, a)
+	}
+}
+
+func TestSingleSlotGrid(t *testing.T) {
+	h := testNetlist(t)
+	pl, err := MinCutPlace(h, Options{Rows: 1, Cols: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pl.X {
+		if pl.X[v] != 0 || pl.Y[v] != 0 {
+			t.Fatal("1x1 grid must place everything at the origin")
+		}
+	}
+	if HPWL(h, pl) != 0 {
+		t.Error("HPWL on a single slot must be 0")
+	}
+}
+
+func TestRowGrid(t *testing.T) {
+	h := testNetlist(t)
+	pl, err := MinCutPlace(h, Options{Rows: 1, Cols: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := range pl.Y {
+		if pl.Y[v] != 0 {
+			t.Fatal("row grid must keep Y = 0")
+		}
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h, err := hypergraph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := MinCutPlace(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.X) != 0 {
+		t.Error("empty placement should have no coordinates")
+	}
+}
+
+func TestTinyInstances(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		b := hypergraph.NewBuilder(n)
+		if n >= 2 {
+			b.AddEdge(0, 1)
+		} else {
+			b.AddEdge(0)
+		}
+		h := b.MustBuild()
+		pl, err := MinCutPlace(h, Options{Rows: 2, Cols: 2, Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRandomPlaceErrors(t *testing.T) {
+	h, err := hypergraph.FromEdges(2, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomPlace(h, 0, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted 0 rows")
+	}
+}
+
+func TestHPWLKnown(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	e2 := b.AddEdge(0, 2)
+	b.SetEdgeWeight(e2, 3)
+	h := b.MustBuild()
+	pl := &Placement{Rows: 3, Cols: 3, X: []int{0, 2, 1}, Y: []int{0, 1, 2}}
+	// Net 0: bbox x[0,2], y[0,2] → 4. Net 1: x[0,1], y[0,2] → 3·3 = 9.
+	if got := HPWL(h, pl); got != 13 {
+		t.Errorf("HPWL = %d, want 13", got)
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	pl := &Placement{Rows: 2, Cols: 2, X: []int{5}, Y: []int{0}}
+	if err := pl.Validate(); err == nil {
+		t.Error("accepted out-of-grid coordinate")
+	}
+	bad := &Placement{Rows: 2, Cols: 2, X: []int{0, 1}, Y: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted X/Y length mismatch")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	h := testNetlist(t)
+	a, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinCutPlace(h, Options{Rows: 4, Cols: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] || a.Y[v] != b.Y[v] {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}

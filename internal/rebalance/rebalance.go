@@ -1,0 +1,96 @@
+// Package rebalance repairs the weight balance of a bipartition by
+// greedily moving the cheapest vertices — those whose move hurts the
+// cut least — from the heavy side until a target split is met. It is
+// the glue that lets the unconstrained partitioners (notably
+// Algorithm I, whose balance is only probabilistic) satisfy a hard
+// r-bipartition constraint or the proportional targets of K-way
+// recursive bisection.
+package rebalance
+
+import (
+	"fmt"
+
+	"fasthgp/internal/cutstate"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// ToTarget moves vertices between the sides of p (in place) until the
+// left-side weight lies within tolerance of targetLeft, always moving
+// a vertex with the maximum cut gain (least cut damage) from the heavy
+// side; vertex-count non-emptiness is preserved. It returns the number
+// of vertices moved.
+//
+// The loop always terminates: each move strictly reduces the distance
+// to the target or stops when no legal mover exists (e.g. a single
+// giant module heavier than the tolerance straddles the target).
+func ToTarget(h *hypergraph.Hypergraph, p *partition.Bipartition, targetLeft, tolerance int64) (int, error) {
+	if err := p.Validate(h); err != nil {
+		return 0, fmt.Errorf("rebalance: %w", err)
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	s, err := cutstate.New(h, p)
+	if err != nil {
+		return 0, fmt.Errorf("rebalance: %w", err)
+	}
+	moved := 0
+	for {
+		lw, _ := s.Weights()
+		var from partition.Side
+		var excess int64
+		switch {
+		case lw > targetLeft+tolerance:
+			from, excess = partition.Left, lw-targetLeft
+		case lw < targetLeft-tolerance:
+			from, excess = partition.Right, targetLeft-lw
+		default:
+			return moved, nil
+		}
+		v := bestMover(h, s, from, excess)
+		if v == -1 {
+			return moved, nil // no legal move can improve the balance
+		}
+		s.Move(v)
+		moved++
+	}
+}
+
+// Bisect moves vertices until the weight split is as close to even as
+// the tolerance allows.
+func Bisect(h *hypergraph.Hypergraph, p *partition.Bipartition, tolerance int64) (int, error) {
+	return ToTarget(h, p, h.TotalVertexWeight()/2, tolerance)
+}
+
+// bestMover selects the vertex on `from` with the highest cut gain
+// whose move brings the balance strictly closer to target (weight at
+// most 2×excess keeps us from overshooting into oscillation) and does
+// not empty the side. Ties break toward heavier vertices (fewer moves)
+// then lower index. Returns -1 when nothing qualifies.
+func bestMover(h *hypergraph.Hypergraph, s *cutstate.State, from partition.Side, excess int64) int {
+	l, r, _ := s.Partition().Counts()
+	if (from == partition.Left && l <= 1) || (from == partition.Right && r <= 1) {
+		return -1
+	}
+	best := -1
+	bestGain := 0
+	var bestW int64
+	for v := 0; v < h.NumVertices(); v++ {
+		if s.Side(v) != from {
+			continue
+		}
+		w := h.VertexWeight(v)
+		if w == 0 || w >= 2*excess {
+			// Zero-weight moves make no balance progress; over-heavy
+			// moves would overshoot past the starting distance.
+			continue
+		}
+		g := s.Gain(v)
+		if best == -1 || g > bestGain ||
+			(g == bestGain && (w > bestW || (w == bestW && v < best))) {
+			best, bestGain, bestW = v, g, w
+		}
+	}
+	return best
+}

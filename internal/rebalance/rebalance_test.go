@@ -1,0 +1,159 @@
+package rebalance
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func lopsided(t *testing.T, n int) (*hypergraph.Hypergraph, *partition.Bipartition) {
+	t.Helper()
+	b := hypergraph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	h := b.MustBuild()
+	p := partition.New(n)
+	p.Assign(0, partition.Right)
+	for v := 1; v < n; v++ {
+		p.Assign(v, partition.Left)
+	}
+	return h, p
+}
+
+func TestBisectRepairsLopsided(t *testing.T) {
+	h, p := lopsided(t, 20)
+	moved, err := Bisect(h, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved")
+	}
+	if imb := partition.Imbalance(h, p); imb != 0 {
+		t.Errorf("imbalance %d after Bisect, want 0", imb)
+	}
+	if err := p.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisectMovesCheapVerticesOnAPath(t *testing.T) {
+	// On a path, peeling from the light end keeps the cut at 1.
+	h, p := lopsided(t, 16)
+	if _, err := Bisect(h, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cut := partition.CutSize(h, p); cut != 1 {
+		t.Errorf("cut = %d after rebalance on a path, want 1", cut)
+	}
+}
+
+func TestToTargetDirections(t *testing.T) {
+	h, p := lopsided(t, 12)
+	// Target almost everything on the right.
+	if _, err := ToTarget(h, p, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	lw, _ := partition.SideWeights(h, p)
+	if lw != 2 {
+		t.Errorf("left weight = %d, want 2", lw)
+	}
+	// Back to heavy left.
+	if _, err := ToTarget(h, p, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	lw, _ = partition.SideWeights(h, p)
+	if lw != 10 {
+		t.Errorf("left weight = %d, want 10", lw)
+	}
+}
+
+func TestAlreadyBalancedNoop(t *testing.T) {
+	h, err := hypergraph.FromEdges(4, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.FromSides([]partition.Side{partition.Left, partition.Left, partition.Right, partition.Right})
+	moved, err := Bisect(h, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("moved %d on balanced input", moved)
+	}
+}
+
+func TestGiantModuleStops(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetVertexWeight(0, 100)
+	h := b.MustBuild()
+	p := partition.FromSides([]partition.Side{partition.Left, partition.Left, partition.Right})
+	// Target 51 with tolerance 0: the giant cannot move without
+	// overshooting; the small vertex moves, then progress stops.
+	moved, err := ToTarget(h, p, 51, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved > 2 {
+		t.Errorf("moved %d, expected early stop", moved)
+	}
+	if err := p.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	h, err := hypergraph.FromEdges(2, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bisect(h, partition.New(2), 0); err == nil {
+		t.Error("accepted incomplete partition")
+	}
+}
+
+func TestRandomInstancesConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(30)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), rng.Intn(n))
+		}
+		for v := 0; v < n; v++ {
+			b.SetVertexWeight(v, int64(1+rng.Intn(5)))
+		}
+		h := b.MustBuild()
+		p := partition.New(n)
+		p.Assign(0, partition.Right)
+		for v := 1; v < n; v++ {
+			p.Assign(v, partition.Left)
+		}
+		tol := h.TotalVertexWeight() / 10
+		if _, err := Bisect(h, p, tol); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(h); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Either within tolerance or stopped for a structural reason
+		// (max vertex weight exceeds the remaining gap).
+		imb := partition.Imbalance(h, p)
+		if imb > 2*tol {
+			maxW := int64(0)
+			for v := 0; v < n; v++ {
+				if h.VertexWeight(v) > maxW {
+					maxW = h.VertexWeight(v)
+				}
+			}
+			if imb > 2*maxW+2*tol {
+				t.Errorf("trial %d: imbalance %d (tol %d, maxW %d)", trial, imb, tol, maxW)
+			}
+		}
+	}
+}
