@@ -16,6 +16,7 @@ package fasthgp
 //	X8  BenchmarkScaling*
 //	X9  BenchmarkQuotientObjective
 //	X10 BenchmarkAllMethods
+//	X11 BenchmarkParallelMultiStart
 //	—   BenchmarkBFSTiePolicy, BenchmarkMultilevelVsFlat, BenchmarkKWay,
 //	    BenchmarkPlacement (design-choice ablations and the application)
 //
@@ -25,6 +26,7 @@ package fasthgp
 // Run cmd/tables for the paper-layout text tables.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -608,6 +610,28 @@ func BenchmarkPlacement(b *testing.B) {
 				hp = HPWL(h, pl)
 			}
 			b.ReportMetric(float64(hp), "HPWL")
+		})
+	}
+}
+
+// BenchmarkParallelMultiStart (X11): the same 50-start Algorithm I run
+// at engine Parallelism 1 vs 4 on a 10k-module profile netlist. The
+// cut is identical by the engine's determinism guarantee (asserted in
+// the test suite); wall-clock per op carries the speedup, bounded by
+// min(workers, NumCPU).
+func BenchmarkParallelMultiStart(b *testing.B) {
+	h := mustProfile(b, 10000, 20000, gen.StdCell)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Bipartition(h, core.Options{Starts: 50, Seed: benchSeed, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.CutSize
+			}
+			b.ReportMetric(float64(cut), "cutsize")
 		})
 	}
 }

@@ -9,12 +9,18 @@
 // given number of random longest-path starts, completion rule and
 // large-net threshold. The tool prints cutsize, balance, timing, and
 // optionally the side assignment of every module.
+//
+// Every algorithm runs on the shared multi-start engine: -starts sets
+// the multi-start count, -parallel fans the starts across workers
+// (never changing the result), -timeout returns the best cut found
+// within a wall-clock budget, and -stats prints the engine's account
+// of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -28,11 +34,14 @@ func main() {
 		algo       = flag.String("algo", "algI", "algorithm: algI, multilevel, kl, fm, sa, flow, spectral, random")
 		format     = flag.String("format", "nets", "input format: nets (netio) or hgr (hMETIS)")
 		k          = flag.Int("k", 2, "number of parts; k > 2 uses K-way recursive bisection")
-		starts     = flag.Int("starts", 50, "Algorithm I: random longest paths to examine")
+		starts     = flag.Int("starts", 50, "multi-start count: longest paths (algI), restarts (kl/fm/sa/spectral/random), seed pairs (flow), V-cycles (multilevel)")
 		threshold  = flag.Int("threshold", 0, "Algorithm I: exclude nets with >= this many pins (0 = off)")
 		completion = flag.String("completion", "greedy", "Algorithm I: boundary completion: greedy, exact, weighted")
 		objective  = flag.String("objective", "cut", "Algorithm I: objective: cut, quotient")
 		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
+		stats      = flag.Bool("stats", false, "print engine multi-start statistics")
 		verbose    = flag.Bool("v", false, "print the side of every module")
 	)
 	flag.Parse()
@@ -60,9 +69,16 @@ func main() {
 	}
 	fmt.Printf("netlist: %d modules, %d nets, %d pins\n", h.NumVertices(), h.NumEdges(), h.NumPins())
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *k > 2 {
 		start := time.Now()
-		res, err := fasthgp.KWay(h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed})
+		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
@@ -71,6 +87,9 @@ func main() {
 		fmt.Printf("cut nets: %d (of %d), connectivity sum(lambda-1): %d\n", res.CutNets, h.NumEdges(), res.Connectivity)
 		fmt.Printf("part weights: %v\n", res.PartWeights)
 		fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+		if *stats {
+			printStats(res.Engine)
+		}
 		if *verbose {
 			for v := 0; v < h.NumVertices(); v++ {
 				fmt.Printf("  %s %d\n", h.VertexName(v), res.Part[v])
@@ -80,10 +99,11 @@ func main() {
 	}
 
 	var p *fasthgp.Bipartition
+	var es fasthgp.EngineStats
 	start := time.Now()
 	switch *algo {
 	case "algI":
-		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed}
+		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed, Parallelism: *parallel}
 		switch *completion {
 		case "greedy":
 			opts.Completion = fasthgp.CompletionGreedy
@@ -102,11 +122,11 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown objective %q", *objective))
 		}
-		res, err := fasthgp.Partition(h, opts)
+		res, err := fasthgp.PartitionCtx(ctx, h, opts)
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Stats.Engine
 		fmt.Printf("algorithm I: G = (%d vertices, %d edges), boundary %d, BFS depth %d",
 			res.Stats.GVertices, res.Stats.GEdges, res.Stats.BoundarySize, res.Stats.BFSDepth)
 		if res.Stats.Disconnected {
@@ -114,53 +134,53 @@ func main() {
 		}
 		fmt.Println()
 	case "multilevel":
-		res, err := fasthgp.Multilevel(h, fasthgp.MultilevelOptions{Seed: *seed})
+		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
 	case "kl":
-		res, err := fasthgp.KL(h, fasthgp.KLOptions{Seed: *seed})
+		res, err := fasthgp.KLCtx(ctx, h, fasthgp.KLOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("kernighan-lin: %d passes\n", res.Passes)
 	case "fm":
-		res, err := fasthgp.FM(h, fasthgp.FMOptions{Seed: *seed})
+		res, err := fasthgp.FMCtx(ctx, h, fasthgp.FMOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("fiduccia-mattheyses: %d passes\n", res.Passes)
 	case "spectral":
-		res, err := fasthgp.Spectral(h, fasthgp.SpectralOptions{Seed: *seed})
+		res, err := fasthgp.SpectralCtx(ctx, h, fasthgp.SpectralOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("spectral: %d power iterations\n", res.Iterations)
 	case "flow":
-		res, err := fasthgp.Flow(h, fasthgp.FlowOptions{Seed: *seed})
+		res, err := fasthgp.FlowCtx(ctx, h, fasthgp.FlowOptions{SeedPairs: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("flow-based: min s-t net cut value %d over seed pairs\n", res.FlowValue)
 	case "sa":
-		res, err := fasthgp.Anneal(h, fasthgp.AnnealOptions{Seed: *seed})
+		res, err := fasthgp.AnnealCtx(ctx, h, fasthgp.AnnealOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = res.Partition
+		p, es = res.Partition, res.Engine
 		fmt.Printf("simulated annealing: %d temperatures, %d accepted moves\n", res.Temperatures, res.Accepted)
 	case "random":
-		rp, _, err := fasthgp.RandomBisection(h, rand.New(rand.NewSource(*seed)))
+		res, err := runRegistered(ctx, "random", h, fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fatal(err)
 		}
-		p = rp
+		p, es = res.Partition, res.Engine
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
@@ -173,6 +193,9 @@ func main() {
 		l, r, fasthgp.Imbalance(h, p), h.TotalVertexWeight())
 	fmt.Printf("quotient cut: %.4f\n", fasthgp.QuotientCut(h, p))
 	fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+	if *stats {
+		printStats(es)
+	}
 	if *verbose {
 		for v := 0; v < h.NumVertices(); v++ {
 			side := "L"
@@ -181,6 +204,31 @@ func main() {
 			}
 			fmt.Printf("  %s %s\n", h.VertexName(v), side)
 		}
+	}
+}
+
+// runRegistered invokes an algorithm from the Algorithms registry by
+// name.
+func runRegistered(ctx context.Context, name string, h *fasthgp.Hypergraph, cfg fasthgp.AlgoConfig) (*fasthgp.AlgoResult, error) {
+	for _, a := range fasthgp.Algorithms() {
+		if a.Name == name {
+			return a.Run(ctx, h, cfg)
+		}
+	}
+	return nil, fmt.Errorf("algorithm %q not in registry", name)
+}
+
+// printStats reports the engine's account of a multi-start run.
+func printStats(es fasthgp.EngineStats) {
+	fmt.Printf("engine: %d/%d starts, best at start %d, %d workers, wall %s, cpu %s",
+		es.StartsRun, es.StartsRequested, es.BestStart, es.Parallelism,
+		es.Wall.Round(time.Microsecond), es.CPU.Round(time.Microsecond))
+	if es.Cancelled {
+		fmt.Print(" [cancelled: best-so-far]")
+	}
+	fmt.Println()
+	if len(es.Cuts) > 0 {
+		fmt.Printf("engine: per-start cuts: %v\n", es.Cuts)
 	}
 }
 

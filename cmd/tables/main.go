@@ -14,6 +14,7 @@
 //	tables -exp scaling        # X8 runtime scaling
 //	tables -exp quotient       # X9 quotient-cut objective
 //	tables -exp methods        # X10 every partitioner head-to-head
+//	tables -exp parallel       # X11 deterministic-parallel speedup
 //	tables -all                # everything
 //
 // -quick shrinks every experiment for a fast smoke run.
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fasthgp/internal/bench"
 	"fasthgp/internal/gen"
@@ -31,7 +33,7 @@ import (
 func main() {
 	var (
 		table = flag.Int("table", 0, "paper table to regenerate (1 or 2)")
-		exp   = flag.String("exp", "", "experiment: difficult, largenets, diameter, balance, starts, granular, scaling, quotient, methods")
+		exp   = flag.String("exp", "", "experiment: difficult, largenets, diameter, balance, starts, granular, scaling, quotient, methods, parallel")
 		all   = flag.Bool("all", false, "run every table and experiment")
 		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
 		seed  = flag.Int64("seed", 1989, "random seed")
@@ -49,7 +51,7 @@ func main() {
 	}
 	experiments := []string{}
 	if *all {
-		experiments = []string{"difficult", "largenets", "diameter", "balance", "starts", "granular", "scaling", "quotient", "methods"}
+		experiments = []string{"difficult", "largenets", "diameter", "balance", "starts", "granular", "scaling", "quotient", "methods", "parallel"}
 	} else if *exp != "" {
 		experiments = []string{*exp}
 	}
@@ -176,6 +178,17 @@ func runExperiment(name string, seed int64, quick bool) {
 			fatal(err)
 		}
 		fmt.Println(bench.RenderQuotient(rows))
+	case "parallel":
+		fmt.Printf("== X11: deterministic-parallel multi-start speedup (%d CPUs) ==\n", runtime.NumCPU())
+		modules, starts := 10000, 50
+		if quick {
+			modules, starts = 2000, 16
+		}
+		rows, err := bench.Parallel(seed, modules, starts, 4)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderParallel(rows))
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", name))
 	}

@@ -23,6 +23,8 @@
 package fasthgp
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -30,6 +32,7 @@ import (
 	"fasthgp/internal/baseline"
 	"fasthgp/internal/cluster"
 	"fasthgp/internal/core"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/flowpart"
 	"fasthgp/internal/fm"
 	"fasthgp/internal/gen"
@@ -103,11 +106,27 @@ const (
 // Result is the outcome of Algorithm I.
 type Result = core.Result
 
+// EngineStats reports how the multi-start engine executed a run:
+// starts requested and completed, the winning start index, the
+// per-start cuts, the worker count, wall/CPU time, and whether the run
+// was cut short by its context. Every partitioner embeds one in its
+// Result. The engine guarantees the same Result for the same Options
+// regardless of Parallelism: each start draws from its own RNG stream
+// and ties break toward the lowest start index.
+type EngineStats = engine.Stats
+
 // Partition runs Algorithm I — the paper's O(n²) intersection-graph
 // heuristic — and returns the best bipartition over opts.Starts random
-// longest BFS paths.
+// longest BFS paths, fanned across opts.Parallelism workers.
 func Partition(h *Hypergraph, opts Options) (*Result, error) {
 	return core.Bipartition(h, opts)
+}
+
+// PartitionCtx is Partition with cancellation: when ctx expires the
+// best result among the starts completed so far is returned instead of
+// an error (the first start always runs to completion).
+func PartitionCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error) {
+	return core.BipartitionCtx(ctx, h, opts)
 }
 
 // CutSize returns the number of nets crossing p.
@@ -136,6 +155,11 @@ type KLResult = kl.Result
 // (Schweikert–Kernighan net model) from a random balanced bisection.
 func KL(h *Hypergraph, opts KLOptions) (*KLResult, error) { return kl.Bisect(h, opts) }
 
+// KLCtx is KL with cancellation (best completed start wins).
+func KLCtx(ctx context.Context, h *Hypergraph, opts KLOptions) (*KLResult, error) {
+	return kl.BisectCtx(ctx, h, opts)
+}
+
 // FMOptions configures the Fiduccia–Mattheyses baseline.
 type FMOptions = fm.Options
 
@@ -146,9 +170,20 @@ type FMResult = fm.Result
 // from a random balanced bisection.
 func FM(h *Hypergraph, opts FMOptions) (*FMResult, error) { return fm.Bisect(h, opts) }
 
+// FMCtx is FM with cancellation (best completed start wins).
+func FMCtx(ctx context.Context, h *Hypergraph, opts FMOptions) (*FMResult, error) {
+	return fm.BisectCtx(ctx, h, opts)
+}
+
 // FMImprove refines an existing bipartition in place with FM passes.
 func FMImprove(h *Hypergraph, p *Bipartition, opts FMOptions) (*FMResult, error) {
 	return fm.Improve(h, p, opts)
+}
+
+// FMImproveCtx is FMImprove with cancellation: passes stop early when
+// ctx expires and the partition as improved so far is returned.
+func FMImproveCtx(ctx context.Context, h *Hypergraph, p *Bipartition, opts FMOptions) (*FMResult, error) {
+	return fm.ImproveCtx(ctx, h, p, opts)
 }
 
 // AnnealOptions configures the simulated-annealing baseline.
@@ -162,6 +197,13 @@ func Anneal(h *Hypergraph, opts AnnealOptions) (*AnnealResult, error) {
 	return anneal.Bisect(h, opts)
 }
 
+// AnnealCtx is Anneal with cancellation: each walk returns its best
+// configuration so far when ctx expires, and the best completed walk
+// wins.
+func AnnealCtx(ctx context.Context, h *Hypergraph, opts AnnealOptions) (*AnnealResult, error) {
+	return anneal.BisectCtx(ctx, h, opts)
+}
+
 // FlowOptions configures the flow-based partitioner.
 type FlowOptions = flowpart.Options
 
@@ -173,6 +215,11 @@ type FlowResult = flowpart.Result
 // flow" family the paper compares against.
 func Flow(h *Hypergraph, opts FlowOptions) (*FlowResult, error) {
 	return flowpart.Bisect(h, opts)
+}
+
+// FlowCtx is Flow with cancellation (best completed seed pair wins).
+func FlowCtx(ctx context.Context, h *Hypergraph, opts FlowOptions) (*FlowResult, error) {
+	return flowpart.BisectCtx(ctx, h, opts)
 }
 
 // MinNetCut computes an exact minimum-weight net cut separating
@@ -192,6 +239,13 @@ type SpectralResult = spectral.Result
 // expansion — the "graph space" eigenvector family the paper cites.
 func Spectral(h *Hypergraph, opts SpectralOptions) (*SpectralResult, error) {
 	return spectral.Bisect(h, opts)
+}
+
+// SpectralCtx is Spectral with cancellation: the power iteration stops
+// at ctx expiry and sweeps the vector it has (best completed start
+// wins).
+func SpectralCtx(ctx context.Context, h *Hypergraph, opts SpectralOptions) (*SpectralResult, error) {
+	return spectral.BisectCtx(ctx, h, opts)
 }
 
 // RandomBisection returns a uniformly random balanced bisection and its
@@ -214,6 +268,13 @@ func Multilevel(h *Hypergraph, opts MultilevelOptions) (*MultilevelResult, error
 	return multilevel.Bisect(h, opts)
 }
 
+// MultilevelCtx is Multilevel with cancellation: an interrupted V-cycle
+// still projects its partition to the input hypergraph (skipping
+// further refinement), and the best completed cycle wins.
+func MultilevelCtx(ctx context.Context, h *Hypergraph, opts MultilevelOptions) (*MultilevelResult, error) {
+	return multilevel.BisectCtx(ctx, h, opts)
+}
+
 // KWayOptions configures K-way partitioning.
 type KWayOptions = kway.Options
 
@@ -225,6 +286,13 @@ type KWayResult = kway.Result
 // proportional balance targets.
 func KWay(h *Hypergraph, opts KWayOptions) (*KWayResult, error) {
 	return kway.Partition(h, opts)
+}
+
+// KWayCtx is KWay with cancellation: after ctx expires each remaining
+// split degrades to its cheapest cut, so a complete K-way labeling is
+// still returned.
+func KWayCtx(ctx context.Context, h *Hypergraph, opts KWayOptions) (*KWayResult, error) {
+	return kway.PartitionCtx(ctx, h, opts)
 }
 
 // Rebalance repairs the weight balance of p in place, moving the
@@ -318,6 +386,164 @@ type ClusterResult = cluster.Result
 // returned ClusterResult.H and lift the result back with Project.
 func Cluster(h *Hypergraph, opts ClusterOptions) (*ClusterResult, error) {
 	return cluster.Cluster(h, opts)
+}
+
+// AlgoConfig carries the knobs shared by every bipartitioner for
+// uniform invocation through the Algorithms registry. Algorithm-
+// specific options (balance windows, cooling schedules, …) stay at
+// their defaults; call the dedicated entry points to tune those.
+type AlgoConfig struct {
+	// Starts is the multi-start count (values < 1 mean 1; for Flow it
+	// is the number of seed pairs).
+	Starts int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Parallelism is the engine worker count; values < 1 mean
+	// GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
+}
+
+// AlgoResult is the common projection of a bipartitioner's outcome.
+type AlgoResult struct {
+	// Partition is the bipartition found.
+	Partition *Bipartition
+	// CutSize is its cutsize.
+	CutSize int
+	// Engine reports the multi-start execution.
+	Engine EngineStats
+}
+
+// Algorithm is one uniformly-invokable bipartitioner from the
+// Algorithms registry.
+type Algorithm struct {
+	// Name is the registry key (matches the -algo flag of cmd/hgpart).
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// Run executes the algorithm under the shared engine contract:
+	// deterministic in (h, cfg) regardless of cfg.Parallelism, and
+	// best-so-far (never an error) on ctx expiry.
+	Run func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error)
+}
+
+// Algorithms returns the registry of bipartitioners, in presentation
+// order. All entries run on the shared multi-start engine, so the
+// determinism, tie-break, and cancellation semantics of EngineStats
+// apply uniformly.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		{
+			Name:        "algo1",
+			Description: "Algorithm I: intersection-graph double-BFS heuristic (the paper)",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Stats.Engine}, nil
+			},
+		},
+		{
+			Name:        "kl",
+			Description: "Kernighan–Lin pair swaps (Schweikert–Kernighan net model)",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := kl.BisectCtx(ctx, h, kl.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "fm",
+			Description: "Fiduccia–Mattheyses gain buckets",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := fm.BisectCtx(ctx, h, fm.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "anneal",
+			Description: "simulated annealing with soft balance penalty",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := anneal.BisectCtx(ctx, h, anneal.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "flow",
+			Description: "exact min s–t net cuts over random seed pairs (Dinic)",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := flowpart.BisectCtx(ctx, h, flowpart.Options{SeedPairs: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "spectral",
+			Description: "Fiedler-vector sweep cut on the clique expansion",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := spectral.BisectCtx(ctx, h, spectral.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "multilevel",
+			Description: "coarsen → Algorithm I → FM refinement V-cycles",
+			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				if err != nil {
+					return nil, err
+				}
+				return &AlgoResult{Partition: r.Partition, CutSize: r.CutSize, Engine: r.Engine}, nil
+			},
+		},
+		{
+			Name:        "random",
+			Description: "best of Starts uniformly random balanced bisections (control)",
+			Run:         runRandomAlgo,
+		},
+	}
+}
+
+// runRandomAlgo is the registry's random-bisection control, run through
+// the engine so it shares the determinism and cancellation contract.
+func runRandomAlgo(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
+	if h.NumVertices() < 2 {
+		return nil, fmt.Errorf("fasthgp: hypergraph has %d vertices; need at least 2", h.NumVertices())
+	}
+	best, es, err := engine.Run(ctx, engine.Spec[*AlgoResult]{
+		Starts:      cfg.Starts,
+		Parallelism: cfg.Parallelism,
+		Seed:        cfg.Seed,
+		Run: func(_ context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*AlgoResult, error) {
+			p := kl.RandomBisection(h.NumVertices(), rng)
+			return &AlgoResult{Partition: p, CutSize: partition.CutSize(h, p)}, nil
+		},
+		Better: func(a, b *AlgoResult) bool {
+			if a.CutSize != b.CutSize {
+				return a.CutSize < b.CutSize
+			}
+			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
+		},
+		Cut: func(r *AlgoResult) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
+	}
+	best.Engine = es
+	return best, nil
 }
 
 // GranularResult describes a granularized netlist.

@@ -12,11 +12,13 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"fasthgp/internal/cutstate"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
 	"fasthgp/internal/partition"
@@ -25,8 +27,16 @@ import (
 // Options configures the annealer. The zero value gives sensible
 // defaults for netlist-sized instances.
 type Options struct {
-	// Seed seeds the random walk (deterministic per seed).
+	// Seed seeds the random walk (deterministic per seed). Each start
+	// draws from its own stream, so results are independent of
+	// Parallelism.
 	Seed int64
+	// Starts is the number of independent annealing walks tried by
+	// Bisect; the best final cut wins (default 1).
+	Starts int
+	// Parallelism is the number of workers running walks concurrently;
+	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 	// InitialTemp is the starting temperature; 0 auto-calibrates so
 	// that an average uphill move is accepted with probability ~0.8.
 	InitialTemp float64
@@ -77,19 +87,54 @@ type Result struct {
 	Partition *partition.Bipartition
 	// CutSize is its cutsize.
 	CutSize int
-	// Temperatures is the number of temperature steps executed.
+	// Temperatures is the number of temperature steps executed (of the
+	// winning walk, under multi-start).
 	Temperatures int
 	// Accepted is the total number of accepted moves.
 	Accepted int
+	// Engine reports the multi-start execution (walks run, winning
+	// walk, per-walk cuts, wall/CPU time).
+	Engine engine.Stats
 }
 
 // Bisect anneals h from a random balanced bisection.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: each walk polls ctx inside
+// its temperature loop and returns the best configuration seen so far
+// when it expires, and the engine returns the best completed walk
+// (start 0 always runs).
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("anneal: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
 	opts.defaults(h)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
+			return annealOnce(ctx, h, opts, rng)
+		},
+		Better: func(a, b *Result) bool {
+			if a.CutSize != b.CutSize {
+				return a.CutSize < b.CutSize
+			}
+			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
+		},
+		Cut: func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
+	}
+	best.Engine = es
+	return best, nil
+}
+
+// annealOnce runs a single annealing walk with its own RNG stream.
+func annealOnce(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand) (*Result, error) {
 	p := kl.RandomBisection(h.NumVertices(), rng)
 	s, err := cutstate.New(h, p)
 	if err != nil {
@@ -141,10 +186,15 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 
 	res := &Result{}
 	frozen := 0
-	for temp > opts.MinTemp && frozen < opts.FrozenTemps {
+	for temp > opts.MinTemp && frozen < opts.FrozenTemps && ctx.Err() == nil {
 		res.Temperatures++
 		acceptedHere := 0
 		for i := 0; i < opts.MovesPerTemp; i++ {
+			// Poll cancellation inside the hot loop too: MovesPerTemp is
+			// 10·n by default, far too long a stride near a deadline.
+			if i&1023 == 1023 && ctx.Err() != nil {
+				break
+			}
 			v := rng.Intn(n)
 			delta := moveDelta(v)
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {

@@ -232,3 +232,24 @@ func TestQuotientSmall(t *testing.T) {
 		t.Error("render broken")
 	}
 }
+
+func TestParallelSmall(t *testing.T) {
+	rows, err := Parallel(21, 1000, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 methods", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: serial and parallel runs disagree", r.Method)
+		}
+		if r.Serial <= 0 || r.Parallel <= 0 {
+			t.Errorf("%s: missing timings", r.Method)
+		}
+	}
+	if s := RenderParallel(rows).String(); !strings.Contains(s, "speedup") {
+		t.Error("render broken")
+	}
+}

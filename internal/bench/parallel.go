@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fasthgp/internal/core"
+	"fasthgp/internal/fm"
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/kl"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/spectral"
+	"fasthgp/internal/stats"
+)
+
+// ParallelRow is one method's line in the parallel-speedup experiment
+// (X11): the same multi-start run executed serially and with Workers
+// engine workers, with the wall-clock ratio and a byte-identity check
+// of the two results.
+type ParallelRow struct {
+	Method    string
+	N         int
+	Starts    int
+	Workers   int
+	Serial    time.Duration
+	Parallel  time.Duration
+	Cut       int
+	BestStart int
+	// Identical reports whether the serial and parallel runs returned
+	// the same cut, the same side for every vertex, and the same
+	// winning start — the engine's determinism guarantee.
+	Identical bool
+}
+
+// parallelCase is one timed method: run must execute the full
+// multi-start with the given worker count and return the partition and
+// the winning start index.
+type parallelCase struct {
+	method string
+	h      *hypergraph.Hypergraph
+	starts int
+	run    func(parallelism int) (*partition.Bipartition, int, error)
+}
+
+// Parallel measures the wall-clock speedup of the deterministic
+// multi-start engine: every method runs its multi-start twice — with 1
+// worker and with `workers` workers — on circuit-profile netlists, and
+// the row records the time ratio plus whether the two runs agreed
+// exactly (they must; the engine guarantees parallelism never changes
+// the result). Algorithm I runs on a netlist of `modules` vertices
+// (default 10000) with `starts` starts (default 50); the slower
+// refinement methods run on a tenth-size instance so the experiment
+// stays interactive. The attainable speedup is bounded by
+// min(workers, runtime.NumCPU()): on a single-core host every row
+// reads ~1.0 while the identity column still certifies determinism.
+func Parallel(seed int64, modules, starts, workers int) ([]ParallelRow, error) {
+	if modules <= 0 {
+		modules = 10000
+	}
+	if starts <= 0 {
+		starts = 50
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	big, err := gen.Profile(gen.ProfileConfig{Modules: modules, Signals: 2 * modules, Technology: gen.StdCell},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel: %w", err)
+	}
+	smallN := modules / 10
+	if smallN < 100 {
+		smallN = 100
+	}
+	small, err := gen.Profile(gen.ProfileConfig{Modules: smallN, Signals: 2 * smallN, Technology: gen.StdCell},
+		rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel: %w", err)
+	}
+
+	cases := []parallelCase{
+		{"Alg I", big, starts, func(par int) (*partition.Bipartition, int, error) {
+			r, err := core.Bipartition(big, core.Options{Starts: starts, Seed: seed, Parallelism: par})
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Partition, r.Stats.Engine.BestStart, nil
+		}},
+		{"KL", small, starts, func(par int) (*partition.Bipartition, int, error) {
+			r, err := kl.Bisect(small, kl.Options{Starts: starts, Seed: seed, Parallelism: par})
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Partition, r.Engine.BestStart, nil
+		}},
+		{"FM", small, starts, func(par int) (*partition.Bipartition, int, error) {
+			r, err := fm.Bisect(small, fm.Options{Starts: starts, Seed: seed, Parallelism: par})
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Partition, r.Engine.BestStart, nil
+		}},
+		{"spectral", small, starts, func(par int) (*partition.Bipartition, int, error) {
+			r, err := spectral.Bisect(small, spectral.Options{Starts: starts, Seed: seed, Parallelism: par})
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Partition, r.Engine.BestStart, nil
+		}},
+	}
+
+	var rows []ParallelRow
+	for _, c := range cases {
+		serialStart := time.Now()
+		sp, sBest, err := c.run(1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parallel %s serial: %w", c.method, err)
+		}
+		serial := time.Since(serialStart)
+
+		parStart := time.Now()
+		pp, pBest, err := c.run(workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parallel %s workers=%d: %w", c.method, workers, err)
+		}
+		par := time.Since(parStart)
+
+		rows = append(rows, ParallelRow{
+			Method:    c.method,
+			N:         c.h.NumVertices(),
+			Starts:    c.starts,
+			Workers:   workers,
+			Serial:    serial,
+			Parallel:  par,
+			Cut:       partition.CutSize(c.h, pp),
+			BestStart: pBest,
+			Identical: sBest == pBest && samePartition(c.h, sp, pp),
+		})
+	}
+	return rows, nil
+}
+
+// samePartition reports side-for-side equality of two bipartitions.
+func samePartition(h *hypergraph.Hypergraph, a, b *partition.Bipartition) bool {
+	for v := 0; v < h.NumVertices(); v++ {
+		if a.Side(v) != b.Side(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderParallel formats X11 rows.
+func RenderParallel(rows []ParallelRow) *stats.Table {
+	t := stats.NewTable("method", "n", "starts", "workers", "serial", "parallel", "speedup", "cut", "identical")
+	for _, r := range rows {
+		t.AddRow(r.Method, stats.I(r.N), stats.I(r.Starts), stats.I(r.Workers),
+			r.Serial.Round(time.Microsecond).String(),
+			r.Parallel.Round(time.Microsecond).String(),
+			stats.F(stats.Ratio(float64(r.Serial), float64(r.Parallel)), 2),
+			stats.I(r.Cut),
+			fmt.Sprintf("%v", r.Identical))
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/matching"
 	"fasthgp/internal/partition"
@@ -19,11 +20,27 @@ import (
 // loser count is within one of the optimum completion for each
 // connected component of G′.
 func CompleteCutGreedy(bg *BoundaryGraph) []bool {
+	return completeCutGreedy(bg, nil)
+}
+
+// completeCutGreedy is CompleteCutGreedy drawing its side arrays from
+// the multi-start scratch arena when one is available (nil falls back
+// to fresh allocations). The winner slice itself also comes from the
+// arena — it never outlives the start that leased it.
+func completeCutGreedy(bg *BoundaryGraph, scratch *engine.Scratch) []bool {
 	g := bg.G
 	n := g.NumVertices()
-	winner := make([]bool, n)
-	alive := make([]bool, n)
-	deg := make([]int, n)
+	var winner, alive []bool
+	var deg []int
+	if scratch != nil {
+		winner = scratch.Bools(n)
+		alive = scratch.Bools(n)
+		deg = scratch.Ints(n)
+	} else {
+		winner = make([]bool, n)
+		alive = make([]bool, n)
+		deg = make([]int, n)
+	}
 	maxd := 0
 	for v := 0; v < n; v++ {
 		alive[v] = true

@@ -33,9 +33,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/intersect"
 	"fasthgp/internal/partition"
@@ -117,7 +119,13 @@ type Options struct {
 	// smaller-side-first expansion. Ablated in the benchmark suite.
 	BalancedBFS bool
 	// Seed seeds the random source; runs are deterministic per seed.
+	// Each start draws from its own stream (see internal/engine), so
+	// the result does not depend on Parallelism.
 	Seed int64
+	// Parallelism is the number of workers running starts concurrently;
+	// values < 1 mean GOMAXPROCS. It affects wall time only, never the
+	// result.
+	Parallelism int
 }
 
 // Stats reports per-run diagnostics matching the quantities the paper's
@@ -145,6 +153,11 @@ type Stats struct {
 	// side of the boundary"). When set, Losers no longer upper-bounds
 	// the crossing nets.
 	Repaired bool
+	// Engine reports how the multi-start engine executed the run:
+	// starts completed, winning start index, per-start cuts, wall and
+	// summed per-start CPU time, and whether cancellation cut the run
+	// short.
+	Engine engine.Stats
 }
 
 // Result is the outcome of Algorithm I.
@@ -173,13 +186,17 @@ type Result struct {
 // Errors are returned only for degenerate inputs on which no proper
 // bipartition exists (fewer than two vertices).
 func Bipartition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BipartitionCtx(context.Background(), h, opts)
+}
+
+// BipartitionCtx is Bipartition with cancellation: starts fan out over
+// opts.Parallelism workers, and when ctx expires the best result among
+// the starts that completed is returned (start 0 always runs), with
+// Stats.Engine.Cancelled set, rather than an error.
+func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("core: hypergraph has %d vertices; need at least 2 to bipartition", h.NumVertices())
 	}
-	if opts.Starts < 1 {
-		opts.Starts = 1
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 
 	ig := intersect.Build(h, intersect.Options{Threshold: opts.Threshold})
 	baseStats := Stats{
@@ -190,26 +207,41 @@ func Bipartition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 
 	// Degenerate or disconnected intersection graphs admit a zero-cut
 	// partition of the included nets; handle them by component packing
-	// rather than BFS.
+	// rather than BFS. The outcome is start-independent, so the engine
+	// is bypassed and a single synthetic start is reported.
 	if ig.G.NumVertices() == 0 || !ig.G.IsConnected() {
 		res := packComponents(h, ig)
 		res.Stats = baseStats
 		res.Stats.Disconnected = true
 		res.Stats.StartsRun = 1
+		res.Stats.Engine = engine.Stats{
+			StartsRequested: 1,
+			StartsRun:       1,
+			BestStart:       0,
+			Cuts:            []int{res.CutSize},
+			Parallelism:     1,
+		}
 		return res, nil
 	}
 
-	var best *Result
-	for s := 0; s < opts.Starts; s++ {
-		cand := runOnce(h, ig, rng, opts)
-		cand.Stats.GVertices = baseStats.GVertices
-		cand.Stats.GEdges = baseStats.GEdges
-		cand.Stats.ExcludedNets = baseStats.ExcludedNets
-		if best == nil || better(h, cand, best, opts.Objective) {
-			best = cand
-		}
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(_ context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
+			return runOnce(h, ig, rng, opts, scratch), nil
+		},
+		Better: func(a, b *Result) bool { return better(h, a, b, opts.Objective) },
+		Cut:    func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	best.Stats.StartsRun = opts.Starts
+	best.Stats.GVertices = baseStats.GVertices
+	best.Stats.GEdges = baseStats.GEdges
+	best.Stats.ExcludedNets = baseStats.ExcludedNets
+	best.Stats.StartsRun = es.StartsRun
+	best.Stats.Engine = es
 	return best, nil
 }
 
@@ -231,8 +263,9 @@ func better(h *hypergraph.Hypergraph, a, b *Result, obj Objective) bool {
 }
 
 // runOnce executes one start: longest BFS path, double-BFS cut,
-// boundary completion, module assignment, repair, scoring.
-func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options) *Result {
+// boundary completion, module assignment, repair, scoring. The scratch
+// arena (may be nil) backs buffers that die with the start.
+func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options, scratch *engine.Scratch) *Result {
 	u, v, depth := ig.G.LongestBFSPath(rng)
 	pb := PartialFromCutPolicy(h, ig, u, v, opts.BalancedBFS)
 
@@ -243,7 +276,7 @@ func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opt
 	case CompletionWeighted:
 		winner = completeCutWeighted(h, pb)
 	default:
-		winner = CompleteCutGreedy(pb.Boundary)
+		winner = completeCutGreedy(pb.Boundary, scratch)
 	}
 
 	p, losers := pb.Apply(h, winner)

@@ -1,0 +1,259 @@
+// Package engine is the shared multi-start runtime behind every
+// partitioner in the library. The paper's evaluation (and the whole
+// multi-start tradition it sits in) treats repeated independent starts
+// as an embarrassingly parallel resource: each start is a pure function
+// of (instance, seed, start index). The engine exploits exactly that.
+//
+// Guarantees:
+//
+//   - Bit-for-bit seed determinism, independent of Parallelism. Every
+//     start draws from its own RNG stream seeded seed ⊕
+//     splitmix64(startIndex), so no start observes another's random
+//     draws, and the best-result reduction scans starts in ascending
+//     index order with a *strict* improvement predicate — the lowest
+//     start index wins ties. Parallel output ≡ serial output.
+//   - Cancellation with best-so-far semantics. The context is checked
+//     before each start is claimed (and algorithms additionally poll it
+//     inside their hot loops); on expiry the engine stops claiming new
+//     starts, waits for in-flight ones, and returns the best completed
+//     result rather than an error. Start 0 always runs, so a result
+//     exists whenever no start fails.
+//   - No per-start allocation churn: each worker leases a Scratch arena
+//     from a sync.Pool and hands it to every start it executes.
+//
+// The reduction requires Better to be a strict "a improves on b"
+// predicate (false for equivalent results); anything looser would let
+// a higher start index steal a tie and break parallel determinism.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Normalize clamps a multi-start count: values < 1 mean 1. It is the
+// single shared home of the "Starts < 1 → 1" rule that the algorithm
+// packages used to duplicate.
+func Normalize(starts int) int {
+	if starts < 1 {
+		return 1
+	}
+	return starts
+}
+
+// NormalizeTo is Normalize with a package-specific default: values < 1
+// mean def (itself clamped to at least 1). Used by algorithms whose
+// zero-value start count historically meant "a few", e.g. flow seed
+// pairs (5) or the multilevel initial-partition starts (10).
+func NormalizeTo(n, def int) int {
+	if n < 1 {
+		return Normalize(def)
+	}
+	return n
+}
+
+// NormalizeParallelism clamps a worker count: values < 1 mean
+// GOMAXPROCS (use all available cores).
+func NormalizeParallelism(p int) int {
+	if p < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// splitmix64 is the SplitMix64 output mixer (Steele–Lea–Flood, the
+// stream-splitting generator of JDK 8). A single application
+// decorrelates consecutive integers into statistically independent
+// 64-bit values, which makes seed ⊕ splitmix64(i) an independent seed
+// stream per start index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StartSeed derives the RNG seed of start index i from the user-facing
+// seed. Starts never share a stream, and the mapping is pure, so any
+// start can be re-executed in isolation.
+func StartSeed(seed int64, i int) int64 {
+	return int64(uint64(seed) ^ splitmix64(uint64(i)))
+}
+
+// StartRNG returns the dedicated RNG of start index i under seed.
+func StartRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(StartSeed(seed, i)))
+}
+
+// NotRun marks a start that never executed in Stats.Cuts (the run was
+// cancelled before the start was claimed).
+const NotRun = -1
+
+// Stats reports how a multi-start run actually executed. Every
+// algorithm Result carries one.
+type Stats struct {
+	// StartsRequested is the normalized number of starts asked for.
+	StartsRequested int
+	// StartsRun is the number of starts that completed (equals
+	// StartsRequested unless the context expired).
+	StartsRun int
+	// BestStart is the start index that produced the returned result.
+	// Determinism makes it reproducible: serial and parallel runs
+	// report the same index.
+	BestStart int
+	// Cuts records each start's primary cost (NotRun for starts the
+	// cancellation skipped), indexed by start.
+	Cuts []int
+	// Parallelism is the normalized worker count used.
+	Parallelism int
+	// Wall is the wall-clock duration of the whole multi-start run.
+	Wall time.Duration
+	// CPU is the summed execution time of the individual starts — the
+	// serial-equivalent cost. Wall ≪ CPU is the parallel win.
+	CPU time.Duration
+	// Cancelled reports that the context expired before every start
+	// ran and the result is best-so-far rather than best-of-all.
+	Cancelled bool
+}
+
+// Spec configures one multi-start run of the engine.
+type Spec[T any] struct {
+	// Starts is the number of independent starts (Normalize applies).
+	Starts int
+	// Parallelism is the worker count (NormalizeParallelism applies);
+	// it never affects the result, only the wall time.
+	Parallelism int
+	// Seed is the user-facing seed; start i runs with StartRNG(Seed, i).
+	Seed int64
+	// Run executes one start. It must be safe for concurrent calls with
+	// distinct (start, rng, scratch) arguments, must not retain scratch
+	// buffers in its result, and — to honor best-so-far cancellation —
+	// should return a usable result (not an error) when it observes ctx
+	// expiry mid-start. Errors abort the whole run.
+	Run func(ctx context.Context, start int, rng *rand.Rand, scratch *Scratch) (T, error)
+	// Better reports that a strictly improves on b. It must be strict:
+	// Better(a, b) and Better(b, a) both false means a tie, which the
+	// lowest start index wins.
+	Better func(a, b T) bool
+	// Cut extracts the primary cost of a result for Stats.Cuts.
+	// Optional; nil leaves Cuts at NotRun.
+	Cut func(T) int
+}
+
+// ErrNoStart is returned when no start completed, which can only
+// happen when start 0 itself fails.
+var ErrNoStart = errors.New("engine: no start completed")
+
+// Run executes the multi-start described by spec and returns the best
+// result with its run statistics. The returned error is non-nil only
+// when a start fails (the first failing start index wins); context
+// expiry is not an error — the best result among completed starts is
+// returned with Stats.Cancelled set.
+func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
+	var zero T
+	starts := Normalize(spec.Starts)
+	workers := NormalizeParallelism(spec.Parallelism)
+	if workers > starts {
+		workers = starts
+	}
+	st := Stats{
+		StartsRequested: starts,
+		BestStart:       -1,
+		Cuts:            make([]int, starts),
+		Parallelism:     workers,
+	}
+	for i := range st.Cuts {
+		st.Cuts[i] = NotRun
+	}
+
+	results := make([]T, starts)
+	completed := make([]bool, starts)
+	errs := make([]error, starts)
+	begin := time.Now()
+	var cpu atomic.Int64
+	var failed atomic.Bool
+
+	// runOne executes start i into the shared result arrays. Indices
+	// are claimed exactly once, so no two invocations share a slot.
+	runOne := func(i int, scratch *Scratch) {
+		t0 := time.Now()
+		v, err := spec.Run(ctx, i, StartRNG(spec.Seed, i), scratch)
+		cpu.Add(int64(time.Since(t0)))
+		scratch.Release()
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		results[i] = v
+		completed[i] = true
+	}
+	// claimable reports whether start i may still begin. Start 0 is
+	// exempt from the cancellation check so that a result always
+	// exists; later starts stop as soon as the context expires or a
+	// start fails.
+	claimable := func(i int) bool {
+		return i == 0 || (!failed.Load() && ctx.Err() == nil)
+	}
+
+	if workers <= 1 {
+		scratch := GetScratch()
+		for i := 0; i < starts; i++ {
+			if !claimable(i) {
+				break
+			}
+			runOne(i, scratch)
+		}
+		PutScratch(scratch)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				scratch := GetScratch()
+				defer PutScratch(scratch)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= starts || !claimable(i) {
+						return
+					}
+					runOne(i, scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic reduction: ascending start index, strict
+	// improvement only, so the lowest index wins every tie and the
+	// winner is independent of completion order.
+	for i := 0; i < starts; i++ {
+		if errs[i] != nil {
+			return zero, st, errs[i]
+		}
+		if !completed[i] {
+			continue
+		}
+		st.StartsRun++
+		if spec.Cut != nil {
+			st.Cuts[i] = spec.Cut(results[i])
+		}
+		if st.BestStart < 0 || spec.Better(results[i], results[st.BestStart]) {
+			st.BestStart = i
+		}
+	}
+	st.Wall = time.Since(begin)
+	st.CPU = time.Duration(cpu.Load())
+	st.Cancelled = st.StartsRun < starts
+	if st.BestStart < 0 {
+		return zero, st, ErrNoStart
+	}
+	return results[st.BestStart], st, nil
+}

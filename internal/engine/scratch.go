@@ -1,0 +1,94 @@
+package engine
+
+import "sync"
+
+// Scratch is a per-worker arena of reusable working buffers — BFS
+// queues, side arrays, gain arrays, candidate lists — so that parallel
+// starts do not allocate (and garbage-collect) the same transient
+// slices once per start. A worker leases one Scratch for its lifetime
+// and passes it to every start it runs; Release between starts returns
+// every handed-out buffer to the arena's free lists.
+//
+// Buffers are always returned zeroed, so reuse can never leak state
+// from one start into another — a determinism requirement, not just
+// hygiene. Callers must not retain a buffer past the end of their
+// start (in particular, never store one in a Result).
+type Scratch struct {
+	freeInts, usedInts     [][]int
+	freeBools, usedBools   [][]bool
+	freeInt64s, usedInt64s [][]int64
+}
+
+// Ints leases a zeroed []int of length n from the arena.
+func (s *Scratch) Ints(n int) []int {
+	for k := len(s.freeInts) - 1; k >= 0; k-- {
+		if cap(s.freeInts[k]) >= n {
+			buf := s.freeInts[k][:n]
+			s.freeInts[k] = s.freeInts[len(s.freeInts)-1]
+			s.freeInts = s.freeInts[:len(s.freeInts)-1]
+			clear(buf)
+			s.usedInts = append(s.usedInts, buf)
+			return buf
+		}
+	}
+	buf := make([]int, n)
+	s.usedInts = append(s.usedInts, buf)
+	return buf
+}
+
+// Bools leases a zeroed []bool of length n from the arena.
+func (s *Scratch) Bools(n int) []bool {
+	for k := len(s.freeBools) - 1; k >= 0; k-- {
+		if cap(s.freeBools[k]) >= n {
+			buf := s.freeBools[k][:n]
+			s.freeBools[k] = s.freeBools[len(s.freeBools)-1]
+			s.freeBools = s.freeBools[:len(s.freeBools)-1]
+			clear(buf)
+			s.usedBools = append(s.usedBools, buf)
+			return buf
+		}
+	}
+	buf := make([]bool, n)
+	s.usedBools = append(s.usedBools, buf)
+	return buf
+}
+
+// Int64s leases a zeroed []int64 of length n from the arena.
+func (s *Scratch) Int64s(n int) []int64 {
+	for k := len(s.freeInt64s) - 1; k >= 0; k-- {
+		if cap(s.freeInt64s[k]) >= n {
+			buf := s.freeInt64s[k][:n]
+			s.freeInt64s[k] = s.freeInt64s[len(s.freeInt64s)-1]
+			s.freeInt64s = s.freeInt64s[:len(s.freeInt64s)-1]
+			clear(buf)
+			s.usedInt64s = append(s.usedInt64s, buf)
+			return buf
+		}
+	}
+	buf := make([]int64, n)
+	s.usedInt64s = append(s.usedInt64s, buf)
+	return buf
+}
+
+// Release reclaims every leased buffer back into the free lists. The
+// engine calls it after each start; algorithms running several
+// independent phases within one start may also call it themselves.
+func (s *Scratch) Release() {
+	s.freeInts = append(s.freeInts, s.usedInts...)
+	s.usedInts = s.usedInts[:0]
+	s.freeBools = append(s.freeBools, s.usedBools...)
+	s.usedBools = s.usedBools[:0]
+	s.freeInt64s = append(s.freeInt64s, s.usedInt64s...)
+	s.usedInt64s = s.usedInt64s[:0]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch leases a Scratch from the global pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch releases s's buffers and returns it to the global pool.
+func PutScratch(s *Scratch) {
+	s.Release()
+	scratchPool.Put(s)
+}

@@ -14,9 +14,11 @@
 package flowpart
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/maxflow"
 	"fasthgp/internal/partition"
@@ -25,15 +27,15 @@ import (
 // Options configures Bisect.
 type Options struct {
 	// SeedPairs is the number of (s, t) module pairs tried (default 5).
+	// Each pair is an independent start of the multi-start engine.
 	SeedPairs int
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic; each seed pair draws from its
+	// own stream, so results are independent of Parallelism.
 	Seed int64
-}
-
-func (o *Options) defaults() {
-	if o.SeedPairs <= 0 {
-		o.SeedPairs = 5
-	}
+	// Parallelism is the number of workers solving seed pairs
+	// concurrently; values < 1 mean GOMAXPROCS. Wall time only, never
+	// the result.
+	Parallelism int
 }
 
 // Result is the flow-partition outcome.
@@ -44,6 +46,9 @@ type Result struct {
 	CutSize int
 	// FlowValue is the weighted min-cut value certified by the flow.
 	FlowValue int64
+	// Engine reports the multi-start execution (pairs run, winning
+	// pair, per-pair cuts, wall/CPU time).
+	Engine engine.Stats
 }
 
 // MinNetCut computes an exact minimum-weight net cut separating
@@ -84,27 +89,44 @@ func MinNetCut(h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int6
 // the best valid bipartition found; balance is whatever the minimum
 // cut dictates, as with the other unconstrained methods.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: seed pairs fan out over
+// opts.Parallelism workers and the best cut among the pairs solved
+// before ctx expired is returned (the first pair always runs).
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	n := h.NumVertices()
 	if n < 2 {
 		return nil, fmt.Errorf("flowpart: hypergraph has %d vertices; need at least 2", n)
 	}
-	opts.defaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	var best *Result
-	for i := 0; i < opts.SeedPairs; i++ {
-		s := rng.Intn(n)
-		t := rng.Intn(n)
-		for t == s {
-			t = rng.Intn(n)
-		}
-		p, value, err := MinNetCut(h, s, t)
-		if err != nil {
-			return nil, err
-		}
-		cand := &Result{Partition: p, CutSize: partition.CutSize(h, p), FlowValue: value}
-		if best == nil || cand.CutSize < best.CutSize {
-			best = cand
-		}
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      engine.NormalizeTo(opts.SeedPairs, 5),
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(_ context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
+			s := rng.Intn(n)
+			t := rng.Intn(n)
+			for t == s {
+				t = rng.Intn(n)
+			}
+			p, value, err := MinNetCut(h, s, t)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Partition: p, CutSize: partition.CutSize(h, p), FlowValue: value}, nil
+		},
+		Better: func(a, b *Result) bool {
+			if a.CutSize != b.CutSize {
+				return a.CutSize < b.CutSize
+			}
+			return a.FlowValue < b.FlowValue
+		},
+		Cut: func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
 	}
+	best.Engine = es
 	return best, nil
 }

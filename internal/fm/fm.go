@@ -11,10 +11,12 @@
 package fm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"fasthgp/internal/cutstate"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
 	"fasthgp/internal/partition"
@@ -22,6 +24,9 @@ import (
 
 // Options configures the partitioner.
 type Options struct {
+	// Starts is the number of independent random initial bisections
+	// tried by Bisect; the best final cut wins (default 1).
+	Starts int
 	// MaxPasses bounds improvement passes (default 12).
 	MaxPasses int
 	// BalanceFraction is the allowed deviation from perfect weight
@@ -30,8 +35,13 @@ type Options struct {
 	// the original paper). Values ≥ 0.5 disable the constraint except
 	// for non-emptiness.
 	BalanceFraction float64
-	// Seed seeds the initial random bisection used by Bisect.
+	// Seed seeds the initial random bisections used by Bisect; each
+	// start draws from its own stream, so results are independent of
+	// Parallelism.
 	Seed int64
+	// Parallelism is the number of workers running starts concurrently;
+	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -49,18 +59,51 @@ type Result struct {
 	Partition *partition.Bipartition
 	// CutSize is its cutsize.
 	CutSize int
-	// Passes is the number of passes executed.
+	// Passes is the number of passes executed (of the winning start,
+	// under multi-start).
 	Passes int
+	// Engine reports the multi-start execution (starts run, winning
+	// start, per-start cuts, wall/CPU time).
+	Engine engine.Stats
 }
 
 // Bisect partitions h starting from a random balanced bisection.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: the best result among the
+// starts that completed is returned when ctx expires (start 0 always
+// runs). Within a start, passes stop early at cancellation.
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("fm: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	p := kl.RandomBisection(h.NumVertices(), rng)
-	return Improve(h, p, opts)
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
+			p := kl.RandomBisection(h.NumVertices(), rng)
+			return improveLocked(ctx, h, p, nil, opts, scratch)
+		},
+		Better: func(a, b *Result) bool { return betterResult(h, a, b) },
+		Cut:    func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
+	}
+	best.Engine = es
+	return best, nil
+}
+
+// betterResult orders candidate results: lower cut, then lower weight
+// imbalance (strict, so the engine's lowest-index tie-break applies).
+func betterResult(h *hypergraph.Hypergraph, a, b *Result) bool {
+	if a.CutSize != b.CutSize {
+		return a.CutSize < b.CutSize
+	}
+	return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 }
 
 // Improve runs FM passes from the given complete bipartition, modified
@@ -69,12 +112,29 @@ func Improve(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (
 	return ImproveLocked(h, p, nil, opts)
 }
 
+// ImproveCtx is Improve with cancellation: passes stop early when ctx
+// expires and the partition as improved so far is returned.
+func ImproveCtx(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (*Result, error) {
+	return ImproveLockedCtx(ctx, h, p, nil, opts)
+}
+
 // ImproveLocked is Improve with a set of permanently fixed vertices
 // (fixed[v] = true ⇒ v never moves). This is the hook for
 // terminal-propagation placement (Dunlop–Kernighan): anchor vertices
 // representing external pins are fixed to their side. A nil fixed
 // slice fixes nothing.
 func ImproveLocked(h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []bool, opts Options) (*Result, error) {
+	return ImproveLockedCtx(context.Background(), h, p, fixed, opts)
+}
+
+// ImproveLockedCtx is ImproveLocked with cancellation between passes.
+func ImproveLockedCtx(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []bool, opts Options) (*Result, error) {
+	scratch := engine.GetScratch()
+	defer engine.PutScratch(scratch)
+	return improveLocked(ctx, h, p, fixed, opts, scratch)
+}
+
+func improveLocked(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []bool, opts Options, scratch *engine.Scratch) (*Result, error) {
 	opts.defaults()
 	if err := p.Validate(h); err != nil {
 		return nil, fmt.Errorf("fm: %w", err)
@@ -90,10 +150,16 @@ func ImproveLocked(h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []b
 	if minSide < 0 {
 		minSide = 0
 	}
+	// Side arrays are leased once per improvement run and re-zeroed by
+	// each pass, so repeated passes (and parallel starts) do not
+	// reallocate them.
+	n := h.NumVertices()
+	locked := scratch.Bools(n)
+	gain := scratch.Ints(n)
 	passes := 0
-	for passes < opts.MaxPasses {
+	for passes < opts.MaxPasses && ctx.Err() == nil {
 		passes++
-		if gain := runPass(s, minSide, fixed); gain <= 0 {
+		if kept := runPass(s, minSide, fixed, locked, gain); kept <= 0 {
 			break
 		}
 	}
@@ -144,15 +210,17 @@ func (b *buckets) pop(valid func(v, gain int) bool) (int, bool) {
 }
 
 // runPass executes one FM pass and returns the cut improvement kept.
-// Vertices with fixed[v] = true start locked and never move.
-func runPass(s *cutstate.State, minSide int64, fixed []bool) int {
+// Vertices with fixed[v] = true start locked and never move. locked
+// and gain are caller-owned length-n side arrays; the pass re-zeroes
+// them on entry.
+func runPass(s *cutstate.State, minSide int64, fixed, locked []bool, gain []int) int {
 	h := s.Hypergraph()
 	n := h.NumVertices()
-	locked := make([]bool, n)
+	clear(locked)
 	if fixed != nil {
 		copy(locked, fixed)
 	}
-	gain := make([]int, n)
+	clear(gain)
 	maxDeg := h.MaxVertexDegree()
 	bq := newBuckets(maxDeg)
 	for v := 0; v < n; v++ {

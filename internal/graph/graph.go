@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable simple undirected graph with vertices
@@ -173,10 +174,44 @@ func (g *Graph) BFS(src int) (dist, parent []int) {
 	return dist, parent
 }
 
+// bfsBuffers holds the distance and queue arrays of one BFS sweep.
+// They are pooled because Eccentricity is the hot path of every
+// Algorithm I start (two sweeps per LongestBFSPath), and parallel
+// multi-start runs would otherwise allocate two O(n) arrays per sweep.
+type bfsBuffers struct {
+	dist  []int
+	queue []int
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsBuffers) }}
+
 // Eccentricity returns the maximum finite BFS distance from src and a
-// vertex attaining it. Unreachable vertices are ignored.
+// vertex attaining it (the lowest-numbered such vertex; src itself when
+// nothing else is reachable). Unreachable vertices are ignored.
 func (g *Graph) Eccentricity(src int) (far int, dist int) {
-	d, _ := g.BFS(src)
+	n := g.NumVertices()
+	buf := bfsPool.Get().(*bfsBuffers)
+	defer bfsPool.Put(buf)
+	if cap(buf.dist) < n {
+		buf.dist = make([]int, n)
+		buf.queue = make([]int, 0, n)
+	}
+	d := buf.dist[:n]
+	for i := range d {
+		d[i] = Unreached
+	}
+	d[src] = 0
+	queue := append(buf.queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(v) {
+			if d[u] == Unreached {
+				d[u] = d[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	buf.queue = queue
 	far, dist = src, 0
 	for v, dv := range d {
 		if dv > dist {

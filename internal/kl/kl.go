@@ -10,28 +10,42 @@
 // side and evaluates exact hypergraph swap gains (which, unlike the
 // graph case, are not determined by the two individual gains), keeping
 // the cost per pass near the O(n² log n) regime the paper cites.
+//
+// Multi-start (Options.Starts) repeats the whole descent from several
+// random bisections through the shared engine runtime, which fans the
+// starts across Options.Parallelism workers deterministically.
 package kl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"fasthgp/internal/cutstate"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
 )
 
 // Options configures the partitioner.
 type Options struct {
+	// Starts is the number of independent random initial bisections
+	// tried by Bisect; the best final cut wins (default 1).
+	Starts int
 	// MaxPasses bounds the number of improvement passes (default 10).
 	MaxPasses int
 	// Candidates is the number of top-gain vertices per side scanned
 	// when selecting each swap (default 8). Larger values approach the
 	// textbook full pair scan at quadratic cost.
 	Candidates int
-	// Seed seeds the initial random bisection used by Bisect.
+	// Seed seeds the initial random bisections used by Bisect; each
+	// start draws from its own stream, so results are independent of
+	// Parallelism.
 	Seed int64
+	// Parallelism is the number of workers running starts concurrently;
+	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -49,18 +63,53 @@ type Result struct {
 	Partition *partition.Bipartition
 	// CutSize is its cutsize.
 	CutSize int
-	// Passes is the number of improvement passes executed.
+	// Passes is the number of improvement passes executed (of the
+	// winning start, under multi-start).
 	Passes int
+	// Engine reports the multi-start execution (starts run, winning
+	// start, per-start cuts, wall/CPU time).
+	Engine engine.Stats
 }
 
 // Bisect partitions h starting from a random balanced bisection.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: the best result among the
+// starts that completed is returned when ctx expires (start 0 always
+// runs). Within a start, passes stop early at cancellation and the
+// best prefix found so far is kept.
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("kl: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	p := RandomBisection(h.NumVertices(), rng)
-	return Improve(h, p, opts)
+	opts.defaults()
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
+			p := RandomBisection(h.NumVertices(), rng)
+			return improve(ctx, h, p, opts, scratch)
+		},
+		Better: func(a, b *Result) bool { return betterResult(h, a, b) },
+		Cut:    func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
+	}
+	best.Engine = es
+	return best, nil
+}
+
+// betterResult orders candidate results: lower cut, then lower weight
+// imbalance (strict, so the engine's lowest-index tie-break applies).
+func betterResult(h *hypergraph.Hypergraph, a, b *Result) bool {
+	if a.CutSize != b.CutSize {
+		return a.CutSize < b.CutSize
+	}
+	return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 }
 
 // RandomBisection returns a uniformly random balanced bisection of n
@@ -83,6 +132,18 @@ func RandomBisection(n int, rng *rand.Rand) *partition.Bipartition {
 // modified in place and returned. Swaps preserve the initial side
 // cardinalities exactly.
 func Improve(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (*Result, error) {
+	return ImproveCtx(context.Background(), h, p, opts)
+}
+
+// ImproveCtx is Improve with cancellation: passes stop early when ctx
+// expires and the partition as improved so far is returned.
+func ImproveCtx(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (*Result, error) {
+	scratch := engine.GetScratch()
+	defer engine.PutScratch(scratch)
+	return improve(ctx, h, p, opts, scratch)
+}
+
+func improve(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options, scratch *engine.Scratch) (*Result, error) {
 	opts.defaults()
 	if err := p.Validate(h); err != nil {
 		return nil, fmt.Errorf("kl: %w", err)
@@ -91,10 +152,13 @@ func Improve(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (
 	if err != nil {
 		return nil, fmt.Errorf("kl: %w", err)
 	}
+	// The locked side array is leased once per improvement run and
+	// re-zeroed by each pass.
+	locked := scratch.Bools(h.NumVertices())
 	passes := 0
-	for passes < opts.MaxPasses {
+	for passes < opts.MaxPasses && ctx.Err() == nil {
 		passes++
-		if gain := runPass(s, opts.Candidates); gain <= 0 {
+		if gain := runPass(s, opts.Candidates, locked); gain <= 0 {
 			break
 		}
 	}
@@ -102,11 +166,10 @@ func Improve(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) (
 }
 
 // runPass executes one KL pass on s and returns the net cut improvement
-// it kept (0 when the pass was fully rewound).
-func runPass(s *cutstate.State, candidates int) int {
-	h := s.Hypergraph()
-	n := h.NumVertices()
-	locked := make([]bool, n)
+// it kept (0 when the pass was fully rewound). locked is a caller-owned
+// length-n side array, re-zeroed on entry.
+func runPass(s *cutstate.State, candidates int, locked []bool) int {
+	clear(locked)
 
 	type swap struct{ a, b int }
 	var seq []swap

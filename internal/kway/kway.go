@@ -12,10 +12,13 @@
 package kway
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"fasthgp/internal/core"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/fm"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
@@ -32,14 +35,17 @@ type Options struct {
 	// BalanceFraction is the tolerance of each split's proportional
 	// weight target (default 0.05 of the subset weight).
 	BalanceFraction float64
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic; results are independent of
+	// Parallelism.
 	Seed int64
+	// Parallelism is the worker budget handed to each split's
+	// Algorithm I multi-start (the recursion itself is sequential);
+	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
-	if o.Starts <= 0 {
-		o.Starts = 5
-	}
+	o.Starts = engine.NormalizeTo(o.Starts, 5)
 	if o.BalanceFraction <= 0 {
 		o.BalanceFraction = 0.05
 	}
@@ -59,10 +65,22 @@ type Result struct {
 	Connectivity int64
 	// PartWeights is the total vertex weight per part.
 	PartWeights []int64
+	// Engine reports the execution (the recursion counts as one start;
+	// Cuts holds the final cut-net count, and the parallelism is the
+	// per-split Algorithm I worker budget).
+	Engine engine.Stats
 }
 
 // Partition splits h into opts.K parts.
 func Partition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), h, opts)
+}
+
+// PartitionCtx is Partition with cancellation: once ctx expires each
+// remaining split degrades to its cheapest cut (Algorithm I's start 0
+// still runs, refinement is skipped), so a complete K-way labeling is
+// always returned rather than an error.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	opts.defaults()
 	if opts.K < 2 {
 		return nil, fmt.Errorf("kway: K must be >= 2, got %d", opts.K)
@@ -70,13 +88,14 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if opts.K > h.NumVertices() {
 		return nil, fmt.Errorf("kway: K=%d exceeds vertex count %d", opts.K, h.NumVertices())
 	}
+	begin := time.Now()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	part := make([]int, h.NumVertices())
 	all := make([]int, h.NumVertices())
 	for v := range all {
 		all[v] = v
 	}
-	if err := split(h, all, 0, opts.K, part, opts, rng); err != nil {
+	if err := split(ctx, h, all, 0, opts.K, part, opts, rng); err != nil {
 		return nil, err
 	}
 	res := &Result{Part: part, K: opts.K, PartWeights: make([]int64, opts.K)}
@@ -84,6 +103,17 @@ func Partition(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 		res.PartWeights[part[v]] += h.VertexWeight(v)
 	}
 	res.CutNets, res.Connectivity = Metrics(h, part, opts.K)
+	wall := time.Since(begin)
+	res.Engine = engine.Stats{
+		StartsRequested: 1,
+		StartsRun:       1,
+		BestStart:       0,
+		Cuts:            []int{res.CutNets},
+		Parallelism:     engine.NormalizeParallelism(opts.Parallelism),
+		Wall:            wall,
+		CPU:             wall,
+		Cancelled:       ctx.Err() != nil,
+	}
 	return res, nil
 }
 
@@ -114,7 +144,7 @@ func Metrics(h *hypergraph.Hypergraph, part []int, k int) (cutNets int, connecti
 
 // split assigns part ids [firstPart, firstPart+k) to the given
 // vertices.
-func split(h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []int, opts Options, rng *rand.Rand) error {
+func split(ctx context.Context, h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []int, opts Options, rng *rand.Rand) error {
 	if k == 1 {
 		for _, v := range vertices {
 			part[v] = firstPart
@@ -125,7 +155,7 @@ func split(h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []in
 	kRight := k - kLeft
 
 	sub, origOf := induce(h, vertices)
-	p := bipartitionSub(sub, opts, rng)
+	p := bipartitionSub(ctx, sub, opts, rng)
 
 	// Rebalance to the proportional target kLeft : kRight.
 	target := sub.TotalVertexWeight() * int64(kLeft) / int64(k)
@@ -134,8 +164,10 @@ func split(h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []in
 		if _, err := rebalance.ToTarget(sub, p, target, tol); err != nil {
 			return fmt.Errorf("kway: %w", err)
 		}
-		_, ferr := fm.Improve(sub, p, fm.Options{BalanceFraction: opts.BalanceFraction})
-		_ = ferr // refinement is best-effort
+		if ctx.Err() == nil {
+			_, ferr := fm.ImproveCtx(ctx, sub, p, fm.Options{BalanceFraction: opts.BalanceFraction})
+			_ = ferr // refinement is best-effort
+		}
 	}
 
 	var left, right []int
@@ -155,22 +187,23 @@ func split(h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []in
 		right = append(right, left[len(left)-1])
 		left = left[:len(left)-1]
 	}
-	if err := split(h, left, firstPart, kLeft, part, opts, rng); err != nil {
+	if err := split(ctx, h, left, firstPart, kLeft, part, opts, rng); err != nil {
 		return err
 	}
-	return split(h, right, firstPart+kLeft, kRight, part, opts, rng)
+	return split(ctx, h, right, firstPart+kLeft, kRight, part, opts, rng)
 }
 
 // bipartitionSub cuts an induced sub-hypergraph, falling back to an
 // alternating assignment for degenerate subsets.
-func bipartitionSub(sub *hypergraph.Hypergraph, opts Options, rng *rand.Rand) *partition.Bipartition {
+func bipartitionSub(ctx context.Context, sub *hypergraph.Hypergraph, opts Options, rng *rand.Rand) *partition.Bipartition {
 	if sub.NumVertices() >= 2 {
-		res, err := core.Bipartition(sub, core.Options{
+		res, err := core.BipartitionCtx(ctx, sub, core.Options{
 			Starts:      opts.Starts,
 			Seed:        rng.Int63(),
 			Threshold:   10,
 			BalancedBFS: true,
 			Completion:  core.CompletionWeighted,
+			Parallelism: opts.Parallelism,
 		})
 		if err == nil {
 			return res.Partition

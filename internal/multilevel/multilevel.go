@@ -10,11 +10,13 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"fasthgp/internal/coarsen"
 	"fasthgp/internal/core"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/fm"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
@@ -23,6 +25,10 @@ import (
 
 // Options configures the multilevel partitioner.
 type Options struct {
+	// Starts is the number of independent V-cycles (coarsening
+	// randomization included) tried by Bisect; the best final cut wins
+	// (default 1).
+	Starts int
 	// MinCoarseVertices stops coarsening (default 64).
 	MinCoarseVertices int
 	// InitialStarts is the Algorithm I multi-start count at the
@@ -31,17 +37,21 @@ type Options struct {
 	// BalanceFraction is the FM refinement balance window
 	// (default 0.1).
 	BalanceFraction float64
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic; each V-cycle draws from its
+	// own stream, so results are independent of Parallelism.
 	Seed int64
+	// Parallelism is the number of workers running V-cycles
+	// concurrently (and, when Starts is 1, the parallelism handed to
+	// the coarsest-level Algorithm I multi-start); values < 1 mean
+	// GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
 	if o.MinCoarseVertices <= 0 {
 		o.MinCoarseVertices = 64
 	}
-	if o.InitialStarts <= 0 {
-		o.InitialStarts = 10
-	}
+	o.InitialStarts = engine.NormalizeTo(o.InitialStarts, 10)
 	if o.BalanceFraction <= 0 {
 		o.BalanceFraction = 0.1
 	}
@@ -53,20 +63,61 @@ type Result struct {
 	Partition *partition.Bipartition
 	// CutSize is its cutsize.
 	CutSize int
-	// Levels is the number of coarsening levels used.
+	// Levels is the number of coarsening levels used (in the winning
+	// V-cycle, under multi-start).
 	Levels int
 	// CoarsestVertices is the size of the coarsest hypergraph.
 	CoarsestVertices int
+	// Engine reports the multi-start execution (V-cycles run, winning
+	// cycle, per-cycle cuts, wall/CPU time).
+	Engine engine.Stats
 }
 
 // Bisect partitions h with the multilevel scheme.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: a V-cycle that observes ctx
+// expiry still projects its partition down to the input hypergraph but
+// skips further refinement, and the engine returns the best completed
+// cycle (start 0 always runs).
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("multilevel: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
 	opts.defaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	// A lone V-cycle forwards the worker budget to the coarsest-level
+	// Algorithm I multi-start instead; with several cycles in flight
+	// the cycles themselves are the parallel unit.
+	innerParallelism := 1
+	if engine.Normalize(opts.Starts) == 1 {
+		innerParallelism = opts.Parallelism
+	}
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
+			return vcycle(ctx, h, opts, rng, innerParallelism), nil
+		},
+		Better: func(a, b *Result) bool {
+			if a.CutSize != b.CutSize {
+				return a.CutSize < b.CutSize
+			}
+			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
+		},
+		Cut: func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
+	}
+	best.Engine = es
+	return best, nil
+}
 
+// vcycle runs one full coarsen → initial cut → uncoarsen+refine cycle.
+func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand, innerParallelism int) *Result {
 	levels := coarsen.Hierarchy(h, rng, opts.MinCoarseVertices, 0)
 	coarsest := h
 	if len(levels) > 0 {
@@ -77,21 +128,24 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	// balance-oriented settings, falling back to a random bisection on
 	// degenerate inputs.
 	var p *partition.Bipartition
-	res, err := core.Bipartition(coarsest, core.Options{
+	res, err := core.BipartitionCtx(ctx, coarsest, core.Options{
 		Starts:      opts.InitialStarts,
-		Seed:        opts.Seed,
+		Seed:        rng.Int63(),
 		Threshold:   10,
 		BalancedBFS: true,
 		Completion:  core.CompletionWeighted,
+		Parallelism: innerParallelism,
 	})
 	if err == nil {
 		p = res.Partition
 	} else {
 		p = kl.RandomBisection(coarsest.NumVertices(), rng)
 	}
-	refine(coarsest, p, opts)
+	refine(ctx, coarsest, p, opts)
 
-	// Uncoarsen with refinement at every level.
+	// Uncoarsen with refinement at every level. Projection always runs
+	// (the result must live on the input hypergraph); refinement stops
+	// once the context expires.
 	for i := len(levels) - 1; i >= 0; i-- {
 		var fine *hypergraph.Hypergraph
 		if i == 0 {
@@ -100,7 +154,9 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 			fine = levels[i-1].Coarse
 		}
 		p = coarsen.Project(fine.NumVertices(), levels[i].Map, p)
-		refine(fine, p, opts)
+		if ctx.Err() == nil {
+			refine(ctx, fine, p, opts)
+		}
 	}
 
 	return &Result{
@@ -108,15 +164,15 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 		CutSize:          partition.CutSize(h, p),
 		Levels:           len(levels),
 		CoarsestVertices: coarsest.NumVertices(),
-	}, nil
+	}
 }
 
 // refine runs FM on p in place; refinement is best-effort and skipped
 // for degenerate partitions FM would reject.
-func refine(h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) {
+func refine(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) {
 	if err := p.Validate(h); err != nil {
 		return
 	}
-	_, err := fm.Improve(h, p, fm.Options{BalanceFraction: opts.BalanceFraction})
+	_, err := fm.ImproveCtx(ctx, h, p, fm.Options{BalanceFraction: opts.BalanceFraction})
 	_ = err // FM validates the same preconditions; nothing to do on failure
 }

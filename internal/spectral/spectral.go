@@ -13,18 +13,25 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"fasthgp/internal/cutstate"
+	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
 )
 
 // Options configures Bisect.
 type Options struct {
+	// Starts is the number of independent random starting vectors for
+	// the power iteration; the best sweep cut wins (default 1). Extra
+	// starts guard against unlucky initial vectors that are nearly
+	// orthogonal to the Fiedler direction.
+	Starts int
 	// Iterations bounds the power iterations (default 300).
 	Iterations int
 	// Tolerance stops iteration when the vector movement drops below
@@ -37,8 +44,12 @@ type Options struct {
 	// MaxCliqueSize skips clique expansion of nets above this size
 	// (default 50); such nets still count in the final cut evaluation.
 	MaxCliqueSize int
-	// Seed makes the initial vector deterministic.
+	// Seed makes the initial vectors deterministic; each start draws
+	// from its own stream, so results are independent of Parallelism.
 	Seed int64
+	// Parallelism is the number of workers running starts concurrently;
+	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -64,29 +75,71 @@ type Result struct {
 	CutSize int
 	// Fiedler is the computed Fiedler coordinate per vertex.
 	Fiedler []float64
-	// Iterations actually run.
+	// Iterations actually run (in the winning start, under
+	// multi-start).
 	Iterations int
+	// Engine reports the multi-start execution (starts run, winning
+	// start, per-start cuts, wall/CPU time).
+	Engine engine.Stats
+}
+
+// arc is one weighted adjacency entry of the clique expansion.
+type arc struct {
+	to int
+	w  float64
 }
 
 // Bisect spectrally bipartitions h.
 func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	return BisectCtx(context.Background(), h, opts)
+}
+
+// BisectCtx is Bisect with cancellation: the power iteration polls ctx
+// every iteration and sweeps whatever vector it has when ctx expires;
+// the engine returns the best completed start (start 0 always runs).
+// The clique expansion is built once and shared read-only by all
+// starts.
+func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	n := h.NumVertices()
 	if n < 2 {
 		return nil, fmt.Errorf("spectral: hypergraph has %d vertices; need at least 2", n)
 	}
 	opts.defaults()
 
-	// Clique expansion into a weighted adjacency list.
-	type arc struct {
-		to int
-		w  float64
+	adj, deg := cliqueExpand(h, opts.MaxCliqueSize)
+	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Starts:      opts.Starts,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
+			return bisectOnce(ctx, h, adj, deg, opts, rng), nil
+		},
+		Better: func(a, b *Result) bool {
+			if a.CutSize != b.CutSize {
+				return a.CutSize < b.CutSize
+			}
+			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
+		},
+		Cut: func(r *Result) int { return r.CutSize },
+	})
+	if err != nil {
+		return nil, err
 	}
-	adj := make([][]arc, n)
-	deg := make([]float64, n) // weighted degree
+	best.Engine = es
+	return best, nil
+}
+
+// cliqueExpand maps the hypergraph to a weighted graph: each net of
+// size k ≤ maxCliqueSize contributes weight w(e)/(k−1) between every
+// pin pair.
+func cliqueExpand(h *hypergraph.Hypergraph, maxCliqueSize int) (adj [][]arc, deg []float64) {
+	n := h.NumVertices()
+	adj = make([][]arc, n)
+	deg = make([]float64, n) // weighted degree
 	for e := 0; e < h.NumEdges(); e++ {
 		pins := h.EdgePins(e)
 		k := len(pins)
-		if k < 2 || k > opts.MaxCliqueSize {
+		if k < 2 || k > maxCliqueSize {
 			continue
 		}
 		w := float64(h.EdgeWeight(e)) / float64(k-1)
@@ -99,7 +152,13 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 			}
 		}
 	}
+	return adj, deg
+}
 
+// bisectOnce runs one spectral start: power-iterate from a random
+// vector drawn from rng, then sweep-cut the resulting coordinates.
+func bisectOnce(ctx context.Context, h *hypergraph.Hypergraph, adj [][]arc, deg []float64, opts Options, rng *rand.Rand) *Result {
+	n := h.NumVertices()
 	// Shifted power iteration on M = cI − L, c = 1 + max weighted
 	// degree ⇒ the dominant eigenvector of M not proportional to the
 	// all-ones vector is the Fiedler vector of L.
@@ -109,7 +168,6 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 			c = 2*d + 1
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = rng.Float64() - 0.5
@@ -117,7 +175,7 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	y := make([]float64, n)
 	ones := 1 / math.Sqrt(float64(n))
 	iters := 0
-	for ; iters < opts.Iterations; iters++ {
+	for ; iters < opts.Iterations && ctx.Err() == nil; iters++ {
 		// y = (cI − L)x = (c − deg)·x + A·x
 		for i := 0; i < n; i++ {
 			y[i] = (c - deg[i]) * x[i]
@@ -161,7 +219,7 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	}
 
 	p, cut := sweepCut(h, x, opts.BalanceFraction)
-	return &Result{Partition: p, CutSize: cut, Fiedler: x, Iterations: iters}, nil
+	return &Result{Partition: p, CutSize: cut, Fiedler: x, Iterations: iters}
 }
 
 // sweepCut orders vertices by Fiedler coordinate and picks the best
