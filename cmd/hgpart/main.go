@@ -14,7 +14,9 @@
 // the multi-start count, -parallel fans the starts across workers
 // (never changing the result), -timeout returns the best cut found
 // within a wall-clock budget, and -stats prints the engine's account
-// of the run.
+// of the run. -verify recomputes every invariant of the reported
+// result with the internal/verify oracle and exits nonzero on any
+// violation.
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
 		stats      = flag.Bool("stats", false, "print engine multi-start statistics")
+		doVerify   = flag.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
 		verbose    = flag.Bool("v", false, "print the side of every module")
 	)
 	flag.Parse()
@@ -89,6 +92,18 @@ func main() {
 		fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
 		if *stats {
 			printStats(res.Engine)
+		}
+		if *doVerify {
+			rep, err := fasthgp.VerifyKWay(h, res.Part, *k)
+			if err != nil {
+				fatal(fmt.Errorf("verification FAILED: %w", err))
+			}
+			if rep.CutNets != res.CutNets || rep.Connectivity != res.Connectivity {
+				fatal(fmt.Errorf("verification FAILED: claimed cut %d/connectivity %d, oracle recomputed %d/%d",
+					res.CutNets, res.Connectivity, rep.CutNets, rep.Connectivity))
+			}
+			fmt.Printf("verified: %d cut nets, connectivity %d, part weights %v\n",
+				rep.CutNets, rep.Connectivity, rep.PartWeights)
 		}
 		if *verbose {
 			for v := 0; v < h.NumVertices(); v++ {
@@ -195,6 +210,14 @@ func main() {
 	fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
 	if *stats {
 		printStats(es)
+	}
+	if *doVerify {
+		rep, err := fasthgp.VerifyCut(h, p, cut)
+		if err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Printf("verified: cut %d (weighted %d), sides %d/%d, weights %d/%d\n",
+			rep.CutSize, rep.WeightedCut, rep.Left, rep.Right, rep.LeftWeight, rep.RightWeight)
 	}
 	if *verbose {
 		for v := 0; v < h.NumVertices(); v++ {

@@ -46,6 +46,7 @@ import (
 	"fasthgp/internal/place"
 	"fasthgp/internal/rebalance"
 	"fasthgp/internal/spectral"
+	"fasthgp/internal/verify"
 )
 
 // Hypergraph is the netlist data structure: vertices are modules,
@@ -544,6 +545,34 @@ func runRandomAlgo(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoRes
 	}
 	best.Engine = es
 	return best, nil
+}
+
+// VerifyReport is the invariant oracle's account of a bipartition:
+// recomputed cutsize, weighted cut, and per-side counts and weights.
+type VerifyReport = verify.Report
+
+// KWayVerifyReport is the oracle's account of a K-way labeling.
+type KWayVerifyReport = verify.KWayReport
+
+// Verify recomputes every invariant of p from scratch — side
+// completeness, cutsize, weighted cut, side weights, and agreement with
+// the incremental cut maintenance — and returns the recomputed metrics.
+// A non-nil error means p (or the library) is broken; use it as the
+// final gate after any partitioning run.
+func Verify(h *Hypergraph, p *Bipartition) (*VerifyReport, error) {
+	return verify.Check(h, p)
+}
+
+// VerifyCut is Verify plus a check that the claimed cutsize matches the
+// recomputed one.
+func VerifyCut(h *Hypergraph, p *Bipartition, claimed int) (*VerifyReport, error) {
+	return verify.CheckCut(h, p, claimed)
+}
+
+// VerifyKWay validates a K-way labeling and recomputes its cut-net
+// count and connectivity objective.
+func VerifyKWay(h *Hypergraph, part []int, k int) (*KWayVerifyReport, error) {
+	return verify.CheckKWay(h, part, k)
 }
 
 // GranularResult describes a granularized netlist.

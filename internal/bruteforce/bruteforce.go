@@ -14,8 +14,29 @@ import (
 )
 
 // MaxVertices bounds the instance size enumeration will accept:
-// 2^(MaxVertices-1) subsets are examined.
+// 2^(MaxVertices-1) subsets are examined. Masks are uint64, so the
+// representation stays exact up to MaxMaskVertices; MaxVertices is the
+// (much lower) practical enumeration budget.
 const MaxVertices = 24
+
+// MaxMaskVertices is the structural limit of the subset-mask
+// representation: a uint64 mask enumerates the 2^(n-1) left sets only
+// while n−1 < 64. Instances beyond MaxVertices are rejected long before
+// this matters; the constant exists so the guard is explicit rather
+// than a silent truncation.
+const MaxMaskVertices = 64
+
+// checkSize validates n against both limits with a clear error.
+func checkSize(n int) error {
+	if n < 2 {
+		return fmt.Errorf("bruteforce: need at least 2 vertices, have %d", n)
+	}
+	if n > MaxVertices {
+		return fmt.Errorf("bruteforce: %d vertices exceeds enumeration limit %d (2^%d subsets; mask representation itself caps at %d)",
+			n, MaxVertices, n-1, MaxMaskVertices)
+	}
+	return nil
+}
 
 // MinCut returns an exact minimum r-bipartition of h: over all complete
 // bipartitions with | |V_L| − |V_R| | ≤ r and both sides nonempty, one
@@ -27,20 +48,17 @@ const MaxVertices = 24
 // nonempty).
 func MinCut(h *hypergraph.Hypergraph, r int) (*partition.Bipartition, int, error) {
 	n := h.NumVertices()
-	if n < 2 {
-		return nil, 0, fmt.Errorf("bruteforce: need at least 2 vertices, have %d", n)
-	}
-	if n > MaxVertices {
-		return nil, 0, fmt.Errorf("bruteforce: %d vertices exceeds limit %d", n, MaxVertices)
+	if err := checkSize(n); err != nil {
+		return nil, 0, err
 	}
 	bestCut := math.MaxInt
 	bestImb := math.MaxInt
-	var bestMask uint32
+	var bestMask uint64
 	p := partition.New(n)
 	// Fix vertex n-1 on the Right to halve the space and skip the
 	// empty/full masks.
-	limit := uint32(1) << (n - 1)
-	for mask := uint32(1); mask < limit; mask++ {
+	limit := uint64(1) << (n - 1)
+	for mask := uint64(1); mask < limit; mask++ {
 		left := popcount(mask)
 		imb := abs(2*left - n)
 		if imb > r {
@@ -75,17 +93,14 @@ func MinCutUnconstrained(h *hypergraph.Hypergraph) (*partition.Bipartition, int,
 // (cut / min side cardinality) and its value.
 func MinQuotientCut(h *hypergraph.Hypergraph) (*partition.Bipartition, float64, error) {
 	n := h.NumVertices()
-	if n < 2 {
-		return nil, 0, fmt.Errorf("bruteforce: need at least 2 vertices, have %d", n)
-	}
-	if n > MaxVertices {
-		return nil, 0, fmt.Errorf("bruteforce: %d vertices exceeds limit %d", n, MaxVertices)
+	if err := checkSize(n); err != nil {
+		return nil, 0, err
 	}
 	best := math.MaxFloat64
-	var bestMask uint32
+	var bestMask uint64
 	p := partition.New(n)
-	limit := uint32(1) << (n - 1)
-	for mask := uint32(1); mask < limit; mask++ {
+	limit := uint64(1) << (n - 1)
+	for mask := uint64(1); mask < limit; mask++ {
 		apply(p, mask, n)
 		q := partition.QuotientCut(h, p)
 		if q < best {
@@ -96,7 +111,7 @@ func MinQuotientCut(h *hypergraph.Hypergraph) (*partition.Bipartition, float64, 
 	return p, best, nil
 }
 
-func apply(p *partition.Bipartition, mask uint32, n int) {
+func apply(p *partition.Bipartition, mask uint64, n int) {
 	for v := 0; v < n; v++ {
 		if v < n-1 && mask&(1<<uint(v)) != 0 {
 			p.Assign(v, partition.Left)
@@ -106,7 +121,7 @@ func apply(p *partition.Bipartition, mask uint32, n int) {
 	}
 }
 
-func popcount(x uint32) int {
+func popcount(x uint64) int {
 	c := 0
 	for x != 0 {
 		x &= x - 1

@@ -2,6 +2,7 @@ package bruteforce
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -194,5 +195,65 @@ func TestPropertyBisectionOptimalityCertificate(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSizeBoundary pins the behavior at the uint32→uint64 mask
+// boundary: 31- and 32-vertex instances must be rejected with a clear
+// size error (never silently enumerated with a truncated mask), for
+// every entry point.
+func TestSizeBoundary(t *testing.T) {
+	for _, n := range []int{31, 32, MaxVertices + 1} {
+		path := make([][]int, 0, n-1)
+		for i := 0; i+1 < n; i++ {
+			path = append(path, []int{i, i + 1})
+		}
+		h := mkHG(t, n, path)
+		if _, _, err := MinBisection(h); err == nil {
+			t.Errorf("n=%d: MinBisection accepted oversize instance", n)
+		} else if !strings.Contains(err.Error(), "exceeds enumeration limit") {
+			t.Errorf("n=%d: unclear error %v", n, err)
+		}
+		if _, _, err := MinCutUnconstrained(h); err == nil {
+			t.Errorf("n=%d: MinCutUnconstrained accepted oversize instance", n)
+		}
+		if _, _, err := MinQuotientCut(h); err == nil {
+			t.Errorf("n=%d: MinQuotientCut accepted oversize instance", n)
+		}
+	}
+	// MaxVertices itself is accepted; a single spanning net is crossed
+	// by every bipartition, so the enumeration stays fast and the
+	// answer is exactly 1.
+	pins := make([]int, MaxVertices)
+	for i := range pins {
+		pins[i] = i
+	}
+	h := mkHG(t, MaxVertices, [][]int{pins})
+	if _, cut, err := MinBisection(h); err != nil || cut != 1 {
+		t.Errorf("n=%d: cut=%d err=%v, want 1,nil", MaxVertices, cut, err)
+	}
+}
+
+// TestApplyHighMaskBits shows the uint64 mask addresses vertices past
+// bit 31 without truncation.
+func TestApplyHighMaskBits(t *testing.T) {
+	n := 40
+	p := partition.New(n)
+	apply(p, uint64(1)<<35|1, n)
+	for v := 0; v < n; v++ {
+		want := partition.Right
+		if v == 0 || v == 35 {
+			want = partition.Left
+		}
+		if p.Side(v) != want {
+			t.Fatalf("vertex %d on %v, want %v", v, p.Side(v), want)
+		}
+	}
+}
+
+// TestPopcount64 exercises popcount above the old uint32 range.
+func TestPopcount64(t *testing.T) {
+	if got := popcount(uint64(1)<<63 | uint64(1)<<32 | 7); got != 5 {
+		t.Errorf("popcount = %d, want 5", got)
 	}
 }

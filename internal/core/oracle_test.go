@@ -1,0 +1,26 @@
+package core
+
+// Oracle wiring: every partitioner package runs its entry point over
+// the shared small-instance family and pushes the result through
+// internal/verify, so a scoring or side-assignment bug anywhere in the
+// algorithm fails here even when the cutsize happens to look plausible.
+
+import (
+	"testing"
+
+	"fasthgp/internal/verify"
+)
+
+func TestOracleOnSmallInstances(t *testing.T) {
+	for _, inst := range verify.SmallInstances() {
+		for _, c := range []Completion{CompletionGreedy, CompletionExact, CompletionWeighted} {
+			res, err := Bipartition(inst.H, Options{Starts: 3, Seed: 5, Completion: c})
+			if err != nil {
+				t.Fatalf("%s (%v): %v", inst.Name, c, err)
+			}
+			if _, err := verify.CheckCut(inst.H, res.Partition, res.CutSize); err != nil {
+				t.Errorf("%s (%v): %v", inst.Name, c, err)
+			}
+		}
+	}
+}

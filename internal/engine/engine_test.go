@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -257,6 +258,88 @@ func TestStatsAccounting(t *testing.T) {
 	for i, c := range st.Cuts {
 		if c == NotRun {
 			t.Errorf("Cuts[%d] = NotRun on a complete run", i)
+		}
+	}
+}
+
+// TestCancellationMidStartOversubscribed cancels a run while most of
+// an oversubscribed worker fleet (Parallelism well above GOMAXPROCS)
+// is blocked inside its start, exercising the claim/cancel/reduce
+// paths under maximum goroutine interleaving. The CI race step runs
+// this package with -race, so the shared result arrays are also being
+// checked for unsynchronized access here.
+func TestCancellationMidStartOversubscribed(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0) * 4
+	if workers < 8 {
+		workers = 8
+	}
+	starts := workers*2 + 8
+	const fast = 3 // starts below this index complete immediately
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fastDone atomic.Int32
+	spec := Spec[int]{
+		Starts:      starts,
+		Parallelism: workers,
+		Seed:        42,
+		Run: func(ctx context.Context, i int, rng *rand.Rand, _ *Scratch) (int, error) {
+			v := 1000 + i - rng.Intn(2)
+			if i < fast {
+				fastDone.Add(1)
+				return v, nil
+			}
+			// Block mid-start until cancellation, then return a usable
+			// value — the best-so-far contract.
+			<-ctx.Done()
+			return v, nil
+		},
+		Better: func(a, b int) bool { return a < b },
+		Cut:    func(v int) int { return v },
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(10 * time.Second)
+		for fastDone.Load() < fast && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	best, st, err := Run(ctx, spec)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cancelled || st.StartsRun >= starts {
+		t.Errorf("expected a cancelled partial run, got %d/%d (cancelled=%v)", st.StartsRun, starts, st.Cancelled)
+	}
+	if st.StartsRun < fast {
+		t.Errorf("only %d starts ran, want at least the %d fast ones", st.StartsRun, fast)
+	}
+	// The returned best must be the exact minimum over the completed
+	// starts as recorded in Cuts, and BestStart must point at it.
+	want, wantIdx := 1<<30, -1
+	for i, c := range st.Cuts {
+		if c == NotRun {
+			continue
+		}
+		if c < want {
+			want, wantIdx = c, i
+		}
+	}
+	if best != want || st.BestStart != wantIdx {
+		t.Errorf("best = %d at start %d, want %d at %d", best, st.BestStart, want, wantIdx)
+	}
+	// Every completed start's cut must match an isolated re-execution
+	// of its RNG stream.
+	for i, c := range st.Cuts {
+		if c == NotRun {
+			continue
+		}
+		if expect := 1000 + i - StartRNG(42, i).Intn(2); c != expect {
+			t.Errorf("start %d recorded %d, isolated re-run gives %d", i, c, expect)
 		}
 	}
 }

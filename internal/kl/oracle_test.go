@@ -1,0 +1,22 @@
+package kl
+
+// Oracle wiring: see internal/verify — every partitioner's result must
+// survive the full invariant recheck, not just report a cutsize.
+
+import (
+	"testing"
+
+	"fasthgp/internal/verify"
+)
+
+func TestOracleOnSmallInstances(t *testing.T) {
+	for _, inst := range verify.SmallInstances() {
+		res, err := Bisect(inst.H, Options{Starts: 3, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if _, err := verify.CheckCut(inst.H, res.Partition, res.CutSize); err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package netio
+
+// Native fuzz targets for the two parsers. The property is the same
+// for both: arbitrary input must either parse or return an error —
+// never panic, never over-allocate from a hostile header — and
+// anything that parses must survive a write→read round trip with its
+// structure, weights and (for the netio format) names intact.
+//
+// Seed corpora live in testdata/fuzz/<Target>/ and run as ordinary
+// test cases under plain `go test`; CI additionally runs each target
+// for 30 s of coverage-guided exploration.
+
+import (
+	"bytes"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// sameStructure fails the test unless a and b are structurally
+// identical hypergraphs (vertices, edges, pins, weights).
+func sameStructure(t *testing.T, a, b *hypergraph.Hypergraph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("round trip changed shape: %v → %v", a, b)
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.VertexWeight(v) != b.VertexWeight(v) {
+			t.Fatalf("vertex %d weight %d → %d", v, a.VertexWeight(v), b.VertexWeight(v))
+		}
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.EdgeWeight(e) != b.EdgeWeight(e) {
+			t.Fatalf("edge %d weight %d → %d", e, a.EdgeWeight(e), b.EdgeWeight(e))
+		}
+		pa, pb := a.EdgePins(e), b.EdgePins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("edge %d size %d → %d", e, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("edge %d pins %v → %v", e, pa, pb)
+			}
+		}
+	}
+}
+
+func FuzzParseNetlist(f *testing.F) {
+	f.Add([]byte("net n1 a b c\nnet n2 b d\n"))
+	f.Add([]byte("# comment\nmodule a 3\nmodule b\nnet clk a b\nnetweight clk 2\n"))
+	f.Add([]byte("module only\n"))
+	f.Add([]byte("net n a\n"))
+	f.Add([]byte("net n a b a\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, h); err != nil {
+			t.Fatalf("write failed on parsed netlist: %v", err)
+		}
+		h2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%v\nwritten:\n%s", err, buf.String())
+		}
+		sameStructure(t, h, h2)
+		for v := 0; v < h.NumVertices(); v++ {
+			if h.VertexName(v) != h2.VertexName(v) {
+				t.Fatalf("vertex %d name %q → %q", v, h.VertexName(v), h2.VertexName(v))
+			}
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			if h.EdgeName(e) != h2.EdgeName(e) {
+				t.Fatalf("edge %d name %q → %q", e, h.EdgeName(e), h2.EdgeName(e))
+			}
+		}
+	})
+}
+
+func FuzzParseHMetis(f *testing.F) {
+	f.Add([]byte("2 4\n1 2\n3 4\n"))
+	f.Add([]byte("% weighted\n2 3 11\n5 1 2\n1 2 3\n2\n1\n4\n"))
+	f.Add([]byte("1 2 10\n1 2\n3\n3\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("1 999999999\n1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHMetis(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteHMetis(&buf, h); err != nil {
+			t.Fatalf("write failed on parsed hypergraph: %v", err)
+		}
+		h2, err := ReadHMetis(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%v\nwritten:\n%s", err, buf.String())
+		}
+		sameStructure(t, h, h2)
+	})
+}

@@ -21,6 +21,13 @@ import (
 // fmt is 0 (unweighted), 1 (edge weights), 10 (vertex weights) or 11
 // (both). ReadHMetis and WriteHMetis implement the full format.
 
+// MaxHMetisDeclared caps the vertex and edge counts a .hgr header may
+// declare (every published partitioning benchmark is far below it).
+// The header is trusted before any edge line is read, so without a cap
+// a few bytes of malformed input could demand a multi-gigabyte
+// allocation — the fuzzers found exactly that.
+const MaxHMetisDeclared = 1 << 22
+
 // ReadHMetis parses an hMETIS .hgr file.
 func ReadHMetis(r io.Reader) (*hypergraph.Hypergraph, error) {
 	sc := bufio.NewScanner(r)
@@ -50,6 +57,9 @@ func ReadHMetis(r io.Reader) (*hypergraph.Hypergraph, error) {
 	numVerts, err2 := strconv.Atoi(header[1])
 	if err1 != nil || err2 != nil || numEdges < 0 || numVerts < 0 {
 		return nil, fmt.Errorf("netio: hmetis: bad header %v", header)
+	}
+	if numEdges > MaxHMetisDeclared || numVerts > MaxHMetisDeclared {
+		return nil, fmt.Errorf("netio: hmetis: header declares %d edges, %d vertices; limit %d", numEdges, numVerts, MaxHMetisDeclared)
 	}
 	edgeWeighted, vertexWeighted := false, false
 	if len(header) == 3 {
@@ -86,11 +96,16 @@ func ReadHMetis(r io.Reader) (*hypergraph.Hypergraph, error) {
 			return nil, fmt.Errorf("netio: hmetis: edge %d has no pins", e+1)
 		}
 		pins := make([]int, 0, len(fields)-start)
+		seen := make(map[int]bool, len(fields)-start)
 		for _, f := range fields[start:] {
 			v, err := strconv.Atoi(f)
 			if err != nil || v < 1 || v > numVerts {
 				return nil, fmt.Errorf("netio: hmetis: edge %d: bad vertex %q", e+1, f)
 			}
+			if seen[v] {
+				return nil, fmt.Errorf("netio: hmetis: edge %d lists vertex %d twice", e+1, v)
+			}
+			seen[v] = true
 			pins = append(pins, v-1)
 		}
 		id := b.AddEdge(pins...)
@@ -108,6 +123,11 @@ func ReadHMetis(r io.Reader) (*hypergraph.Hypergraph, error) {
 			}
 			b.SetVertexWeight(v, w)
 		}
+	}
+	if extra, err := next(); err == nil {
+		return nil, fmt.Errorf("netio: hmetis: trailing content %q after the declared %d edges", strings.Join(extra, " "), numEdges)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("netio: hmetis: %w", err)
 	}
 	h, err := b.Build()
 	if err != nil {

@@ -148,3 +148,25 @@ func TestHMetisRoundTripUnweighted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReadHMetisHardened covers the fuzz-found malformed inputs:
+// resource-exhausting headers, duplicate pins and trailing garbage all
+// fail with errors instead of panicking or over-allocating.
+func TestReadHMetisHardened(t *testing.T) {
+	cases := map[string]string{
+		"oversized vertex decl": "1 999999999\n1 2\n",
+		"oversized edge decl":   "999999999 4\n",
+		"duplicate pin":         "1 4\n1 2 1\n",
+		"trailing content":      "1 4\n1 2\n3 4\n",
+		"trailing after vwts":   "1 2 10\n1 2\n5\n5\n7\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadHMetis(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// The cap must not reject plausible benchmark sizes.
+	if _, err := ReadHMetis(strings.NewReader("1 1000\n1 1000\n")); err != nil {
+		t.Errorf("legitimate header rejected: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"fasthgp/internal/hypergraph"
 )
@@ -78,8 +79,16 @@ func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
 			if _, dup := netID[name]; dup {
 				return nil, fmt.Errorf("netio: line %d: duplicate net %q", lineNo, name)
 			}
+			pins := fields[2:]
+			seen := make(map[string]bool, len(pins))
+			for _, p := range pins {
+				if seen[p] {
+					return nil, fmt.Errorf("netio: line %d: net %q lists pin %q twice", lineNo, name, p)
+				}
+				seen[p] = true
+			}
 			netID[name] = len(nets)
-			nets = append(nets, netDecl{name: name, pins: fields[2:], weight: 1})
+			nets = append(nets, netDecl{name: name, pins: pins, weight: 1})
 		case "netweight":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("netio: line %d: netweight wants a name and a weight", lineNo)
@@ -159,17 +168,20 @@ func Write(w io.Writer, h *hypergraph.Hypergraph) error {
 	return nil
 }
 
-// token sanitizes a name into a whitespace-free token.
+// token sanitizes a name into a whitespace-free token. Every Unicode
+// space (not just ASCII blanks — strings.Fields splits on \v, \f, \r,
+// NBSP, …) maps to '_' so a written name always reads back as one
+// field.
 func token(s string) string {
-	if s == "" || strings.ContainsAny(s, " \t\n") {
-		return strings.Map(func(r rune) rune {
-			if r == ' ' || r == '\t' || r == '\n' {
-				return '_'
-			}
-			return r
-		}, s)
+	if strings.IndexFunc(s, unicode.IsSpace) < 0 {
+		return s
 	}
-	return s
+	return strings.Map(func(r rune) rune {
+		if unicode.IsSpace(r) {
+			return '_'
+		}
+		return r
+	}, s)
 }
 
 // SortedModuleNames returns all module names, sorted; a convenience for

@@ -138,3 +138,52 @@ func TestTokenSanitizes(t *testing.T) {
 		t.Error("token mangled a clean name")
 	}
 }
+
+// TestReadRejectsDuplicatePins covers the fuzz-found malformed inputs:
+// a net listing the same module twice is an authoring error, not a
+// merge candidate.
+func TestReadRejectsDuplicatePins(t *testing.T) {
+	if _, err := Read(strings.NewReader("net n a b a\n")); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+	if !strings.Contains(mustErr(t, "net n a b a\n").Error(), "twice") {
+		t.Error("duplicate-pin error not descriptive")
+	}
+	// Distinct nets may still share pins freely.
+	if _, err := Read(strings.NewReader("net n1 a b\nnet n2 a b\n")); err != nil {
+		t.Errorf("shared pins across nets rejected: %v", err)
+	}
+}
+
+func mustErr(t *testing.T, in string) error {
+	t.Helper()
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatalf("accepted %q", in)
+	}
+	return err
+}
+
+// TestTokenSanitizesUnicodeSpace pins the hardened token rule: every
+// rune strings.Fields would split on must be rewritten, or a written
+// name would read back as several fields.
+func TestTokenSanitizesUnicodeSpace(t *testing.T) {
+	for _, name := range []string{"a\vb", "a\rb", "a\fb", "a b", "a b"} {
+		b := hypergraph.NewBuilder(2)
+		b.SetVertexName(0, name)
+		b.SetVertexName(1, "plain")
+		b.AddEdge(0, 1)
+		h := b.MustBuild()
+		var buf bytes.Buffer
+		if err := Write(&buf, h); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		h2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%q: round-trip rejected: %v", name, err)
+		}
+		if h2.NumVertices() != 2 || h2.NumEdges() != 1 {
+			t.Errorf("%q: round-trip mangled structure: %v", name, h2)
+		}
+	}
+}

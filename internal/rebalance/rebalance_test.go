@@ -6,6 +6,7 @@ import (
 
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/verify"
 )
 
 func lopsided(t *testing.T, n int) (*hypergraph.Hypergraph, *partition.Bipartition) {
@@ -155,5 +156,103 @@ func TestRandomInstancesConverge(t *testing.T) {
 				t.Errorf("trial %d: imbalance %d (tol %d, maxW %d)", trial, imb, tol, maxW)
 			}
 		}
+	}
+}
+
+// TestBalanceBoundsTable drives ToTarget over a table of weighted
+// instances and checks the contract from the doc comment: the final
+// left weight lands within tolerance whenever a legal mover sequence
+// exists, sides stay nonempty, and every output still passes the
+// shared invariant oracle.
+func TestBalanceBoundsTable(t *testing.T) {
+	type tc struct {
+		name    string
+		weights []int64
+		edges   [][]int
+		// start assigns vertices [0,split) Left, the rest Right.
+		split      int
+		targetLeft int64
+		tol        int64
+		wantWithin bool // |leftWeight − target| ≤ tol must hold after
+		wantMoved  int  // exact move count, -1 to skip
+	}
+	cases := []tc{
+		{
+			name:    "unit-path-even-split",
+			weights: []int64{1, 1, 1, 1, 1, 1, 1, 1},
+			edges:   [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}},
+			split:   7, targetLeft: 4, tol: 0, wantWithin: true, wantMoved: 3,
+		},
+		{
+			name:    "already-within-noop",
+			weights: []int64{1, 1, 1, 1},
+			edges:   [][]int{{0, 1}, {2, 3}},
+			split:   2, targetLeft: 2, tol: 1, wantWithin: true, wantMoved: 0,
+		},
+		{
+			name:    "weighted-ends",
+			weights: []int64{5, 1, 1, 1, 1, 1, 1, 5},
+			edges:   [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}},
+			split:   6, targetLeft: 8, tol: 1, wantWithin: true, wantMoved: -1,
+		},
+		{
+			name:    "giant-module-infeasible",
+			weights: []int64{100, 1, 1, 1},
+			edges:   [][]int{{0, 1}, {1, 2}, {2, 3}},
+			split:   1, targetLeft: 50, tol: 5, wantWithin: false, wantMoved: -1,
+		},
+		{
+			name:    "drain-right-keeps-nonempty",
+			weights: []int64{1, 1, 1, 1, 1, 1},
+			edges:   [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}},
+			split:   3, targetLeft: 6, tol: 0, wantWithin: false, wantMoved: -1,
+		},
+		{
+			name:    "zero-weight-vertices-ignored",
+			weights: []int64{1, 0, 0, 1, 1, 1},
+			edges:   [][]int{{0, 1, 2}, {2, 3}, {3, 4}, {4, 5}},
+			split:   4, targetLeft: 2, tol: 0, wantWithin: true, wantMoved: -1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := hypergraph.NewBuilder(len(c.weights))
+			for v, w := range c.weights {
+				b.SetVertexWeight(v, w)
+			}
+			for _, e := range c.edges {
+				b.AddEdge(e...)
+			}
+			h := b.MustBuild()
+			p := partition.New(len(c.weights))
+			for v := range c.weights {
+				if v < c.split {
+					p.Assign(v, partition.Left)
+				} else {
+					p.Assign(v, partition.Right)
+				}
+			}
+			moved, err := ToTarget(h, p, c.targetLeft, c.tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := verify.Check(h, p)
+			if err != nil {
+				t.Fatalf("oracle rejected rebalanced partition: %v", err)
+			}
+			dist := rep.LeftWeight - c.targetLeft
+			if dist < 0 {
+				dist = -dist
+			}
+			if c.wantWithin && dist > c.tol {
+				t.Errorf("left weight %d not within %d of target %d (moved %d)", rep.LeftWeight, c.tol, c.targetLeft, moved)
+			}
+			if !c.wantWithin && dist <= c.tol {
+				t.Errorf("infeasible case unexpectedly reached target (left %d)", rep.LeftWeight)
+			}
+			if c.wantMoved >= 0 && moved != c.wantMoved {
+				t.Errorf("moved %d vertices, want %d", moved, c.wantMoved)
+			}
+		})
 	}
 }

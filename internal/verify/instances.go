@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+)
+
+// Instance is a named test hypergraph for the differential suites.
+type Instance struct {
+	Name string
+	H    *hypergraph.Hypergraph
+}
+
+// SmallInstances returns a deterministic family of named instances with
+// n ≤ 12 vertices: structured graphs (paths, cycles, stars, cliques,
+// bridged double cliques), random hypergraphs and planted/disconnected
+// generator outputs at fixed seeds. Together with ExhaustiveUniform it
+// is the shared instance set of the differential suite.
+func SmallInstances() []Instance {
+	var out []Instance
+	add := func(name string, n int, edges [][]int) {
+		h, err := hypergraph.FromEdges(n, edges)
+		if err != nil {
+			panic(fmt.Sprintf("verify: bad built-in instance %s: %v", name, err))
+		}
+		out = append(out, Instance{Name: name, H: h})
+	}
+
+	for _, n := range []int{2, 3, 4, 6, 8, 10, 12} {
+		path := make([][]int, 0, n-1)
+		for i := 0; i+1 < n; i++ {
+			path = append(path, []int{i, i + 1})
+		}
+		if len(path) > 0 {
+			add(fmt.Sprintf("path-%d", n), n, path)
+		}
+		if n >= 3 {
+			cycle := append(append([][]int{}, path...), []int{n - 1, 0})
+			add(fmt.Sprintf("cycle-%d", n), n, cycle)
+			star := make([][]int, 0, n-1)
+			for i := 1; i < n; i++ {
+				star = append(star, []int{0, i})
+			}
+			add(fmt.Sprintf("star-%d", n), n, star)
+		}
+		if n >= 3 && n <= 8 {
+			clique := [][]int{}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					clique = append(clique, []int{i, j})
+				}
+			}
+			add(fmt.Sprintf("clique-%d", n), n, clique)
+		}
+		if n >= 6 && n%2 == 0 {
+			// Two cliques joined by a single bridge: optimum bisection
+			// cuts exactly 1.
+			half := n / 2
+			bridged := [][]int{}
+			for _, lo := range []int{0, half} {
+				for i := lo; i < lo+half; i++ {
+					for j := i + 1; j < lo+half; j++ {
+						bridged = append(bridged, []int{i, j})
+					}
+				}
+			}
+			bridged = append(bridged, []int{0, half})
+			add(fmt.Sprintf("bridged-%d", n), n, bridged)
+		}
+	}
+
+	// One hyperedge covering everything plus singles hanging off it.
+	add("bus-8", 8, [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	// Mixed edge sizes with a repeated net.
+	add("mixed-9", 9, [][]int{{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {6, 7, 8}, {0, 8}, {1, 4, 7}, {1, 4, 7}})
+
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := gen.Random(12, gen.RandomConfig{NumEdges: 18, MinEdgeSize: 2, MaxEdgeSize: 4}, rng)
+		if err != nil {
+			panic(fmt.Sprintf("verify: gen.Random: %v", err))
+		}
+		out = append(out, Instance{Name: fmt.Sprintf("random-12-s%d", seed), H: h})
+	}
+	{
+		rng := rand.New(rand.NewSource(7))
+		h, err := gen.Disconnected(12, 3, 4, rng)
+		if err != nil {
+			panic(fmt.Sprintf("verify: gen.Disconnected: %v", err))
+		}
+		out = append(out, Instance{Name: "disconnected-12", H: h})
+	}
+	{
+		rng := rand.New(rand.NewSource(5))
+		h, _, err := gen.PlantedCut(12, gen.PlantedConfig{CutSize: 2, IntraEdges: 20}, rng)
+		if err != nil {
+			panic(fmt.Sprintf("verify: gen.PlantedCut: %v", err))
+		}
+		out = append(out, Instance{Name: "planted-12", H: h})
+	}
+	return out
+}
+
+// ExhaustiveUniform enumerates every r-uniform hypergraph on n labeled
+// vertices with at least one edge: all 2^C(n,r) − 1 nonempty families
+// of r-subsets. ExhaustiveUniform(4, 2) is all 63 labeled graphs on
+// four vertices; keep C(n,r) small (the count is exponential in it).
+func ExhaustiveUniform(n, r int) []Instance {
+	subsets := combinations(n, r)
+	m := len(subsets)
+	if m > 20 {
+		panic(fmt.Sprintf("verify: ExhaustiveUniform(%d,%d) would enumerate 2^%d instances", n, r, m))
+	}
+	out := make([]Instance, 0, (1<<m)-1)
+	for mask := 1; mask < 1<<m; mask++ {
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				b.AddEdge(subsets[i]...)
+			}
+		}
+		h, err := b.Build()
+		if err != nil {
+			panic(fmt.Sprintf("verify: ExhaustiveUniform build: %v", err))
+		}
+		out = append(out, Instance{Name: fmt.Sprintf("u%d-%d-m%d", r, n, mask), H: h})
+	}
+	return out
+}
+
+// combinations returns all r-subsets of {0..n-1} in lexicographic
+// order.
+func combinations(n, r int) [][]int {
+	var out [][]int
+	idx := make([]int, r)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == r {
+			cp := make([]int, r)
+			copy(cp, idx)
+			out = append(out, cp)
+			return
+		}
+		for v := start; v < n; v++ {
+			idx[k] = v
+			rec(v+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// PlantedInstance is a difficult instance with a known planted minimum
+// bisection of cutsize Cut. The pinned seeds are chosen (and re-proved
+// by TestPlantedInstancesAreOptimal against internal/bruteforce) so
+// that the planted cut is simultaneously the minimum bisection and the
+// minimum unconstrained cut — the regime where the paper proves
+// Algorithm I succeeds.
+type PlantedInstance struct {
+	Name string
+	H    *hypergraph.Hypergraph
+	// Cut is the planted (and provably optimal) cutsize.
+	Cut int
+}
+
+// PlantedInstances returns the pinned planted-cut family used by the
+// differential suite's optimality assertions. All instances are small
+// enough for bruteforce confirmation (n ≤ 16).
+func PlantedInstances() []PlantedInstance {
+	var out []PlantedInstance
+	for _, cfg := range []struct {
+		n, cut, intra int
+		seed          int64
+	}{
+		{8, 1, 14, 11},
+		{10, 1, 18, 3},
+		{12, 2, 22, 9},
+		{14, 2, 26, 1},
+		{16, 3, 30, 2},
+	} {
+		rng := rand.New(rand.NewSource(cfg.seed))
+		h, planted, err := gen.PlantedCut(cfg.n, gen.PlantedConfig{CutSize: cfg.cut, IntraEdges: cfg.intra}, rng)
+		if err != nil {
+			panic(fmt.Sprintf("verify: gen.PlantedCut: %v", err))
+		}
+		if len(planted) != cfg.cut {
+			panic(fmt.Sprintf("verify: planted %d crossing nets, want %d", len(planted), cfg.cut))
+		}
+		out = append(out, PlantedInstance{
+			Name: fmt.Sprintf("planted-%d-c%d-s%d", cfg.n, cfg.cut, cfg.seed),
+			H:    h,
+			Cut:  cfg.cut,
+		})
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+func mkHG(t *testing.T, n int, edges [][]int) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mkPart(sides ...partition.Side) *partition.Bipartition {
+	p := partition.New(len(sides))
+	for v, s := range sides {
+		p.Assign(v, s)
+	}
+	return p
+}
+
+const L, R = partition.Left, partition.Right
+
+func TestCheckAcceptsAndRecomputes(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2, 3}})
+	rep, err := Check(h, mkPart(L, L, R, R))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CutSize != 2 || rep.WeightedCut != 2 {
+		t.Errorf("cut = %d (weighted %d), want 2", rep.CutSize, rep.WeightedCut)
+	}
+	if rep.Left != 2 || rep.Right != 2 || rep.Imbalance() != 0 || rep.CountImbalance() != 0 {
+		t.Errorf("sides %d|%d imbalance %d", rep.Left, rep.Right, rep.Imbalance())
+	}
+}
+
+func TestCheckRejectsBadPartitions(t *testing.T) {
+	h := mkHG(t, 3, [][]int{{0, 1}, {1, 2}})
+	cases := []struct {
+		name string
+		p    *partition.Bipartition
+		want string
+	}{
+		{"nil", nil, "nil partition"},
+		{"wrong-length", partition.New(2), "covers 2 vertices"},
+		{"unassigned", mkPart(L, partition.Unassigned, R), "unassigned"},
+		{"empty-side", mkPart(L, L, L), "side empty"},
+	}
+	for _, tc := range cases {
+		if _, err := Check(h, tc.p); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckCutAndBounds(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	p := mkPart(L, L, R, R)
+	if _, err := CheckCut(h, p, 1); err != nil {
+		t.Errorf("correct claim rejected: %v", err)
+	}
+	if _, err := CheckCut(h, p, 2); err == nil {
+		t.Error("wrong claimed cutsize accepted")
+	}
+	if _, err := CheckBalance(h, p, 0); err != nil {
+		t.Errorf("balanced partition rejected: %v", err)
+	}
+	if _, err := CheckBalance(h, mkPart(L, R, R, R), 1); err == nil {
+		t.Error("3|1 split accepted at r=1")
+	}
+	hw := func() *hypergraph.Hypergraph {
+		b := hypergraph.NewBuilder(4)
+		b.AddEdge(0, 1)
+		b.AddEdge(2, 3)
+		b.SetVertexWeight(0, 10)
+		return b.MustBuild()
+	}()
+	if _, err := CheckTolerance(hw, mkPart(L, L, R, R), 9); err != nil {
+		t.Errorf("imbalance 9 rejected at tol 9: %v", err)
+	}
+	if _, err := CheckTolerance(hw, mkPart(L, L, R, R), 8); err == nil {
+		t.Error("imbalance 9 accepted at tol 8")
+	}
+}
+
+func TestCheckKWay(t *testing.T) {
+	h := mkHG(t, 6, [][]int{{0, 1}, {2, 3}, {4, 5}, {0, 2, 4}, {1, 3, 5}})
+	rep, err := CheckKWay(h, []int{0, 0, 1, 1, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nets {0,2,4} and {1,3,5} each touch all 3 parts: λ−1 = 2 each.
+	if rep.CutNets != 2 || rep.Connectivity != 4 {
+		t.Errorf("cutNets=%d connectivity=%d, want 2 and 4", rep.CutNets, rep.Connectivity)
+	}
+	if rep.PartSizes[0] != 2 || rep.PartWeights[2] != 2 {
+		t.Errorf("part accounting wrong: %v %v", rep.PartSizes, rep.PartWeights)
+	}
+
+	if _, err := CheckKWay(h, []int{0, 0, 1, 1, 2, 3}, 3); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := CheckKWay(h, []int{0, 0, 1, 1, 1, 1}, 3); err == nil {
+		t.Error("empty part accepted")
+	}
+	if _, err := CheckKWay(h, []int{0, 0, 1}, 3); err == nil {
+		t.Error("short labeling accepted")
+	}
+
+	// k = 2 ties into the bipartition oracle: cut nets == cutsize.
+	rep2, err := CheckKWay(h, []int{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mkPart(L, L, L, R, R, R)
+	two, err := Check(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CutNets != two.CutSize {
+		t.Errorf("k=2 cut %d != bipartition cut %d", rep2.CutNets, two.CutSize)
+	}
+}
+
+// TestOracleExhaustive runs Check over every bipartition of every
+// 2- and 3-uniform hypergraph on four vertices — the full cross-product
+// of the metric layer, the cutstate walk and the recomputation.
+func TestOracleExhaustive(t *testing.T) {
+	insts := append(ExhaustiveUniform(4, 2), ExhaustiveUniform(4, 3)...)
+	for _, inst := range insts {
+		n := inst.H.NumVertices()
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			p := partition.New(n)
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					p.Assign(v, partition.Left)
+				} else {
+					p.Assign(v, partition.Right)
+				}
+			}
+			rep, err := Check(inst.H, p)
+			if err != nil {
+				t.Fatalf("%s mask %d: %v", inst.Name, mask, err)
+			}
+			if rep.Left+rep.Right != n {
+				t.Fatalf("%s mask %d: side counts %d|%d", inst.Name, mask, rep.Left, rep.Right)
+			}
+		}
+	}
+}
+
+func TestSmallInstancesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inst := range SmallInstances() {
+		if seen[inst.Name] {
+			t.Errorf("duplicate instance name %q", inst.Name)
+		}
+		seen[inst.Name] = true
+		if n := inst.H.NumVertices(); n < 2 || n > 12 {
+			t.Errorf("%s: %d vertices outside [2,12]", inst.Name, n)
+		}
+		if inst.H.NumEdges() == 0 {
+			t.Errorf("%s: no edges", inst.Name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d small instances", len(seen))
+	}
+}
+
+// TestPlantedInstancesAreOptimal re-proves the pinned planted seeds:
+// the planted cutsize is both the exact minimum bisection and the
+// exact unconstrained minimum cut, so the differential suite may
+// assert Algorithm I recovers it exactly.
+func TestPlantedInstancesAreOptimal(t *testing.T) {
+	insts := PlantedInstances()
+	if len(insts) < 5 {
+		t.Fatalf("only %d planted instances", len(insts))
+	}
+	for _, inst := range insts {
+		_, bis, err := bruteforce.MinBisection(inst.H)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if bis != inst.Cut {
+			t.Errorf("%s: min bisection %d, planted %d", inst.Name, bis, inst.Cut)
+		}
+		_, unc, err := bruteforce.MinCutUnconstrained(inst.H)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if unc != inst.Cut {
+			t.Errorf("%s: unconstrained min cut %d, planted %d", inst.Name, unc, inst.Cut)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command gencorpus regenerates the golden regression corpus in
+// testdata/corpus/. Run it from the repository root:
+//
+//	go run testdata/gencorpus.go
+//
+// The corpus is deliberately frozen: every netlist comes from a fixed
+// seed or a hand-built structure, so regenerating produces identical
+// files. After changing the mix, re-bless the expectations with
+//
+//	go test -run TestGoldenCorpus -update .
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"fasthgp/internal/gen"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/netio"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "corpus")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	emit := func(name string, h *hypergraph.Hypergraph, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".nets"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := netio.Write(f, h); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s.nets: %v\n", name, h)
+	}
+
+	// Hand-built structures: known optimal cuts, degenerate shapes.
+	path := hypergraph.NewBuilder(24)
+	for v := 0; v+1 < 24; v++ {
+		path.AddEdge(v, v+1)
+	}
+	emit("path-24", path.MustBuild(), nil)
+
+	cycle := hypergraph.NewBuilder(20)
+	for v := 0; v < 20; v++ {
+		cycle.AddEdge(v, (v+1)%20)
+	}
+	emit("cycle-20", cycle.MustBuild(), nil)
+
+	star := hypergraph.NewBuilder(17)
+	for v := 1; v < 17; v++ {
+		star.AddEdge(0, v)
+	}
+	emit("star-17", star.MustBuild(), nil)
+
+	bus := hypergraph.NewBuilder(18)
+	for b := 0; b < 3; b++ {
+		pins := make([]int, 6)
+		for i := range pins {
+			pins[i] = 6*b + i
+		}
+		bus.AddEdge(pins...)
+		if b > 0 {
+			bus.AddEdge(6*b-1, 6*b)
+		}
+	}
+	emit("bus-18", bus.MustBuild(), nil)
+
+	heavy := hypergraph.NewBuilder(12)
+	for v := 0; v+1 < 12; v++ {
+		heavy.AddEdge(v, v+1)
+		heavy.SetVertexWeight(v, int64(1+v%4))
+	}
+	heavy.SetVertexWeight(11, 8)
+	heavy.SetEdgeWeight(5, 3)
+	emit("weighted-chain-12", heavy.MustBuild(), nil)
+
+	// Random family: fixed seeds over a spread of sizes and densities.
+	for _, rc := range []struct {
+		name string
+		n    int
+		cfg  gen.RandomConfig
+		seed int64
+	}{
+		{"rand-16-sparse", 16, gen.RandomConfig{NumEdges: 20, MaxEdgeSize: 3}, 101},
+		{"rand-16-dense", 16, gen.RandomConfig{NumEdges: 40, MaxEdgeSize: 4}, 102},
+		{"rand-20-sparse", 20, gen.RandomConfig{NumEdges: 26, MaxEdgeSize: 3}, 103},
+		{"rand-20-wide", 20, gen.RandomConfig{NumEdges: 30, MinEdgeSize: 3, MaxEdgeSize: 6}, 104},
+		{"rand-24-mid", 24, gen.RandomConfig{NumEdges: 36, MaxEdgeSize: 4}, 105},
+		{"rand-28-sparse", 28, gen.RandomConfig{NumEdges: 34, MaxEdgeSize: 3}, 106},
+	} {
+		h, err := gen.Random(rc.n, rc.cfg, rand.New(rand.NewSource(rc.seed)))
+		emit(rc.name, h, err)
+	}
+
+	// Planted family: instances with a known small bisection.
+	for _, pc := range []struct {
+		name string
+		n    int
+		cfg  gen.PlantedConfig
+		seed int64
+	}{
+		{"planted-16-c2", 16, gen.PlantedConfig{CutSize: 2, IntraEdges: 20}, 201},
+		{"planted-20-c3", 20, gen.PlantedConfig{CutSize: 3, IntraEdges: 26}, 202},
+		{"planted-24-c2", 24, gen.PlantedConfig{CutSize: 2, IntraEdges: 32}, 203},
+		{"planted-28-c4", 28, gen.PlantedConfig{CutSize: 4, IntraEdges: 38}, 204},
+	} {
+		h, _, err := gen.PlantedCut(pc.n, pc.cfg, rand.New(rand.NewSource(pc.seed)))
+		emit(pc.name, h, err)
+	}
+
+	// Profile family: one small instance per technology row.
+	for _, tc := range []struct {
+		name string
+		tech gen.Technology
+		seed int64
+	}{
+		{"profile-pcb-30", gen.PCB, 301},
+		{"profile-stdcell-30", gen.StdCell, 302},
+		{"profile-gatearray-30", gen.GateArray, 303},
+		{"profile-hybrid-30", gen.Hybrid, 304},
+	} {
+		h, err := gen.Profile(gen.ProfileConfig{Modules: 30, Signals: 36, Technology: tc.tech},
+			rand.New(rand.NewSource(tc.seed)))
+		emit(tc.name, h, err)
+	}
+}

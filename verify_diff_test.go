@@ -1,0 +1,137 @@
+package fasthgp
+
+// Differential suite: every algorithm in the Algorithms registry runs
+// over the shared small-instance families and is checked against two
+// independent referees — the internal/verify invariant oracle (is the
+// claimed result a real, correctly-scored bipartition?) and the
+// internal/bruteforce enumerator (is the cut no better than the true
+// optimum, and — where the paper guarantees it — no worse either?).
+
+import (
+	"context"
+	"testing"
+
+	"fasthgp/internal/bruteforce"
+	"fasthgp/internal/verify"
+)
+
+// diffConfig keeps the differential runs deterministic and cheap; the
+// instances are tiny, so a handful of starts is plenty.
+var diffConfig = AlgoConfig{Starts: 4, Seed: 1, Parallelism: 2}
+
+// runAndCheck executes one registry algorithm on h and pushes the
+// result through the invariant oracle, returning the verified cutsize.
+func runAndCheck(t *testing.T, a Algorithm, h *Hypergraph, cfg AlgoConfig) int {
+	t.Helper()
+	res, err := a.Run(context.Background(), h, cfg)
+	if err != nil {
+		t.Fatalf("%s failed on %v: %v", a.Name, h, err)
+	}
+	if _, err := verify.CheckCut(h, res.Partition, res.CutSize); err != nil {
+		t.Fatalf("%s produced an invalid result on %v: %v", a.Name, h, err)
+	}
+	return res.CutSize
+}
+
+// TestDifferentialSmallInstances runs the whole registry over the
+// curated small-instance family and checks validity plus the bruteforce
+// lower bound: no heuristic may ever claim a cut below the
+// unconstrained optimum.
+func TestDifferentialSmallInstances(t *testing.T) {
+	algos := Algorithms()
+	for _, inst := range verify.SmallInstances() {
+		_, optimum, err := bruteforce.MinCutUnconstrained(inst.H)
+		if err != nil {
+			t.Fatalf("%s: bruteforce: %v", inst.Name, err)
+		}
+		for _, a := range algos {
+			cut := runAndCheck(t, a, inst.H, diffConfig)
+			if cut < optimum {
+				t.Errorf("%s on %s: cut %d below the true optimum %d — scoring bug",
+					a.Name, inst.Name, cut, optimum)
+			}
+		}
+	}
+}
+
+// TestDifferentialExhaustive runs the registry over every non-empty
+// r-uniform hypergraph family on 4 vertices — 63 graphs for r=2 and 15
+// for r=3, so every boundary shape a tiny instance can take is covered.
+func TestDifferentialExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive family is slow under -short")
+	}
+	algos := Algorithms()
+	families := append(verify.ExhaustiveUniform(4, 2), verify.ExhaustiveUniform(4, 3)...)
+	for _, inst := range families {
+		_, optimum, err := bruteforce.MinCutUnconstrained(inst.H)
+		if err != nil {
+			t.Fatalf("%s: bruteforce: %v", inst.Name, err)
+		}
+		for _, a := range algos {
+			cut := runAndCheck(t, a, inst.H, AlgoConfig{Starts: 2, Seed: 3, Parallelism: 1})
+			if cut < optimum {
+				t.Errorf("%s on %s: cut %d below the true optimum %d",
+					a.Name, inst.Name, cut, optimum)
+			}
+		}
+	}
+}
+
+// TestDifferentialPlanted checks the planted-cut family, where the
+// bruteforce enumerator has certified that the planted cut is both the
+// balanced and the unconstrained optimum. Every algorithm must stay
+// valid and at-or-above the optimum; Algorithm I with a modest start
+// budget must find it exactly, which is the paper's headline claim on
+// instances whose boundary the double-BFS construction can isolate.
+func TestDifferentialPlanted(t *testing.T) {
+	algos := Algorithms()
+	for _, inst := range verify.PlantedInstances() {
+		for _, a := range algos {
+			cfg := diffConfig
+			if a.Name == "algo1" {
+				cfg.Starts = 32
+			}
+			cut := runAndCheck(t, a, inst.H, cfg)
+			if cut < inst.Cut {
+				t.Errorf("%s on %s: cut %d below the certified optimum %d",
+					a.Name, inst.Name, cut, inst.Cut)
+			}
+			if a.Name == "algo1" && cut != inst.Cut {
+				t.Errorf("algo1 on %s: cut %d, want the certified optimum %d",
+					inst.Name, cut, inst.Cut)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelismInvariance re-runs every algorithm with
+// the worker count — and nothing else — changed, and demands identical
+// results: the registry's uniform determinism contract.
+func TestDifferentialParallelismInvariance(t *testing.T) {
+	algos := Algorithms()
+	insts := verify.SmallInstances()
+	for _, inst := range insts[:6] {
+		for _, a := range algos {
+			serial, err := a.Run(context.Background(), inst.H, AlgoConfig{Starts: 5, Seed: 9, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, inst.Name, err)
+			}
+			wide, err := a.Run(context.Background(), inst.H, AlgoConfig{Starts: 5, Seed: 9, Parallelism: 8})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, inst.Name, err)
+			}
+			if serial.CutSize != wide.CutSize || serial.Engine.BestStart != wide.Engine.BestStart {
+				t.Errorf("%s on %s: parallelism changed the result: cut %d@%d vs %d@%d",
+					a.Name, inst.Name, serial.CutSize, serial.Engine.BestStart,
+					wide.CutSize, wide.Engine.BestStart)
+			}
+			for i := range serial.Engine.Cuts {
+				if serial.Engine.Cuts[i] != wide.Engine.Cuts[i] {
+					t.Errorf("%s on %s: start %d cut %d vs %d across parallelism",
+						a.Name, inst.Name, i, serial.Engine.Cuts[i], wide.Engine.Cuts[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package fasthgp
+
+// Golden regression corpus: every registry algorithm runs over the
+// frozen netlists in testdata/corpus/ and its cutsize must match
+// testdata/golden.json exactly. The engine guarantees determinism for a
+// fixed (Starts, Seed) regardless of parallelism, so any mismatch is a
+// real behavior change — a regression, or an intentional improvement to
+// re-bless with
+//
+//	go test -run TestGoldenCorpus -update .
+//
+// The same run emits BENCH_verify.json (per-algorithm total cutsize and
+// wall time over the corpus) so successive commits leave a perf trail.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "re-bless testdata/golden.json from the current algorithms")
+
+// goldenConfig is the frozen run configuration behind golden.json. Bump
+// it only together with -update.
+var goldenConfig = AlgoConfig{Starts: 6, Seed: 1, Parallelism: 2}
+
+// goldenFile mirrors testdata/golden.json.
+type goldenFile struct {
+	// Config echoes the AlgoConfig the cuts were recorded under.
+	Config struct {
+		Starts int   `json:"starts"`
+		Seed   int64 `json:"seed"`
+	} `json:"config"`
+	// Cuts maps instance name → algorithm name → cutsize.
+	Cuts map[string]map[string]int `json:"cuts"`
+}
+
+// benchEntry is one BENCH_verify.json row.
+type benchEntry struct {
+	Algorithm string         `json:"algorithm"`
+	TotalCut  int            `json:"total_cut"`
+	WallMS    float64        `json:"wall_ms"`
+	Cuts      map[string]int `json:"cuts"`
+}
+
+func corpusInstances(t *testing.T) map[string]*Hypergraph {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.nets"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus netlists found: %v", err)
+	}
+	insts := make(map[string]*Hypergraph, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadNetlist(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		name := filepath.Base(p)
+		insts[name[:len(name)-len(".nets")]] = h
+	}
+	return insts
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	insts := corpusInstances(t)
+	algos := Algorithms()
+
+	// Run the full matrix, validating every result with the oracle.
+	got := make(map[string]map[string]int, len(insts))
+	for name := range insts {
+		got[name] = make(map[string]int, len(algos))
+	}
+	bench := make([]benchEntry, 0, len(algos))
+	names := make([]string, 0, len(insts))
+	for name := range insts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, a := range algos {
+		entry := benchEntry{Algorithm: a.Name, Cuts: make(map[string]int, len(insts))}
+		begin := time.Now()
+		for _, name := range names {
+			cut := runAndCheck(t, a, insts[name], goldenConfig)
+			got[name][a.Name] = cut
+			entry.Cuts[name] = cut
+			entry.TotalCut += cut
+		}
+		entry.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+		bench = append(bench, entry)
+	}
+
+	// The perf trail is emitted on every full run, pass or fail.
+	writeJSON(t, "BENCH_verify.json", struct {
+		Config  AlgoConfig   `json:"config"`
+		Corpus  int          `json:"corpus_size"`
+		Entries []benchEntry `json:"algorithms"`
+	}{goldenConfig, len(insts), bench})
+
+	goldenPath := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		var g goldenFile
+		g.Config.Starts = goldenConfig.Starts
+		g.Config.Seed = goldenConfig.Seed
+		g.Cuts = got
+		writeJSON(t, goldenPath, &g)
+		t.Logf("re-blessed %s: %d instances × %d algorithms", goldenPath, len(insts), len(algos))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing %s — run `go test -run TestGoldenCorpus -update .`: %v", goldenPath, err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("%s: %v", goldenPath, err)
+	}
+	if want.Config.Starts != goldenConfig.Starts || want.Config.Seed != goldenConfig.Seed {
+		t.Fatalf("golden.json recorded under Starts=%d/Seed=%d but the test now uses Starts=%d/Seed=%d; re-bless with -update",
+			want.Config.Starts, want.Config.Seed, goldenConfig.Starts, goldenConfig.Seed)
+	}
+	for name, wantCuts := range want.Cuts {
+		gotCuts, ok := got[name]
+		if !ok {
+			t.Errorf("golden instance %q has no corpus netlist — corpus and golden.json diverged", name)
+			continue
+		}
+		for algo, w := range wantCuts {
+			if g, ok := gotCuts[algo]; !ok {
+				t.Errorf("%s: algorithm %q in golden.json is gone from the registry", name, algo)
+			} else if g != w {
+				t.Errorf("%s/%s: cut %d, golden %d — regression or unblessed improvement (re-bless with -update)",
+					name, algo, g, w)
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want.Cuts[name]; !ok {
+			t.Errorf("corpus netlist %q missing from golden.json — re-bless with -update", name)
+		}
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
