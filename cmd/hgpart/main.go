@@ -17,45 +17,86 @@
 // of the run. -verify recomputes every invariant of the reported
 // result with the internal/verify oracle and exits nonzero on any
 // violation.
+//
+// -fallback names a comma-separated chain of cheaper algorithms to
+// degrade to when the primary -algo panics, times out, or returns an
+// oracle-rejected result, and -budget bounds the whole chain's wall
+// time; together they run the resilience portfolio:
+//
+//	hgpart -in netlist.nets -algo multilevel -fallback fm,core -budget 2s
+//
+// Every error path prints to stderr and exits non-zero (2 for flag
+// errors, 1 for everything else); partial results are never reported
+// with a success status.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"fasthgp"
+	"fasthgp/internal/faultinject"
 	"fasthgp/internal/partition"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, executes, writes
+// reports to stdout and errors to stderr, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hgpart", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in         = flag.String("in", "", "input netlist file (netio format); required")
-		algo       = flag.String("algo", "algI", "algorithm: algI, multilevel, kl, fm, sa, flow, spectral, random")
-		format     = flag.String("format", "nets", "input format: nets (netio) or hgr (hMETIS)")
-		k          = flag.Int("k", 2, "number of parts; k > 2 uses K-way recursive bisection")
-		starts     = flag.Int("starts", 50, "multi-start count: longest paths (algI), restarts (kl/fm/sa/spectral/random), seed pairs (flow), V-cycles (multilevel)")
-		threshold  = flag.Int("threshold", 0, "Algorithm I: exclude nets with >= this many pins (0 = off)")
-		completion = flag.String("completion", "greedy", "Algorithm I: boundary completion: greedy, exact, weighted")
-		objective  = flag.String("objective", "cut", "Algorithm I: objective: cut, quotient")
-		seed       = flag.Int64("seed", 1, "random seed")
-		parallel   = flag.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
-		stats      = flag.Bool("stats", false, "print engine multi-start statistics")
-		doVerify   = flag.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
-		verbose    = flag.Bool("v", false, "print the side of every module")
+		in         = fs.String("in", "", "input netlist file (netio format); required")
+		algo       = fs.String("algo", "algI", "algorithm: algI, multilevel, kl, fm, sa, flow, spectral, random")
+		format     = fs.String("format", "nets", "input format: nets (netio) or hgr (hMETIS)")
+		k          = fs.Int("k", 2, "number of parts; k > 2 uses K-way recursive bisection")
+		starts     = fs.Int("starts", 50, "multi-start count: longest paths (algI), restarts (kl/fm/sa/spectral/random), seed pairs (flow), V-cycles (multilevel)")
+		threshold  = fs.Int("threshold", 0, "Algorithm I: exclude nets with >= this many pins (0 = off)")
+		completion = fs.String("completion", "greedy", "Algorithm I: boundary completion: greedy, exact, weighted")
+		objective  = fs.String("objective", "cut", "Algorithm I: objective: cut, quotient")
+		seed       = fs.Int64("seed", 1, "random seed")
+		parallel   = fs.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
+		fallback   = fs.String("fallback", "", "comma-separated fallback chain after -algo (e.g. fm,core); runs the resilience portfolio")
+		budget     = fs.Duration("budget", 0, "portfolio wall budget across the whole -fallback chain, e.g. 2s (0 = -timeout)")
+		faults     = fs.String("faultinject", "", "fault-injection spec, e.g. 'panic@engine.start:2' (also read from FASTHGP_FAULTS)")
+		stats      = fs.Bool("stats", false, "print engine multi-start statistics")
+		doVerify   = fs.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
+		verbose    = fs.Bool("v", false, "print the side of every module")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpart:", err)
+		return 1
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "hgpart: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hgpart: -in is required")
+		fs.Usage()
+		return 2
+	}
+	if spec := *faults; spec != "" || os.Getenv("FASTHGP_FAULTS") != "" {
+		if spec == "" {
+			spec = os.Getenv("FASTHGP_FAULTS")
+		}
+		plan, err := faultinject.ParseSpec(spec)
+		if err != nil {
+			return fail(err)
+		}
+		defer faultinject.Install(plan)()
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var h *fasthgp.Hypergraph
 	switch *format {
@@ -68,9 +109,9 @@ func main() {
 	}
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("netlist: %d modules, %d nets, %d pins\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+	fmt.Fprintf(stdout, "netlist: %d modules, %d nets, %d pins\n", h.NumVertices(), h.NumEdges(), h.NumPins())
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -79,38 +120,45 @@ func main() {
 		defer cancel()
 	}
 
+	if *fallback != "" || *budget > 0 {
+		if *k > 2 {
+			return fail(fmt.Errorf("-fallback/-budget support bipartitioning only (got -k %d)", *k))
+		}
+		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, *doVerify, *verbose, stdout, stderr)
+	}
+
 	if *k > 2 {
 		start := time.Now()
 		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("k-way recursive bisection: k = %d\n", *k)
-		fmt.Printf("cut nets: %d (of %d), connectivity sum(lambda-1): %d\n", res.CutNets, h.NumEdges(), res.Connectivity)
-		fmt.Printf("part weights: %v\n", res.PartWeights)
-		fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+		fmt.Fprintf(stdout, "k-way recursive bisection: k = %d\n", *k)
+		fmt.Fprintf(stdout, "cut nets: %d (of %d), connectivity sum(lambda-1): %d\n", res.CutNets, h.NumEdges(), res.Connectivity)
+		fmt.Fprintf(stdout, "part weights: %v\n", res.PartWeights)
+		fmt.Fprintf(stdout, "time: %s\n", elapsed.Round(time.Microsecond))
 		if *stats {
-			printStats(res.Engine)
+			printStats(stdout, res.Engine)
 		}
 		if *doVerify {
 			rep, err := fasthgp.VerifyKWay(h, res.Part, *k)
 			if err != nil {
-				fatal(fmt.Errorf("verification FAILED: %w", err))
+				return fail(fmt.Errorf("verification FAILED: %w", err))
 			}
 			if rep.CutNets != res.CutNets || rep.Connectivity != res.Connectivity {
-				fatal(fmt.Errorf("verification FAILED: claimed cut %d/connectivity %d, oracle recomputed %d/%d",
+				return fail(fmt.Errorf("verification FAILED: claimed cut %d/connectivity %d, oracle recomputed %d/%d",
 					res.CutNets, res.Connectivity, rep.CutNets, rep.Connectivity))
 			}
-			fmt.Printf("verified: %d cut nets, connectivity %d, part weights %v\n",
+			fmt.Fprintf(stdout, "verified: %d cut nets, connectivity %d, part weights %v\n",
 				rep.CutNets, rep.Connectivity, rep.PartWeights)
 		}
 		if *verbose {
 			for v := 0; v < h.NumVertices(); v++ {
-				fmt.Printf("  %s %d\n", h.VertexName(v), res.Part[v])
+				fmt.Fprintf(stdout, "  %s %d\n", h.VertexName(v), res.Part[v])
 			}
 		}
-		return
+		return 0
 	}
 
 	var p *fasthgp.Bipartition
@@ -127,7 +175,7 @@ func main() {
 		case "weighted":
 			opts.Completion = fasthgp.CompletionWeighted
 		default:
-			fatal(fmt.Errorf("unknown completion %q", *completion))
+			return fail(fmt.Errorf("unknown completion %q", *completion))
 		}
 		switch *objective {
 		case "cut":
@@ -135,98 +183,168 @@ func main() {
 		case "quotient":
 			opts.Objective = fasthgp.MinQuotient
 		default:
-			fatal(fmt.Errorf("unknown objective %q", *objective))
+			return fail(fmt.Errorf("unknown objective %q", *objective))
 		}
 		res, err := fasthgp.PartitionCtx(ctx, h, opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Stats.Engine
-		fmt.Printf("algorithm I: G = (%d vertices, %d edges), boundary %d, BFS depth %d",
+		fmt.Fprintf(stdout, "algorithm I: G = (%d vertices, %d edges), boundary %d, BFS depth %d",
 			res.Stats.GVertices, res.Stats.GEdges, res.Stats.BoundarySize, res.Stats.BFSDepth)
 		if res.Stats.Disconnected {
-			fmt.Print(" [disconnected: zero-cut packing]")
+			fmt.Fprint(stdout, " [disconnected: zero-cut packing]")
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	case "multilevel":
 		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
+		fmt.Fprintf(stdout, "multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
 	case "kl":
 		res, err := fasthgp.KLCtx(ctx, h, fasthgp.KLOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("kernighan-lin: %d passes\n", res.Passes)
+		fmt.Fprintf(stdout, "kernighan-lin: %d passes\n", res.Passes)
 	case "fm":
 		res, err := fasthgp.FMCtx(ctx, h, fasthgp.FMOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("fiduccia-mattheyses: %d passes\n", res.Passes)
+		fmt.Fprintf(stdout, "fiduccia-mattheyses: %d passes\n", res.Passes)
 	case "spectral":
 		res, err := fasthgp.SpectralCtx(ctx, h, fasthgp.SpectralOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("spectral: %d power iterations\n", res.Iterations)
+		fmt.Fprintf(stdout, "spectral: %d power iterations\n", res.Iterations)
 	case "flow":
 		res, err := fasthgp.FlowCtx(ctx, h, fasthgp.FlowOptions{SeedPairs: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("flow-based: min s-t net cut value %d over seed pairs\n", res.FlowValue)
+		fmt.Fprintf(stdout, "flow-based: min s-t net cut value %d over seed pairs\n", res.FlowValue)
 	case "sa":
 		res, err := fasthgp.AnnealCtx(ctx, h, fasthgp.AnnealOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
-		fmt.Printf("simulated annealing: %d temperatures, %d accepted moves\n", res.Temperatures, res.Accepted)
+		fmt.Fprintf(stdout, "simulated annealing: %d temperatures, %d accepted moves\n", res.Temperatures, res.Accepted)
 	case "random":
 		res, err := runRegistered(ctx, "random", h, fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		return fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	elapsed := time.Since(start)
 
 	cut := fasthgp.CutSize(h, p)
-	l, r, _ := p.Counts()
-	fmt.Printf("cutsize: %d (of %d nets)\n", cut, h.NumEdges())
-	fmt.Printf("sides: %d | %d modules, weight imbalance %d of %d\n",
-		l, r, fasthgp.Imbalance(h, p), h.TotalVertexWeight())
-	fmt.Printf("quotient cut: %.4f\n", fasthgp.QuotientCut(h, p))
-	fmt.Printf("time: %s\n", elapsed.Round(time.Microsecond))
+	reportBipartition(stdout, h, p, cut, elapsed)
 	if *stats {
-		printStats(es)
+		printStats(stdout, es)
 	}
 	if *doVerify {
-		rep, err := fasthgp.VerifyCut(h, p, cut)
-		if err != nil {
-			fatal(fmt.Errorf("verification FAILED: %w", err))
+		if code := verifyBipartition(stdout, stderr, h, p, cut); code != 0 {
+			return code
 		}
-		fmt.Printf("verified: cut %d (weighted %d), sides %d/%d, weights %d/%d\n",
-			rep.CutSize, rep.WeightedCut, rep.Left, rep.Right, rep.LeftWeight, rep.RightWeight)
 	}
 	if *verbose {
-		for v := 0; v < h.NumVertices(); v++ {
-			side := "L"
-			if p.Side(v) == partition.Right {
-				side = "R"
-			}
-			fmt.Printf("  %s %s\n", h.VertexName(v), side)
+		printSides(stdout, h, p)
+	}
+	return 0
+}
+
+// runPortfolio executes the deadline-aware fallback chain and reports
+// the winning tier.
+func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback string, budget time.Duration,
+	starts int, seed int64, parallel int, doVerify, verbose bool, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpart:", err)
+		return 1
+	}
+	chain := []string{algo}
+	for _, name := range strings.Split(fallback, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			chain = append(chain, name)
 		}
+	}
+	fmt.Fprintf(stdout, "portfolio: chain %s, budget %s\n", strings.Join(chain, " -> "), budget)
+	start := time.Now()
+	res, err := fasthgp.PartitionPortfolio(ctx, h,
+		fasthgp.WithChain(chain...), fasthgp.WithBudget(budget),
+		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithParallelism(parallel))
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	for i, tr := range res.Tiers {
+		status := "ok"
+		switch {
+		case tr.Err != nil && tr.Partial:
+			status = fmt.Sprintf("partial (%v)", tr.Err)
+		case tr.Err != nil:
+			status = fmt.Sprintf("failed (%v)", tr.Err)
+		}
+		fmt.Fprintf(stdout, "tier %d (%s): %d attempt(s), %s, %s\n", i, tr.Name, tr.Attempts, tr.Wall.Round(time.Microsecond), status)
+	}
+	degraded := ""
+	if res.Degraded {
+		degraded = " [degraded]"
+	}
+	fmt.Fprintf(stdout, "winner: tier %d (%s)%s\n", res.Tier, res.TierName, degraded)
+	reportBipartition(stdout, h, res.Partition, res.CutSize, elapsed)
+	if doVerify {
+		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize); code != 0 {
+			return code
+		}
+	}
+	if verbose {
+		printSides(stdout, h, res.Partition)
+	}
+	return 0
+}
+
+// reportBipartition prints the standard cut/balance summary.
+func reportBipartition(stdout io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipartition, cut int, elapsed time.Duration) {
+	l, r, _ := p.Counts()
+	fmt.Fprintf(stdout, "cutsize: %d (of %d nets)\n", cut, h.NumEdges())
+	fmt.Fprintf(stdout, "sides: %d | %d modules, weight imbalance %d of %d\n",
+		l, r, fasthgp.Imbalance(h, p), h.TotalVertexWeight())
+	fmt.Fprintf(stdout, "quotient cut: %.4f\n", fasthgp.QuotientCut(h, p))
+	fmt.Fprintf(stdout, "time: %s\n", elapsed.Round(time.Microsecond))
+}
+
+// verifyBipartition runs the oracle and reports; non-zero on violation.
+func verifyBipartition(stdout, stderr io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipartition, cut int) int {
+	rep, err := fasthgp.VerifyCut(h, p, cut)
+	if err != nil {
+		fmt.Fprintln(stderr, "hgpart:", fmt.Errorf("verification FAILED: %w", err))
+		return 1
+	}
+	fmt.Fprintf(stdout, "verified: cut %d (weighted %d), sides %d/%d, weights %d/%d\n",
+		rep.CutSize, rep.WeightedCut, rep.Left, rep.Right, rep.LeftWeight, rep.RightWeight)
+	return 0
+}
+
+// printSides lists every module's side.
+func printSides(stdout io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipartition) {
+	for v := 0; v < h.NumVertices(); v++ {
+		side := "L"
+		if p.Side(v) == partition.Right {
+			side = "R"
+		}
+		fmt.Fprintf(stdout, "  %s %s\n", h.VertexName(v), side)
 	}
 }
 
@@ -242,20 +360,18 @@ func runRegistered(ctx context.Context, name string, h *fasthgp.Hypergraph, cfg 
 }
 
 // printStats reports the engine's account of a multi-start run.
-func printStats(es fasthgp.EngineStats) {
-	fmt.Printf("engine: %d/%d starts, best at start %d, %d workers, wall %s, cpu %s",
+func printStats(stdout io.Writer, es fasthgp.EngineStats) {
+	fmt.Fprintf(stdout, "engine: %d/%d starts, best at start %d, %d workers, wall %s, cpu %s",
 		es.StartsRun, es.StartsRequested, es.BestStart, es.Parallelism,
 		es.Wall.Round(time.Microsecond), es.CPU.Round(time.Microsecond))
 	if es.Cancelled {
-		fmt.Print(" [cancelled: best-so-far]")
+		fmt.Fprint(stdout, " [cancelled: best-so-far]")
 	}
-	fmt.Println()
+	if es.StartsFailed > 0 {
+		fmt.Fprintf(stdout, " [%d start(s) panicked and were skipped]", es.StartsFailed)
+	}
+	fmt.Fprintln(stdout)
 	if len(es.Cuts) > 0 {
-		fmt.Printf("engine: per-start cuts: %v\n", es.Cuts)
+		fmt.Fprintf(stdout, "engine: per-start cuts: %v\n", es.Cuts)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hgpart:", err)
-	os.Exit(1)
 }

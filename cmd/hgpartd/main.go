@@ -1,0 +1,131 @@
+// Command hgpartd serves hypergraph partitioning over HTTP, built on
+// the resilience portfolio: every request runs a deadline-aware
+// fallback chain, every candidate is certified by the invariant
+// oracle, and a panic anywhere in a request is converted into a 500
+// for that request alone.
+//
+// Endpoints:
+//
+//	POST /partition   netlist body -> JSON cut
+//	                  query: format=nets|hgr, chain=fm,core,
+//	                  starts=N, seed=N, budget=500ms
+//	GET  /healthz     liveness probe
+//	GET  /stats       atomic request counters
+//
+// Overload and abuse map to status codes, not failures: a full work
+// queue answers 429 with Retry-After, a body over -max-body answers
+// 413, a malformed netlist answers 400. SIGTERM/SIGINT drains
+// in-flight requests for up to -drain-timeout, then exits 0.
+//
+// Example:
+//
+//	hgpartd -addr :8080 -queue 4 &
+//	curl -s -X POST --data-binary @netlist.nets \
+//	    'localhost:8080/partition?chain=multilevel,fm,core&budget=2s'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fasthgp/internal/faultinject"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it blocks until SIGTERM/SIGINT or
+// a listener failure, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hgpartd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the actual address is printed)")
+		maxBody      = fs.Int64("max-body", 8<<20, "max request body bytes; beyond it the request is 413")
+		queue        = fs.Int("queue", 4, "max concurrent partition requests; beyond it 429")
+		reqTimeout   = fs.Duration("req-timeout", 30*time.Second, "per-request wall budget")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight requests on SIGTERM")
+		chain        = fs.String("chain", "", "default fallback chain, comma-separated (empty = multilevel,fm,algo1)")
+		starts       = fs.Int("starts", 8, "default multi-start count per tier")
+		seed         = fs.Int64("seed", 1, "default random seed")
+		budget       = fs.Duration("budget", 0, "default portfolio budget (0 = -req-timeout)")
+		parallel     = fs.Int("parallel", 0, "engine workers per request (0 = GOMAXPROCS)")
+		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'latency@hgpartd.request:0=2s' (also read from FASTHGP_FAULTS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpartd:", err)
+		return 1
+	}
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("FASTHGP_FAULTS")
+	}
+	if spec != "" {
+		plan, err := faultinject.ParseSpec(spec)
+		if err != nil {
+			return fail(err)
+		}
+		defer faultinject.Install(plan)()
+		fmt.Fprintf(stdout, "hgpartd: fault injection armed: %s\n", spec)
+	}
+
+	cfg := serverConfig{
+		maxBody:      *maxBody,
+		queue:        *queue,
+		reqTimeout:   *reqTimeout,
+		starts:       *starts,
+		seed:         *seed,
+		budget:       *budget,
+		parallelism:  *parallel,
+		drainTimeout: *drainTimeout,
+	}
+	if *chain != "" {
+		cfg.chain = strings.Split(*chain, ",")
+	}
+	s := newServer(cfg)
+
+	// Listen before Serve so :0 resolves and the real address is
+	// printed for whoever (CI, scripts) needs to find the port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "hgpartd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(stdout, "hgpartd: signal received, draining for up to %s\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fail(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(stdout, "hgpartd: drained, bye")
+	return 0
+}

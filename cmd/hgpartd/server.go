@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fasthgp"
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/partition"
+)
+
+// serverConfig is the daemon's tunable surface, set by flags in main.
+type serverConfig struct {
+	maxBody      int64         // request-body cap; beyond it the request is 413
+	queue        int           // concurrent partition requests; beyond it 429
+	reqTimeout   time.Duration // per-request wall cap
+	chain        []string      // default fallback chain (empty = library default)
+	starts       int           // default multi-start count per tier
+	seed         int64         // default seed
+	budget       time.Duration // default portfolio budget (0 = reqTimeout)
+	parallelism  int
+	drainTimeout time.Duration // SIGTERM drain grace
+}
+
+// server carries the daemon state: the admission semaphore and the
+// atomic counters behind GET /stats.
+type server struct {
+	cfg   serverConfig
+	sem   chan struct{} // admission tokens; full queue = 429
+	begin time.Time
+
+	requests   atomic.Int64 // partition requests admitted or rejected
+	inFlight   atomic.Int64
+	ok200      atomic.Int64
+	bad400     atomic.Int64
+	tooLarge   atomic.Int64 // 413
+	busy429    atomic.Int64
+	failed500  atomic.Int64
+	degraded   atomic.Int64 // 200s answered by a fallback tier
+	recovered  atomic.Int64 // panics converted to 500 by the middleware
+	reqCounter atomic.Int64 // fault-injection index for hgpartd.request
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.queue < 1 {
+		cfg.queue = 1
+	}
+	return &server{cfg: cfg, sem: make(chan struct{}, cfg.queue), begin: time.Now()}
+}
+
+// handler builds the route table, every route behind the panic-recovery
+// middleware: a panic anywhere in request handling becomes a 500 for
+// that request and a counter bump, never a dead daemon.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/partition", s.handlePartition)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return s.recoverMiddleware(mux)
+}
+
+func (s *server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.recovered.Add(1)
+				s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// partitionResponse is the JSON body of a successful POST /partition.
+type partitionResponse struct {
+	Modules    int    `json:"modules"`
+	Nets       int    `json:"nets"`
+	Cut        int    `json:"cut"`
+	Tier       int    `json:"tier"`
+	TierName   string `json:"tier_name"`
+	Degraded   bool   `json:"degraded"`
+	Assignment []int  `json:"assignment"` // side of module v: 0 = left, 1 = right
+	WallMS     int64  `json:"wall_ms"`
+}
+
+func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a netlist body to /partition")
+		return
+	}
+	s.requests.Add(1)
+	// Admission control: a full queue answers 429 immediately rather
+	// than stacking goroutines until memory runs out.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "work queue full; retry later")
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	faultinject.Fire(faultinject.PointServeRequest, int(s.reqCounter.Add(1)-1))
+
+	// The body is capped before parsing; MaxBytesReader makes the
+	// reader fail once cfg.maxBody is exceeded, which we map to 413
+	// (oversized) as distinct from 400 (malformed).
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	var h *fasthgp.Hypergraph
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "nets":
+		h, err = fasthgp.ReadNetlist(body)
+	case "hgr":
+		h, err = fasthgp.ReadHMetis(body)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q", format))
+		return
+	}
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	opts, err := s.portfolioOptions(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+	defer cancel()
+	start := time.Now()
+	res, err := fasthgp.PartitionPortfolio(ctx, h, opts...)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("partition failed: %v", err))
+		return
+	}
+	if res.Degraded {
+		s.degraded.Add(1)
+	}
+	assignment := make([]int, h.NumVertices())
+	for v := range assignment {
+		if res.Partition.Side(v) == partition.Right {
+			assignment[v] = 1
+		}
+	}
+	s.writeJSON(w, http.StatusOK, partitionResponse{
+		Modules:    h.NumVertices(),
+		Nets:       h.NumEdges(),
+		Cut:        res.CutSize,
+		Tier:       res.Tier,
+		TierName:   res.TierName,
+		Degraded:   res.Degraded,
+		Assignment: assignment,
+		WallMS:     time.Since(start).Milliseconds(),
+	})
+}
+
+// portfolioOptions merges per-request query parameters over the
+// daemon's configured defaults.
+func (s *server) portfolioOptions(r *http.Request) ([]fasthgp.PortfolioOption, error) {
+	q := r.URL.Query()
+	chain, starts, seed, budget := s.cfg.chain, s.cfg.starts, s.cfg.seed, s.cfg.budget
+	if v := q.Get("chain"); v != "" {
+		chain = strings.Split(v, ",")
+	}
+	if v := q.Get("starts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad starts %q", v)
+		}
+		starts = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", v)
+		}
+		seed = n
+	}
+	if v := q.Get("budget"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad budget %q", v)
+		}
+		budget = d
+	}
+	if budget <= 0 || budget > s.cfg.reqTimeout {
+		budget = s.cfg.reqTimeout
+	}
+	opts := []fasthgp.PortfolioOption{
+		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithBudget(budget),
+		fasthgp.WithParallelism(s.cfg.parallelism),
+	}
+	if len(chain) > 0 {
+		opts = append(opts, fasthgp.WithChain(chain...))
+	}
+	return opts, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.begin).Milliseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"requests":         s.requests.Load(),
+		"in_flight":        s.inFlight.Load(),
+		"ok":               s.ok200.Load(),
+		"bad_request":      s.bad400.Load(),
+		"too_large":        s.tooLarge.Load(),
+		"busy":             s.busy429.Load(),
+		"failed":           s.failed500.Load(),
+		"degraded":         s.degraded.Load(),
+		"panics_recovered": s.recovered.Load(),
+		"queue_capacity":   s.cfg.queue,
+		"uptime_ms":        time.Since(s.begin).Milliseconds(),
+	})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
+	s.countStatus(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, map[string]any{"error": msg, "status": code})
+}
+
+func (s *server) countStatus(code int) {
+	switch code {
+	case http.StatusOK:
+		s.ok200.Add(1)
+	case http.StatusBadRequest:
+		s.bad400.Add(1)
+	case http.StatusRequestEntityTooLarge:
+		s.tooLarge.Add(1)
+	case http.StatusTooManyRequests:
+		s.busy429.Add(1)
+	case http.StatusInternalServerError:
+		s.failed500.Add(1)
+	}
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"fasthgp/internal/faultinject"
+)
+
+const testNets = `module a
+module b
+module c
+module d
+module e
+module f
+net n1 a b c
+net n2 c d
+net n3 d e f
+net n4 b e
+`
+
+func testServer(mutate ...func(*serverConfig)) *server {
+	cfg := serverConfig{
+		maxBody:    1 << 20,
+		queue:      2,
+		reqTimeout: 30 * time.Second,
+		starts:     2,
+		seed:       1,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	return newServer(cfg)
+}
+
+func post(t *testing.T, h http.Handler, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	rec := httptest.NewRecorder()
+	testServer().handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+}
+
+func TestPartitionValidNetlist(t *testing.T) {
+	s := testServer()
+	rec := post(t, s.handler(), "/partition?seed=3", testNets)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp partitionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Modules != 6 || resp.Nets != 4 {
+		t.Errorf("modules/nets = %d/%d, want 6/4", resp.Modules, resp.Nets)
+	}
+	if len(resp.Assignment) != 6 {
+		t.Errorf("assignment length = %d, want 6", len(resp.Assignment))
+	}
+	if resp.Degraded || resp.Tier != 0 {
+		t.Errorf("healthy request degraded: tier %d (%s)", resp.Tier, resp.TierName)
+	}
+	if resp.Cut < 1 {
+		t.Errorf("cut = %d on a connected netlist", resp.Cut)
+	}
+}
+
+func TestMalformedNetlist400(t *testing.T) {
+	s := testServer()
+	rec := post(t, s.handler(), "/partition", "module a\nfrobnicate a b\n")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", rec.Code, rec.Body)
+	}
+	if s.bad400.Load() != 1 {
+		t.Errorf("bad400 counter = %d, want 1", s.bad400.Load())
+	}
+}
+
+func TestOversizedBody413(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.maxBody = 64 })
+	rec := post(t, s.handler(), "/partition", testNets+strings.Repeat("# padding\n", 50))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body %s", rec.Code, rec.Body)
+	}
+	if s.tooLarge.Load() != 1 {
+		t.Errorf("tooLarge counter = %d, want 1", s.tooLarge.Load())
+	}
+}
+
+// TestQueueFull429: with every admission token held, a new request is
+// rejected immediately with Retry-After rather than queued.
+func TestQueueFull429(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.queue = 1 })
+	s.sem <- struct{}{} // occupy the only slot, as an in-flight request would
+	rec := post(t, s.handler(), "/partition", testNets)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	<-s.sem
+	if rec = post(t, s.handler(), "/partition", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("freed queue still rejects: %d", rec.Code)
+	}
+}
+
+// TestInjectedPanicBecomes500: a forced panic inside request handling
+// is caught by the middleware — 500 for that request, counter bumped,
+// and the very next request succeeds.
+func TestInjectedPanicBecomes500(t *testing.T) {
+	plan, err := faultinject.ParseSpec("panic@hgpartd.request:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Install(plan)()
+	s := testServer()
+	rec := post(t, s.handler(), "/partition", testNets)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", rec.Code, rec.Body)
+	}
+	if s.recovered.Load() != 1 {
+		t.Errorf("panics recovered = %d, want 1", s.recovered.Load())
+	}
+	if rec = post(t, s.handler(), "/partition", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("request after recovered panic = %d, want 200", rec.Code)
+	}
+	if n := s.inFlight.Load(); n != 0 {
+		t.Errorf("inFlight = %d after panic, want 0 (leaked semaphore?)", n)
+	}
+}
+
+func TestPerRequestChainOverride(t *testing.T) {
+	s := testServer()
+	rec := post(t, s.handler(), "/partition?chain=core&starts=2", testNets)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp partitionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TierName != "algo1" {
+		t.Errorf("tier name = %s, want algo1 (the 'core' alias)", resp.TierName)
+	}
+}
+
+func TestBadQueryParams400(t *testing.T) {
+	s := testServer()
+	for _, url := range []string{
+		"/partition?starts=zero", "/partition?seed=x",
+		"/partition?budget=-1s", "/partition?format=xml",
+		"/partition?chain=quantum",
+	} {
+		if rec := post(t, s.handler(), url, testNets); rec.Code != http.StatusBadRequest &&
+			rec.Code != http.StatusInternalServerError {
+			t.Errorf("%s: status = %d, want 4xx/5xx", url, rec.Code)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	rec := httptest.NewRecorder()
+	testServer().handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/partition", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /partition = %d, want 405", rec.Code)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := testServer()
+	h := s.handler()
+	post(t, h, "/partition", testNets)
+	post(t, h, "/partition", "frobnicate\n")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["requests"].(float64) != 2 || stats["ok"].(float64) != 1 || stats["bad_request"].(float64) != 1 {
+		t.Errorf("stats = %v, want requests 2, ok 1, bad_request 1", stats)
+	}
+}
+
+// TestGracefulShutdown boots the real daemon on an ephemeral port,
+// serves one request, sends SIGTERM, and expects a clean exit 0 drain.
+func TestGracefulShutdown(t *testing.T) {
+	stdout := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-starts", "2"}, stdout, stdout) }()
+
+	addr := ""
+	for i := 0; i < 200 && addr == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "hgpartd: listening on "); ok {
+				addr = rest
+			}
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never printed its address; output: %q", stdout.String())
+	}
+	resp, err := http.Post("http://"+addr+"/partition?starts=2", "text/plain", strings.NewReader(testNets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live request = %d, want 200", resp.StatusCode)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; output: %q", code, stdout.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Errorf("no drain message in output: %q", stdout.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer: the daemon goroutine writes
+// while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

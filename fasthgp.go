@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"fasthgp/internal/anneal"
 	"fasthgp/internal/baseline"
@@ -45,6 +46,7 @@ import (
 	"fasthgp/internal/partition"
 	"fasthgp/internal/place"
 	"fasthgp/internal/rebalance"
+	"fasthgp/internal/resilience"
 	"fasthgp/internal/spectral"
 	"fasthgp/internal/verify"
 )
@@ -430,8 +432,37 @@ type Algorithm struct {
 // Algorithms returns the registry of bipartitioners, in presentation
 // order. All entries run on the shared multi-start engine, so the
 // determinism, tie-break, and cancellation semantics of EngineStats
-// apply uniformly.
+// apply uniformly. Every entry is additionally wrapped in a recover
+// boundary: a panic anywhere in the algorithm (engine starts have
+// their own per-start boundary) comes back as a typed *PartitionError
+// instead of crashing the caller.
 func Algorithms() []Algorithm {
+	algos := algorithmTable()
+	for i := range algos {
+		algos[i].Run = protectRun(algos[i].Name, algos[i].Run)
+	}
+	return algos
+}
+
+// protectRun is the registry's recover boundary (resilience.Protect):
+// it converts a panic from the wrapped algorithm into a
+// *resilience.PartitionError attributed to the whole run.
+func protectRun(name string, run func(context.Context, *Hypergraph, AlgoConfig) (*AlgoResult, error)) func(context.Context, *Hypergraph, AlgoConfig) (*AlgoResult, error) {
+	return func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (res *AlgoResult, err error) {
+		perr := resilience.Protect(name, resilience.WholeRun, func() error {
+			var inner error
+			res, inner = run(ctx, h, cfg)
+			return inner
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		return res, nil
+	}
+}
+
+// algorithmTable is the unwrapped registry.
+func algorithmTable() []Algorithm {
 	return []Algorithm{
 		{
 			Name:        "algo1",
@@ -573,6 +604,131 @@ func VerifyCut(h *Hypergraph, p *Bipartition, claimed int) (*VerifyReport, error
 // count and connectivity objective.
 func VerifyKWay(h *Hypergraph, part []int, k int) (*KWayVerifyReport, error) {
 	return verify.CheckKWay(h, part, k)
+}
+
+// PartitionError is the typed value a panic inside any partitioner is
+// converted into at the library's recover boundaries: the algorithm
+// name, the engine start index that panicked (resilience.WholeRun when
+// the panic was outside any start), the panic value, and the captured
+// stack. Retrieve it with errors.As; a multi-start run with panicking
+// starts also lists them in EngineStats.Failures while degrading to
+// the surviving starts.
+type PartitionError = resilience.PartitionError
+
+// PortfolioResult is the outcome of a PartitionPortfolio run: an
+// oracle-certified partition plus the tier that produced it, whether
+// the run degraded past its first choice, and a per-tier report.
+type PortfolioResult = resilience.Result
+
+// TierReport is one tier's account within a PortfolioResult.
+type TierReport = resilience.TierReport
+
+// ErrPortfolioExhausted is returned when no tier of a portfolio chain
+// produced any oracle-certified candidate.
+var ErrPortfolioExhausted = resilience.ErrExhausted
+
+// portfolioConfig collects the PortfolioOption knobs.
+type portfolioConfig struct {
+	chain       []string
+	budget      time.Duration
+	starts      int
+	seed        int64
+	parallelism int
+	maxAttempts int
+}
+
+// PortfolioOption configures PartitionPortfolio.
+type PortfolioOption func(*portfolioConfig)
+
+// WithChain sets the ordered fallback chain by registry name,
+// strongest first (aliases: core/algI → algo1, sa → anneal,
+// flowpart → flow). Default: multilevel → fm → algo1.
+func WithChain(names ...string) PortfolioOption {
+	return func(c *portfolioConfig) { c.chain = append([]string(nil), names...) }
+}
+
+// WithBudget bounds the whole chain's wall time; each tier gets
+// (remaining budget)/(remaining tiers), with unused time rolling
+// forward. 0 means "inherit whatever deadline ctx carries".
+func WithBudget(d time.Duration) PortfolioOption {
+	return func(c *portfolioConfig) { c.budget = d }
+}
+
+// WithStarts sets each tier's multi-start count (default 8).
+func WithStarts(n int) PortfolioOption { return func(c *portfolioConfig) { c.starts = n } }
+
+// WithSeed sets the portfolio seed; retries derive jittered per-attempt
+// seeds from it, and the whole run replays deterministically.
+func WithSeed(s int64) PortfolioOption { return func(c *portfolioConfig) { c.seed = s } }
+
+// WithParallelism sets each tier's engine worker count (0 =
+// GOMAXPROCS); wall time only, never the result.
+func WithParallelism(p int) PortfolioOption { return func(c *portfolioConfig) { c.parallelism = p } }
+
+// WithMaxAttempts caps per-tier retries of transient failures —
+// panics and oracle-rejected results (default 2: one try + one retry).
+func WithMaxAttempts(n int) PortfolioOption { return func(c *portfolioConfig) { c.maxAttempts = n } }
+
+// DefaultChain is the default portfolio fallback chain: the strongest
+// partitioner first, degrading toward the cheapest.
+func DefaultChain() []string { return []string{"multilevel", "fm", "algo1"} }
+
+// resolveAlgorithm finds a registry entry by name or alias.
+func resolveAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "core", "algI":
+		name = "algo1"
+	case "sa":
+		name = "anneal"
+	case "flowpart":
+		name = "flow"
+	}
+	for _, a := range Algorithms() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("fasthgp: algorithm %q not in registry", name)
+}
+
+// PartitionPortfolio bipartitions h through a deadline-aware fallback
+// chain. Tiers run in order under the remaining budget; every
+// candidate is certified by the verify oracle before it may be
+// returned; a tier that panics or produces an invalid result is
+// retried with capped exponential backoff and a fresh jittered seed,
+// then abandoned for the next tier; a tier that exhausts its time
+// slice falls through immediately. The first fully successful tier
+// ends the chain. If every tier fails, the best certified best-so-far
+// candidate salvaged along the way is returned with Degraded set;
+// only when there is no certified candidate at all does the call
+// return an error (ErrPortfolioExhausted, carrying the tier errors).
+func PartitionPortfolio(ctx context.Context, h *Hypergraph, opts ...PortfolioOption) (*PortfolioResult, error) {
+	cfg := portfolioConfig{chain: DefaultChain(), starts: 8, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tiers := make([]resilience.Tier, 0, len(cfg.chain))
+	for _, name := range cfg.chain {
+		alg, err := resolveAlgorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, resilience.Tier{
+			Name: alg.Name,
+			Run: func(ctx context.Context, h *Hypergraph, seed int64) (*Bipartition, int, error) {
+				r, err := alg.Run(ctx, h, AlgoConfig{Starts: cfg.starts, Seed: seed, Parallelism: cfg.parallelism})
+				if err != nil {
+					return nil, 0, err
+				}
+				return r.Partition, r.CutSize, nil
+			},
+		})
+	}
+	return resilience.RunPortfolio(ctx, h, tiers, resilience.Options{
+		Budget:      cfg.budget,
+		Seed:        cfg.seed,
+		MaxAttempts: cfg.maxAttempts,
+	})
 }
 
 // GranularResult describes a granularized netlist.

@@ -112,6 +112,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 	}
 	opts.defaults(h)
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "anneal",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,

@@ -225,6 +225,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options)
 	}
 
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "algo1",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,

@@ -34,6 +34,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/resilience"
 )
 
 // Normalize clamps a multi-start count: values < 1 mean 1. It is the
@@ -119,10 +122,20 @@ type Stats struct {
 	// Cancelled reports that the context expired before every start
 	// ran and the result is best-so-far rather than best-of-all.
 	Cancelled bool
+	// StartsFailed counts starts that panicked. Their converted
+	// *resilience.PartitionError values are in Failures; the run
+	// degrades to the best result among the surviving starts.
+	StartsFailed int
+	// Failures holds one *resilience.PartitionError per panicked start,
+	// in ascending start-index order.
+	Failures []error
 }
 
 // Spec configures one multi-start run of the engine.
 type Spec[T any] struct {
+	// Name is the algorithm name carried into PartitionError values
+	// when a start panics (optional, diagnostics only).
+	Name string
 	// Starts is the number of independent starts (Normalize applies).
 	Starts int
 	// Parallelism is the worker count (NormalizeParallelism applies);
@@ -134,7 +147,13 @@ type Spec[T any] struct {
 	// distinct (start, rng, scratch) arguments, must not retain scratch
 	// buffers in its result, and — to honor best-so-far cancellation —
 	// should return a usable result (not an error) when it observes ctx
-	// expiry mid-start. Errors abort the whole run.
+	// expiry mid-start. An algorithm that cannot produce a usable
+	// partial result (e.g. an exact method interrupted mid-solve) may
+	// instead return the context's error, which marks the start as
+	// not-run rather than aborting. Panics inside a start are recovered
+	// into *resilience.PartitionError values and degrade the run (the
+	// start is skipped and reported in Stats.Failures). Any other error
+	// aborts the whole run.
 	Run func(ctx context.Context, start int, rng *rand.Rand, scratch *Scratch) (T, error)
 	// Better reports that a strictly improves on b. It must be strict:
 	// Better(a, b) and Better(b, a) both false means a tie, which the
@@ -150,10 +169,15 @@ type Spec[T any] struct {
 var ErrNoStart = errors.New("engine: no start completed")
 
 // Run executes the multi-start described by spec and returns the best
-// result with its run statistics. The returned error is non-nil only
-// when a start fails (the first failing start index wins); context
-// expiry is not an error — the best result among completed starts is
-// returned with Stats.Cancelled set.
+// result with its run statistics. A start that panics is recovered
+// into a *resilience.PartitionError, reported in Stats.Failures, and
+// skipped — one poisoned start degrades the run to best-of-the-rest
+// instead of crashing the process. Context expiry is not an error
+// either: the best result among completed starts is returned with
+// Stats.Cancelled set. The returned error is non-nil only when a start
+// fails with a genuine error of its own (the first failing start index
+// wins) or when no start at all completed (ErrNoStart, joined with the
+// first panic's PartitionError when there was one).
 func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 	var zero T
 	starts := Normalize(spec.Starts)
@@ -178,16 +202,29 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 	var cpu atomic.Int64
 	var failed atomic.Bool
 
-	// runOne executes start i into the shared result arrays. Indices
-	// are claimed exactly once, so no two invocations share a slot.
+	// runOne executes start i into the shared result arrays, inside a
+	// recover boundary: a panicking start becomes a typed
+	// *resilience.PartitionError in its error slot instead of killing
+	// the process. Indices are claimed exactly once, so no two
+	// invocations share a slot.
 	runOne := func(i int, scratch *Scratch) {
 		t0 := time.Now()
-		v, err := spec.Run(ctx, i, StartRNG(spec.Seed, i), scratch)
+		v, err := func() (v T, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = resilience.NewPartitionError(spec.Name, i, r)
+				}
+			}()
+			faultinject.Fire(faultinject.PointEngineStart, i)
+			return spec.Run(ctx, i, StartRNG(spec.Seed, i), scratch)
+		}()
 		cpu.Add(int64(time.Since(t0)))
 		scratch.Release()
 		if err != nil {
 			errs[i] = err
-			failed.Store(true)
+			if !degradable(err) {
+				failed.Store(true)
+			}
 			return
 		}
 		results[i] = v
@@ -233,10 +270,23 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 
 	// Deterministic reduction: ascending start index, strict
 	// improvement only, so the lowest index wins every tie and the
-	// winner is independent of completion order.
+	// winner is independent of completion order. Panicked starts are
+	// recorded and skipped; ctx-error starts count as never run; any
+	// other error aborts.
+	ctxSkipped := 0
 	for i := 0; i < starts; i++ {
-		if errs[i] != nil {
-			return zero, st, errs[i]
+		if err := errs[i]; err != nil {
+			var pe *resilience.PartitionError
+			switch {
+			case errors.As(err, &pe):
+				st.StartsFailed++
+				st.Failures = append(st.Failures, err)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				ctxSkipped++
+			default:
+				return zero, st, err
+			}
+			continue
 		}
 		if !completed[i] {
 			continue
@@ -251,9 +301,21 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 	}
 	st.Wall = time.Since(begin)
 	st.CPU = time.Duration(cpu.Load())
-	st.Cancelled = st.StartsRun < starts
+	st.Cancelled = ctxSkipped > 0 || st.StartsRun+st.StartsFailed+ctxSkipped < starts
 	if st.BestStart < 0 {
+		if len(st.Failures) > 0 {
+			return zero, st, errors.Join(ErrNoStart, st.Failures[0])
+		}
 		return zero, st, ErrNoStart
 	}
 	return results[st.BestStart], st, nil
+}
+
+// degradable reports errors that must not abort the run: converted
+// panics (the start is skipped and reported) and context errors (the
+// start counts as never run). Workers keep claiming starts past these.
+func degradable(err error) bool {
+	var pe *resilience.PartitionError
+	return errors.As(err, &pe) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

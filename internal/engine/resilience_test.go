@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/resilience"
+)
+
+// panicAtSpec is a toy multi-start whose start at index `bad` panics.
+func panicAtSpec(starts, parallelism int, bad int) Spec[int] {
+	return Spec[int]{
+		Name:        "toy",
+		Starts:      starts,
+		Parallelism: parallelism,
+		Run: func(_ context.Context, start int, _ *rand.Rand, _ *Scratch) (int, error) {
+			if start == bad {
+				panic("poisoned objective")
+			}
+			return 100 + start, nil
+		},
+		Better: func(a, b int) bool { return a < b },
+		Cut:    func(v int) int { return v },
+	}
+}
+
+// TestPanicIsolatedStart3Of8 is the regression test for the recover
+// boundary: before it existed, a panic inside one goroutine's start
+// function took down the whole process. Now start 3 of 8 panicking must
+// degrade the run to best-of-the-other-seven, serially and in parallel.
+func TestPanicIsolatedStart3Of8(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		v, st, err := Run(context.Background(), panicAtSpec(8, par, 3))
+		if err != nil {
+			t.Fatalf("parallelism %d: degraded run returned error %v", par, err)
+		}
+		if v != 100 || st.BestStart != 0 {
+			t.Errorf("parallelism %d: best = %d at start %d, want 100 at 0", par, v, st.BestStart)
+		}
+		if st.StartsRun != 7 || st.StartsFailed != 1 {
+			t.Errorf("parallelism %d: StartsRun/StartsFailed = %d/%d, want 7/1", par, st.StartsRun, st.StartsFailed)
+		}
+		if st.Cancelled {
+			t.Errorf("parallelism %d: Cancelled set on a panic-degraded (not cancelled) run", par)
+		}
+		if st.Cuts[3] != NotRun {
+			t.Errorf("parallelism %d: Cuts[3] = %d, want NotRun", par, st.Cuts[3])
+		}
+		if len(st.Failures) != 1 {
+			t.Fatalf("parallelism %d: %d failures recorded, want 1", par, len(st.Failures))
+		}
+		var pe *resilience.PartitionError
+		if !errors.As(st.Failures[0], &pe) {
+			t.Fatalf("parallelism %d: failure %T is not a *resilience.PartitionError", par, st.Failures[0])
+		}
+		if pe.Algorithm != "toy" || pe.Start != 3 {
+			t.Errorf("parallelism %d: PartitionError = (%q, start %d), want (toy, 3)", par, pe.Algorithm, pe.Start)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism %d: PartitionError carries no stack", par)
+		}
+	}
+}
+
+// TestAllStartsPanicReturnsTypedError: when every start panics there is
+// nothing to degrade to; the caller gets ErrNoStart joined with the
+// first start's PartitionError, never a crash.
+func TestAllStartsPanicReturnsTypedError(t *testing.T) {
+	_, st, err := Run(context.Background(), panicAtSpec(4, 2, -999).withAlwaysPanic())
+	if !errors.Is(err, ErrNoStart) {
+		t.Fatalf("err = %v, want ErrNoStart", err)
+	}
+	var pe *resilience.PartitionError
+	if !errors.As(err, &pe) || pe.Start != 0 {
+		t.Fatalf("err = %v, want joined PartitionError for start 0", err)
+	}
+	if st.StartsFailed != 4 {
+		t.Errorf("StartsFailed = %d, want 4", st.StartsFailed)
+	}
+}
+
+// withAlwaysPanic rewires a spec so every start panics.
+func (s Spec[T]) withAlwaysPanic() Spec[T] {
+	s.Run = func(_ context.Context, start int, _ *rand.Rand, _ *Scratch) (T, error) {
+		panic("poisoned objective")
+	}
+	return s
+}
+
+// TestCtxErrorStartTreatedAsNotRun covers exact algorithms (flowpart)
+// that cannot return a usable partial result: a start returning its
+// context's error counts as never run instead of aborting the run.
+func TestCtxErrorStartTreatedAsNotRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := Spec[int]{
+		Starts:      4,
+		Parallelism: 1,
+		Run: func(ctx context.Context, start int, _ *rand.Rand, _ *Scratch) (int, error) {
+			if start == 0 {
+				return 7, nil
+			}
+			cancel()
+			return 0, ctx.Err()
+		},
+		Better: func(a, b int) bool { return a < b },
+		Cut:    func(v int) int { return v },
+	}
+	v, st, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("run errored: %v", err)
+	}
+	if v != 7 || st.StartsRun != 1 || st.StartsFailed != 0 {
+		t.Errorf("v/StartsRun/StartsFailed = %d/%d/%d, want 7/1/0", v, st.StartsRun, st.StartsFailed)
+	}
+	if !st.Cancelled {
+		t.Error("Cancelled not set after a ctx-error start")
+	}
+
+	// Even start 0 returning a ctx error must not crash or hang: the
+	// run reports ErrNoStart.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	spec.Run = func(ctx context.Context, _ int, _ *rand.Rand, _ *Scratch) (int, error) {
+		return 0, ctx.Err()
+	}
+	if _, _, err := Run(pre, spec); !errors.Is(err, ErrNoStart) {
+		t.Fatalf("err = %v, want ErrNoStart", err)
+	}
+}
+
+// TestDeterminismSurvivesPanics: the surviving starts' cuts and the
+// winner must be identical across parallelism even with a poisoned
+// start in the middle.
+func TestDeterminismSurvivesPanics(t *testing.T) {
+	mk := func(par int) Spec[int] {
+		return Spec[int]{
+			Starts:      16,
+			Parallelism: par,
+			Seed:        42,
+			Run: func(_ context.Context, start int, rng *rand.Rand, _ *Scratch) (int, error) {
+				if start == 5 {
+					panic("poisoned")
+				}
+				return rng.Intn(1000), nil
+			},
+			Better: func(a, b int) bool { return a < b },
+			Cut:    func(v int) int { return v },
+		}
+	}
+	sv, sst, err := Run(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		pv, pst, err := Run(context.Background(), mk(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv != sv || pst.BestStart != sst.BestStart {
+			t.Errorf("parallelism %d: best %d@%d != serial %d@%d", par, pv, pst.BestStart, sv, sst.BestStart)
+		}
+		for i := range sst.Cuts {
+			if pst.Cuts[i] != sst.Cuts[i] {
+				t.Errorf("parallelism %d: Cuts[%d] = %d != serial %d", par, i, pst.Cuts[i], sst.Cuts[i])
+			}
+		}
+	}
+}
+
+// TestFaultInjectionPanicAtStart drives the recover boundary through
+// the faultinject hook instead of a hand-written panic, proving the
+// injection plumbing reaches engine starts.
+func TestFaultInjectionPanicAtStart(t *testing.T) {
+	plan, err := faultinject.ParseSpec("panic@engine.start:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Install(plan)()
+	v, st, err := Run(context.Background(), scoreSpec(6, 3, 7))
+	if err != nil {
+		t.Fatalf("injected panic aborted the run: %v", err)
+	}
+	if st.StartsFailed != 1 || st.Cuts[2] != NotRun {
+		t.Errorf("StartsFailed = %d, Cuts[2] = %d; want 1 and NotRun", st.StartsFailed, st.Cuts[2])
+	}
+	var pe *resilience.PartitionError
+	if !errors.As(st.Failures[0], &pe) {
+		t.Fatalf("failure %T is not a PartitionError", st.Failures[0])
+	}
+	var fe *faultinject.PanicError
+	if !errors.As(st.Failures[0], &fe) || fe.Index != 2 {
+		t.Errorf("failure does not unwrap to the injected *faultinject.PanicError: %v", st.Failures[0])
+	}
+	// The surviving starts must match an uninjected run.
+	faultinject.Install(nil)
+	clean, cst, err := Run(context.Background(), scoreSpec(6, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cst.Cuts {
+		if i != 2 && st.Cuts[i] != c {
+			t.Errorf("Cuts[%d] = %d under injection, %d clean", i, st.Cuts[i], c)
+		}
+	}
+	_ = clean
+	_ = v
+}

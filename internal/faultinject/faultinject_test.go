@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	if Enabled() {
+		t.Fatal("plan active at test start")
+	}
+	Fire(PointEngineStart, 0) // must not panic or sleep
+	if ShouldCorrupt(PointTierResult, 0) {
+		t.Error("ShouldCorrupt true with no plan")
+	}
+}
+
+func TestFirePanicsOnMatchingRule(t *testing.T) {
+	defer Install(&Plan{Rules: []Rule{{Point: PointEngineStart, Index: 3, Kind: KindPanic}}})()
+	Fire(PointEngineStart, 2) // wrong index: no fault
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("matching rule did not panic")
+		}
+		var pe *PanicError
+		if err, ok := r.(error); !ok || !errors.As(err, &pe) || pe.Index != 3 || pe.Point != PointEngineStart {
+			t.Fatalf("panic value = %#v, want *PanicError{engine.start, 3}", r)
+		}
+	}()
+	Fire(PointEngineStart, 3)
+}
+
+func TestLatencyIsDeterministicAndBounded(t *testing.T) {
+	const d = 20 * time.Millisecond
+	defer Install(&Plan{Seed: 9, Rules: []Rule{{Point: PointServeRequest, Index: AnyIndex, Kind: KindLatency, Delay: d}}})()
+	t0 := time.Now()
+	Fire(PointServeRequest, 7)
+	el := time.Since(t0)
+	if el < d/2 {
+		t.Errorf("latency %v below jitter floor %v", el, d/2)
+	}
+	if el > 10*d {
+		t.Errorf("latency %v wildly above nominal %v", el, d)
+	}
+	// Same (seed, index) → same jitter value.
+	if a, b := jitter(9, 7, d), jitter(9, 7, d); a != b {
+		t.Errorf("jitter not deterministic: %v vs %v", a, b)
+	}
+	if jitter(9, 7, d) == jitter(9, 8, d) && jitter(9, 7, d) == jitter(9, 9, d) {
+		t.Error("jitter ignores the firing index")
+	}
+}
+
+func TestShouldCorrupt(t *testing.T) {
+	defer Install(&Plan{Rules: []Rule{{Point: PointTierResult, Index: 1, Kind: KindCorrupt}}})()
+	if ShouldCorrupt(PointTierResult, 0) {
+		t.Error("corrupts wrong index")
+	}
+	if !ShouldCorrupt(PointTierResult, 1) {
+		t.Error("does not corrupt matching index")
+	}
+	if ShouldCorrupt(PointEngineStart, 1) {
+		t.Error("corrupts wrong point")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: PointEngineStart, Index: 3, Kind: KindPanic},
+		{Point: PointServeRequest, Index: 0, Kind: KindLatency, Delay: 50 * time.Millisecond},
+		{Point: PointTierResult, Index: AnyIndex, Kind: KindCorrupt},
+	}
+	if len(plan.Rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(plan.Rules), len(want))
+	}
+	for i, r := range plan.Rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	for _, bad := range []string{
+		"", "panic", "explode@engine.start:1", "panic@nowhere:1",
+		"panic@engine.start:x", "panic@engine.start:-2",
+		"latency@engine.start:1", "latency@engine.start:1=zzz",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentFireUnderRace drives Install/Fire/ShouldCorrupt from
+// many goroutines; the CI resilience job runs this package with -race.
+func TestConcurrentFireUnderRace(t *testing.T) {
+	defer Install(&Plan{Rules: []Rule{{Point: PointTierResult, Index: 0, Kind: KindCorrupt}}})()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Fire(PointEngineStart, i)
+				ShouldCorrupt(PointTierResult, i%2)
+			}
+		}()
+	}
+	wg.Wait()
+}

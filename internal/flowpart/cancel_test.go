@@ -1,0 +1,101 @@
+package flowpart
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fasthgp/internal/gen"
+)
+
+// TestCancelledRunReturnsWithinDeadline is the satellite regression:
+// flowpart used to ignore ctx between flow augmentations, so in-flight
+// pairs blocked far past the deadline until their exact solve finished.
+// Now a run under a deadline must come back within the deadline plus
+// one pair's slack (the detached first pair), with the pairs it
+// certified so far.
+func TestCancelledRunReturnsWithinDeadline(t *testing.T) {
+	h, err := gen.Random(900, gen.RandomConfig{NumEdges: 2700, MinEdgeSize: 2, MaxEdgeSize: 5}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time one detached pair so the bound below is honest about the
+	// machine it runs on.
+	t0 := time.Now()
+	if _, _, err := MinNetCut(h, 0, 899); err != nil {
+		t.Fatal(err)
+	}
+	onePair := time.Since(t0)
+
+	const budget = 30 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	t0 = time.Now()
+	res, err := BisectCtx(ctx, h, Options{SeedPairs: 256, Seed: 2, Parallelism: 2})
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the fix this ran all 256 exact solves (hundreds of pair
+	// times); now it is the budget, the detached pair, and slack.
+	if limit := budget + 10*onePair + 2*time.Second; elapsed > limit {
+		t.Fatalf("flowpart returned after %v against a %v deadline (one pair = %v)", elapsed, budget, onePair)
+	}
+	if res.Partition == nil {
+		t.Fatal("cancelled run returned no partition")
+	}
+	if res.Engine.StartsRun >= 256 {
+		t.Errorf("all %d pairs solved under a %v budget; cancellation did nothing", res.Engine.StartsRun, budget)
+	}
+	if !res.Engine.Cancelled {
+		t.Error("Engine.Cancelled = false on a deadline-cut run")
+	}
+}
+
+// TestPreCancelledBisect: the detached first pair still certifies a
+// cut on an already-dead context — the library-wide contract — while
+// every other pair is skipped.
+func TestPreCancelledBisect(t *testing.T) {
+	h, err := gen.Random(200, gen.RandomConfig{NumEdges: 600}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BisectCtx(ctx, h, Options{SeedPairs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.StartsRun != 1 || !res.Engine.Cancelled {
+		t.Errorf("StartsRun/Cancelled = %d/%v, want 1/true", res.Engine.StartsRun, res.Engine.Cancelled)
+	}
+	if res.Partition == nil {
+		t.Fatal("no partition from the detached first pair")
+	}
+}
+
+// TestMinNetCutCtxBackgroundUnchanged guards the refactor: the
+// context-free path must still produce the exact cut.
+func TestMinNetCutCtxBackgroundUnchanged(t *testing.T) {
+	h, err := gen.Random(60, gen.RandomConfig{NumEdges: 150}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, v1, err := MinNetCut(h, 0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, v2, err := MinNetCutCtx(context.Background(), h, 0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("flow value %d != %d", v1, v2)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if p1.Side(v) != p2.Side(v) {
+			t.Fatalf("partitions differ at vertex %d", v)
+		}
+	}
+}

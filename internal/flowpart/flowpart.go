@@ -55,6 +55,15 @@ type Result struct {
 // modules s and t, returning the partition (s-side Left) and the cut
 // weight.
 func MinNetCut(h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int64, error) {
+	return MinNetCutCtx(context.Background(), h, s, t)
+}
+
+// MinNetCutCtx is MinNetCut with cancellation: the context is polled
+// between flow augmentations, so a solve under a deadline stops within
+// one augmentation of it. An exact cut interrupted mid-solve certifies
+// nothing, so on expiry the context's error is returned and the
+// partial partition is discarded.
+func MinNetCutCtx(ctx context.Context, h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int64, error) {
 	n := h.NumVertices()
 	if s < 0 || s >= n || t < 0 || t >= n || s == t {
 		return nil, 0, fmt.Errorf("flowpart: bad seed pair (%d, %d)", s, t)
@@ -70,7 +79,10 @@ func MinNetCut(h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int6
 			g.AddArc(e2, v, maxflow.Inf)
 		}
 	}
-	value := g.MaxFlow(s, t)
+	value, err := g.MaxFlowCtx(ctx, s, t)
+	if err != nil {
+		return nil, 0, err
+	}
 	side := g.MinCutSourceSide(s)
 	p := partition.New(n)
 	for v := 0; v < n; v++ {
@@ -93,24 +105,39 @@ func Bisect(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 }
 
 // BisectCtx is Bisect with cancellation: seed pairs fan out over
-// opts.Parallelism workers and the best cut among the pairs solved
-// before ctx expired is returned (the first pair always runs).
+// opts.Parallelism workers, the context is polled between flow
+// augmentations inside each solve, and the best cut among the pairs
+// fully solved before ctx expired is returned. The first pair runs
+// detached from the context (one exact solve is the price of the
+// library-wide "a cancelled run still returns a result" contract);
+// every later pair abandons its solve within one augmentation of the
+// deadline instead of blocking until its flow completes.
 func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	n := h.NumVertices()
 	if n < 2 {
 		return nil, fmt.Errorf("flowpart: hypergraph has %d vertices; need at least 2", n)
 	}
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "flow",
 		Starts:      engine.NormalizeTo(opts.SeedPairs, 5),
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
-		Run: func(_ context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
+		Run: func(ctx context.Context, start int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
 			s := rng.Intn(n)
 			t := rng.Intn(n)
 			for t == s {
 				t = rng.Intn(n)
 			}
-			p, value, err := MinNetCut(h, s, t)
+			// An exact cut has no usable partial result, so a deadline
+			// mid-solve returns ctx's error, which the engine treats as
+			// "this pair never ran" — the run degrades to the pairs
+			// already solved instead of blocking past the deadline. The
+			// first pair alone runs detached, preserving the library-wide
+			// contract that a cancelled run still returns a result.
+			if start == 0 {
+				ctx = context.Background()
+			}
+			p, value, err := MinNetCutCtx(ctx, h, s, t)
 			if err != nil {
 				return nil, err
 			}

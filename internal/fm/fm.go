@@ -80,6 +80,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		return nil, fmt.Errorf("fm: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "fm",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,

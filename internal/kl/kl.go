@@ -86,6 +86,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 	}
 	opts.defaults()
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "kl",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,

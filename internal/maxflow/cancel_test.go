@@ -1,0 +1,81 @@
+package maxflow
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// gridNetwork builds a dense k×k grid-of-cliques network with many
+// augmenting paths, so MaxFlow needs plenty of augmentations.
+func gridNetwork(k int, rng *rand.Rand) (g *Network, s, t int) {
+	n := k * k
+	g = New(n)
+	at := func(r, c int) int { return r*k + c }
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			if c+1 < k {
+				cap := int64(1 + rng.Intn(8))
+				g.AddArc(at(r, c), at(r, c+1), cap)
+				g.AddArc(at(r, c+1), at(r, c), cap)
+			}
+			if r+1 < k {
+				cap := int64(1 + rng.Intn(8))
+				g.AddArc(at(r, c), at(r+1, c), cap)
+				g.AddArc(at(r+1, c), at(r, c), cap)
+			}
+		}
+	}
+	return g, at(0, 0), at(k-1, k-1)
+}
+
+func TestMaxFlowCtxMatchesMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		g1, s, tt := gridNetwork(8, rand.New(rand.NewSource(int64(trial))))
+		g2, _, _ := gridNetwork(8, rand.New(rand.NewSource(int64(trial))))
+		want := g1.MaxFlow(s, tt)
+		got, err := g2.MaxFlowCtx(context.Background(), s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("trial %d: MaxFlowCtx = %d, MaxFlow = %d", trial, got, want)
+		}
+	}
+	_ = rng
+}
+
+func TestMaxFlowCtxPreCancelled(t *testing.T) {
+	g, s, tt := gridNetwork(8, rand.New(rand.NewSource(7)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, err := g.MaxFlowCtx(ctx, s, tt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Errorf("pre-cancelled solve took %v", el)
+	}
+}
+
+func TestMaxFlowCtxDeadlineStopsBetweenAugmentations(t *testing.T) {
+	// A deadline that has already passed when the first augmentation
+	// check runs: the solve must abandon within one augmentation, not
+	// push the whole flow.
+	g, s, tt := gridNetwork(32, rand.New(rand.NewSource(3)))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Microsecond))
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	t0 := time.Now()
+	_, err := g.MaxFlowCtx(ctx, s, tt)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Errorf("expired solve took %v to notice", el)
+	}
+}

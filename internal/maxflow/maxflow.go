@@ -6,7 +6,10 @@
 // therefore "impractical for large problem instances".
 package maxflow
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Inf is the capacity used for uncuttable arcs.
 const Inf int64 = 1 << 60
@@ -102,16 +105,37 @@ func (g *Network) dfs(u, t int, f int64) int64 {
 
 // MaxFlow computes the maximum s→t flow, mutating residual capacities.
 func (g *Network) MaxFlow(s, t int) int64 {
+	total, _ := g.MaxFlowCtx(context.Background(), s, t)
+	return total
+}
+
+// MaxFlowCtx is MaxFlow with cancellation: the context is polled
+// between augmenting-path searches (each augmentation is one blocking-
+// flow DFS, the natural preemption grain of Dinic's algorithm), so a
+// solve under a deadline returns within one augmentation of it. On
+// expiry it returns the flow pushed so far together with ctx's error;
+// that partial flow does NOT certify a minimum cut, so callers must
+// treat the error as "no result", not "smaller result".
+func (g *Network) MaxFlowCtx(ctx context.Context, s, t int) (int64, error) {
 	if s == t {
-		return 0
+		return 0, nil
 	}
 	if g.iter == nil {
 		g.iter = make([]int, g.NumNodes())
 	}
 	var total int64
-	for g.bfs(s, t) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		if !g.bfs(s, t) {
+			return total, nil
+		}
 		copy(g.iter, g.head)
 		for {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
 			f := g.dfs(s, t, Inf)
 			if f == 0 {
 				break
@@ -119,7 +143,6 @@ func (g *Network) MaxFlow(s, t int) int64 {
 			total += f
 		}
 	}
-	return total
 }
 
 // MinCutSourceSide returns, after MaxFlow, the set of nodes reachable

@@ -95,6 +95,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		innerParallelism = opts.Parallelism
 	}
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "multilevel",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,

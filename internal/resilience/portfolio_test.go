@@ -1,0 +1,286 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/resilience"
+	"fasthgp/internal/verify"
+)
+
+// testGraph is a 6-vertex instance whose {0,1,2}|{3,4,5} split cuts
+// exactly 2 nets.
+func testGraph(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.FromEdges(6, [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// goodTier returns a tier that always produces the valid 2-cut split.
+func goodTier(name string) resilience.Tier {
+	return resilience.Tier{Name: name, Run: func(_ context.Context, h *hypergraph.Hypergraph, _ int64) (*partition.Bipartition, int, error) {
+		p := partition.New(h.NumVertices())
+		for v := 0; v < h.NumVertices(); v++ {
+			if v < h.NumVertices()/2 {
+				p.Assign(v, partition.Left)
+			} else {
+				p.Assign(v, partition.Right)
+			}
+		}
+		return p, partition.CutSize(h, p), nil
+	}}
+}
+
+// panicTier always panics.
+func panicTier(name string) resilience.Tier {
+	return resilience.Tier{Name: name, Run: func(context.Context, *hypergraph.Hypergraph, int64) (*partition.Bipartition, int, error) {
+		panic("tier bomb")
+	}}
+}
+
+// hangTier blocks until its context expires, then reports the
+// context's error with no usable result — the flowpart shape.
+func hangTier(name string) resilience.Tier {
+	return resilience.Tier{Name: name, Run: func(ctx context.Context, _ *hypergraph.Hypergraph, _ int64) (*partition.Bipartition, int, error) {
+		<-ctx.Done()
+		return nil, 0, ctx.Err()
+	}}
+}
+
+// lyingTier returns a real partition with a wrong claimed cutsize — the
+// oracle must reject it.
+func lyingTier(name string) resilience.Tier {
+	good := goodTier(name)
+	return resilience.Tier{Name: name, Run: func(ctx context.Context, h *hypergraph.Hypergraph, seed int64) (*partition.Bipartition, int, error) {
+		p, cut, err := good.Run(ctx, h, seed)
+		return p, cut + 1, err
+	}}
+}
+
+// fastOpts keeps retry backoff negligible in tests.
+func fastOpts() resilience.Options {
+	return resilience.Options{Seed: 7, BackoffBase: time.Microsecond, BackoffCap: 2 * time.Microsecond}
+}
+
+// requireValid asserts r's partition passes the oracle with its
+// claimed cut.
+func requireValid(t *testing.T, h *hypergraph.Hypergraph, r *resilience.Result) {
+	t.Helper()
+	if r == nil || r.Partition == nil {
+		t.Fatal("portfolio returned no partition")
+	}
+	if _, err := verify.CheckCut(h, r.Partition, r.CutSize); err != nil {
+		t.Fatalf("portfolio result fails the oracle: %v", err)
+	}
+}
+
+// TestFallbackChainUnderFaults is the satellite table test: every
+// fault mode must end in an oracle-valid result from the asserted tier
+// (or a typed error), never a crash.
+func TestFallbackChainUnderFaults(t *testing.T) {
+	h := testGraph(t)
+	cases := []struct {
+		name      string
+		tiers     []resilience.Tier
+		budget    time.Duration
+		wantErr   bool
+		wantTier  int
+		degraded  bool
+		attempts0 int // expected attempts on tier 0 (0 = don't check)
+	}{
+		{
+			name:      "tier0 panics",
+			tiers:     []resilience.Tier{panicTier("bomb"), goodTier("safe")},
+			wantTier:  1,
+			degraded:  true,
+			attempts0: 2, // panics are transient: first try + one retry
+		},
+		{
+			name:      "tier0 times out",
+			tiers:     []resilience.Tier{hangTier("slow"), goodTier("safe")},
+			budget:    200 * time.Millisecond,
+			wantTier:  1,
+			degraded:  true,
+			attempts0: 1, // spent budget is not transient: no retry
+		},
+		{
+			name:    "all tiers fail",
+			tiers:   []resilience.Tier{panicTier("bomb0"), panicTier("bomb1")},
+			wantErr: true,
+		},
+		{
+			name:     "tier1 invalid cut caught by verify",
+			tiers:    []resilience.Tier{panicTier("bomb"), lyingTier("liar"), goodTier("safe")},
+			wantTier: 2,
+			degraded: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := fastOpts()
+			opts.Budget = tc.budget
+			t0 := time.Now()
+			res, err := resilience.RunPortfolio(context.Background(), h, tc.tiers, opts)
+			elapsed := time.Since(t0)
+			if tc.budget > 0 && elapsed > tc.budget+2*time.Second {
+				t.Errorf("portfolio took %v against a %v budget", elapsed, tc.budget)
+			}
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got result from tier %d", res.Tier)
+				}
+				if !errors.Is(err, resilience.ErrExhausted) {
+					t.Errorf("err = %v, want ErrExhausted", err)
+				}
+				var pe *resilience.PartitionError
+				if !errors.As(err, &pe) {
+					t.Errorf("exhausted error does not carry the tier PartitionError: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireValid(t, h, res)
+			if res.Tier != tc.wantTier || res.TierName != tc.tiers[tc.wantTier].Name {
+				t.Errorf("winner = tier %d (%s), want %d (%s)", res.Tier, res.TierName, tc.wantTier, tc.tiers[tc.wantTier].Name)
+			}
+			if res.Degraded != tc.degraded {
+				t.Errorf("Degraded = %v, want %v", res.Degraded, tc.degraded)
+			}
+			if tc.attempts0 > 0 && res.Tiers[0].Attempts != tc.attempts0 {
+				t.Errorf("tier 0 attempts = %d, want %d", res.Tiers[0].Attempts, tc.attempts0)
+			}
+		})
+	}
+}
+
+func TestFirstTierSuccessStopsChain(t *testing.T) {
+	h := testGraph(t)
+	res, err := resilience.RunPortfolio(context.Background(), h,
+		[]resilience.Tier{goodTier("top"), panicTier("never")}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireValid(t, h, res)
+	if res.Tier != 0 || res.Degraded {
+		t.Errorf("tier/degraded = %d/%v, want 0/false", res.Tier, res.Degraded)
+	}
+	if len(res.Tiers) != 1 {
+		t.Errorf("%d tiers attempted, want 1 (lower tiers are fallbacks, not improvements)", len(res.Tiers))
+	}
+}
+
+// TestSalvagedPartialWins: a tier that fails mid-run but hands back a
+// certified best-so-far candidate still beats total failure.
+func TestSalvagedPartialWins(t *testing.T) {
+	h := testGraph(t)
+	good := goodTier("partial")
+	partialTier := resilience.Tier{Name: "partial", Run: func(ctx context.Context, h *hypergraph.Hypergraph, seed int64) (*partition.Bipartition, int, error) {
+		p, cut, _ := good.Run(ctx, h, seed)
+		return p, cut, errors.New("engine aborted after start 2")
+	}}
+	res, err := resilience.RunPortfolio(context.Background(), h,
+		[]resilience.Tier{partialTier, panicTier("bomb")}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireValid(t, h, res)
+	if res.Tier != 0 || !res.Degraded {
+		t.Errorf("tier/degraded = %d/%v, want 0/true (salvage)", res.Tier, res.Degraded)
+	}
+	if !res.Tiers[0].Partial || res.Tiers[0].Err == nil {
+		t.Errorf("tier 0 report = %+v, want Partial with its error kept", res.Tiers[0])
+	}
+}
+
+// TestInjectedCorruptionForcesFallback proves the corrupt fault reaches
+// the oracle gate: tier 0's candidates are invalidated by the injected
+// fault on every attempt, so the chain must land on tier 1.
+func TestInjectedCorruptionForcesFallback(t *testing.T) {
+	plan, err := faultinject.ParseSpec("corrupt@portfolio.tier:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Install(plan)()
+	h := testGraph(t)
+	res, err := resilience.RunPortfolio(context.Background(), h,
+		[]resilience.Tier{goodTier("corrupted"), goodTier("clean")}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireValid(t, h, res)
+	if res.Tier != 1 || !res.Degraded {
+		t.Errorf("tier/degraded = %d/%v, want 1/true", res.Tier, res.Degraded)
+	}
+	if got := res.Tiers[0].Err; got == nil || !errors.Is(got, resilience.ErrInvalidResult) {
+		t.Errorf("tier 0 err = %v, want ErrInvalidResult", got)
+	}
+	if res.Tiers[0].Attempts != 2 {
+		t.Errorf("tier 0 attempts = %d, want 2 (invalid results are transient)", res.Tiers[0].Attempts)
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	if _, err := resilience.RunPortfolio(context.Background(), testGraph(t), nil, fastOpts()); !errors.Is(err, resilience.ErrNoTiers) {
+		t.Fatalf("err = %v, want ErrNoTiers", err)
+	}
+}
+
+func TestAttemptSeedsDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for tier := 0; tier < 4; tier++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			s := resilience.AttemptSeed(42, tier, attempt)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("AttemptSeed(42, %d, %d) collides with %s", tier, attempt, prev)
+			}
+			seen[s] = strings.TrimSpace(string(rune('a'+tier)) + string(rune('0'+attempt)))
+		}
+	}
+}
+
+func TestPartitionErrorTaxonomy(t *testing.T) {
+	err := resilience.Protect("algo1", 3, func() error { panic("boom") })
+	var pe *resilience.PartitionError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Protect returned %T, want *PartitionError", err)
+	}
+	if pe.Algorithm != "algo1" || pe.Start != 3 || len(pe.Stack) == 0 {
+		t.Errorf("PartitionError = %q/%d/stack %d bytes", pe.Algorithm, pe.Start, len(pe.Stack))
+	}
+	if !strings.Contains(pe.Error(), "algo1") || !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("Error() = %q, want algorithm and panic value", pe.Error())
+	}
+	if !resilience.Transient(err) {
+		t.Error("panic not classified transient")
+	}
+	if !resilience.Transient(resilience.ErrInvalidResult) {
+		t.Error("invalid result not classified transient")
+	}
+	for _, hard := range []error{nil, context.Canceled, context.DeadlineExceeded, errors.New("n < 2")} {
+		if resilience.Transient(hard) {
+			t.Errorf("Transient(%v) = true, want false", hard)
+		}
+	}
+	// Protect with a non-panicking fn passes the error through.
+	plain := errors.New("plain")
+	if got := resilience.Protect("x", resilience.WholeRun, func() error { return plain }); got != plain {
+		t.Errorf("Protect passthrough = %v, want %v", got, plain)
+	}
+	// The panic value unwraps when it is an error.
+	inner := errors.New("inner cause")
+	err = resilience.Protect("x", 0, func() error { panic(inner) })
+	if !errors.Is(err, inner) {
+		t.Errorf("wrapped panic error not reachable via errors.Is: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package resilience keeps the library producing oracle-valid answers
+// under faults, deadlines, and load. It is the third leg of the
+// reliability story: the engine (PR 1) makes multi-start runs
+// deterministic, the verify oracle (PR 2) certifies any candidate, and
+// this package makes sure there is always a certified candidate to
+// return — a panic in one start degrades the run instead of crashing
+// the process (PartitionError, Protect), and a slow or broken
+// algorithm degrades to a cheaper one instead of missing its deadline
+// (Portfolio, in portfolio.go).
+//
+// The error taxonomy is deliberately small:
+//
+//   - *PartitionError: a panic converted to a value at a recover
+//     boundary, carrying the algorithm, the start index, the panic
+//     value, and the stack. Transient — a retry with a fresh seed may
+//     well succeed.
+//   - ErrInvalidResult: a candidate the verify oracle rejected.
+//     Transient for the same reason.
+//   - context errors: the budget is spent. Never retried; the caller
+//     falls through to a cheaper tier or returns best-so-far.
+//   - anything else: a hard input error (empty hypergraph, bad
+//     options). Never retried — it would fail identically again.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// WholeRun is the Start value of a PartitionError raised outside any
+// particular engine start (e.g. in algorithm setup code).
+const WholeRun = -1
+
+// PartitionError is a panic converted into a value at one of the
+// library's recover boundaries. It satisfies errors.As through any
+// wrapping, and unwraps to the panic value when that value was itself
+// an error (so errors.Is sees injected *faultinject.PanicError values).
+type PartitionError struct {
+	// Algorithm is the name of the partitioner that panicked ("" when
+	// the boundary did not know it).
+	Algorithm string
+	// Start is the engine start index that panicked, or WholeRun.
+	Start int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// NewPartitionError builds a PartitionError from a recovered panic
+// value, capturing the current stack.
+func NewPartitionError(algorithm string, start int, value any) *PartitionError {
+	return &PartitionError{Algorithm: algorithm, Start: start, Value: value, Stack: debug.Stack()}
+}
+
+func (e *PartitionError) Error() string {
+	where := e.Algorithm
+	if where == "" {
+		where = "partition"
+	}
+	if e.Start == WholeRun {
+		return fmt.Sprintf("resilience: %s panicked: %v", where, e.Value)
+	}
+	return fmt.Sprintf("resilience: %s start %d panicked: %v", where, e.Start, e.Value)
+}
+
+// Unwrap exposes the panic value when it was an error.
+func (e *PartitionError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ErrInvalidResult marks a candidate partition that the verify oracle
+// rejected; portfolio tiers returning one are retried like panics.
+var ErrInvalidResult = errors.New("resilience: candidate failed verification")
+
+// Transient reports whether err is worth retrying with a fresh seed:
+// converted panics and oracle-rejected results are; spent budgets
+// (context errors) and hard input errors are not.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *PartitionError
+	return errors.As(err, &pe) || errors.Is(err, ErrInvalidResult)
+}
+
+// Protect runs fn inside a recover boundary, converting a panic into a
+// *PartitionError attributed to (algorithm, start). It is the wrapper
+// around every registry algorithm invocation; the engine plants the
+// same boundary around each individual start.
+func Protect(algorithm string, start int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPartitionError(algorithm, start, r)
+		}
+	}()
+	return fn()
+}

@@ -108,6 +108,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 
 	adj, deg := cliqueExpand(h, opts.MaxCliqueSize)
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
+		Name:        "spectral",
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
