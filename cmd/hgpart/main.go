@@ -25,6 +25,13 @@
 //
 //	hgpart -in netlist.nets -algo multilevel -fallback fm,core -budget 2s
 //
+// -checkpoint journals every completed start to a crash-safe file;
+// after a crash (power loss, OOM kill, SIGKILL) the same invocation
+// plus -resume continues from the journal and returns a result
+// bit-for-bit identical to an uninterrupted run:
+//
+//	hgpart -in netlist.nets -algo fm -starts 50 -checkpoint run.ckpt -resume
+//
 // Every error path prints to stderr and exits non-zero (2 for flag
 // errors, 1 for everything else); partial results are never reported
 // with a success status.
@@ -67,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
 		fallback   = fs.String("fallback", "", "comma-separated fallback chain after -algo (e.g. fm,core); runs the resilience portfolio")
 		budget     = fs.Duration("budget", 0, "portfolio wall budget across the whole -fallback chain, e.g. 2s (0 = -timeout)")
+		ckptPath   = fs.String("checkpoint", "", "crash-safe journal path: every completed start is fsynced there as the run progresses")
+		resume     = fs.Bool("resume", false, "with -checkpoint: resume an interrupted run from the journal (bit-for-bit identical result); a missing journal starts fresh")
 		faults     = fs.String("faultinject", "", "fault-injection spec, e.g. 'panic@engine.start:2' (also read from FASTHGP_FAULTS)")
 		stats      = fs.Bool("stats", false, "print engine multi-start statistics")
 		doVerify   = fs.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
@@ -124,7 +133,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *k > 2 {
 			return fail(fmt.Errorf("-fallback/-budget support bipartitioning only (got -k %d)", *k))
 		}
+		if *ckptPath != "" {
+			return fail(fmt.Errorf("-checkpoint cannot be combined with -fallback/-budget"))
+		}
 		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, *doVerify, *verbose, stdout, stderr)
+	}
+
+	if *resume && *ckptPath == "" {
+		return fail(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckptPath != "" {
+		if *k > 2 {
+			return fail(fmt.Errorf("-checkpoint supports bipartitioning only (got -k %d)", *k))
+		}
+		return runCheckpointed(ctx, h, *algo, *ckptPath, *resume,
+			fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel},
+			*stats, *doVerify, *verbose, stdout, stderr)
 	}
 
 	if *k > 2 {
@@ -265,6 +289,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runCheckpointed runs one registry algorithm with the crash-safe
+// journal: completed starts are fsynced as the run progresses, and a
+// -resume run continues from the recovered progress while returning the
+// same cut an uninterrupted run would.
+func runCheckpointed(ctx context.Context, h *fasthgp.Hypergraph, algo, path string, resume bool,
+	cfg fasthgp.AlgoConfig, stats, doVerify, verbose bool, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpart:", err)
+		return 1
+	}
+	start := time.Now()
+	res, err := fasthgp.PartitionCheckpointed(ctx, h, algo, cfg, path, resume)
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "checkpoint: journal %s, resumed %d of %d starts\n",
+		path, res.Engine.StartsResumed, res.Engine.StartsRun)
+	if res.Engine.CheckpointErr != nil {
+		// Journaling degraded mid-run; the result itself is unaffected,
+		// but a crash from here on resumes from the last good record.
+		fmt.Fprintln(stderr, "hgpart: warning: checkpoint journaling degraded:", res.Engine.CheckpointErr)
+	}
+	reportBipartition(stdout, h, res.Partition, res.CutSize, elapsed)
+	if stats {
+		printStats(stdout, res.Engine)
+	}
+	if doVerify {
+		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize); code != 0 {
+			return code
+		}
+	}
+	if verbose {
+		printSides(stdout, h, res.Partition)
+	}
+	return 0
+}
+
 // runPortfolio executes the deadline-aware fallback chain and reports
 // the winning tier.
 func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback string, budget time.Duration,
@@ -366,6 +428,9 @@ func printStats(stdout io.Writer, es fasthgp.EngineStats) {
 		es.Wall.Round(time.Microsecond), es.CPU.Round(time.Microsecond))
 	if es.Cancelled {
 		fmt.Fprint(stdout, " [cancelled: best-so-far]")
+	}
+	if es.StartsResumed > 0 {
+		fmt.Fprintf(stdout, " [%d start(s) resumed from the checkpoint journal]", es.StartsResumed)
 	}
 	if es.StartsFailed > 0 {
 		fmt.Fprintf(stdout, " [%d start(s) panicked and were skipped]", es.StartsFailed)

@@ -1,0 +1,125 @@
+package main
+
+// In-memory job table behind GET /jobs/{id}. Every accepted partition
+// request gets a job id; the table tracks it from accepted through
+// done/failed, including jobs replayed from the WAL at boot (whose
+// clients are long gone) and jobs re-enqueued by crash recovery. The
+// table is bounded: once it holds maxJobs entries, the oldest finished
+// jobs are evicted first, so a long-lived daemon cannot leak memory.
+
+import (
+	"sync"
+	"time"
+)
+
+// maxJobs bounds the table; eviction removes oldest terminal entries.
+const maxJobs = 4096
+
+// jobInfo is one job's state, served verbatim as JSON by /jobs/{id}.
+type jobInfo struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"` // accepted | running | done | failed | requeued
+	Accepted string `json:"accepted"`
+	Requeued bool   `json:"requeued,omitempty"` // re-enqueued by crash recovery
+	Cut      int    `json:"cut,omitempty"`
+	TierName string `json:"tier_name,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (j *jobInfo) terminal() bool { return j.Status == "done" || j.Status == "failed" }
+
+// jobTable is the bounded, concurrency-safe job registry.
+type jobTable struct {
+	mu    sync.Mutex
+	jobs  map[string]*jobInfo
+	order []string // insertion order, for eviction
+	seq   int64
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: make(map[string]*jobInfo)}
+}
+
+// continueFrom advances the id sequence past n (WAL replay passes the
+// highest id the dead process issued, so ids never collide).
+func (t *jobTable) continueFrom(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.seq {
+		t.seq = n
+	}
+}
+
+// create registers a fresh job and returns its id.
+func (t *jobTable) create() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := jobID(t.seq)
+	t.insertLocked(&jobInfo{ID: id, Status: "accepted", Accepted: time.Now().UTC().Format(time.RFC3339)})
+	return id
+}
+
+// restore registers a job replayed from the WAL in the given state.
+func (t *jobTable) restore(j jobInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.jobs[j.ID]; ok {
+		*existing = j
+		return
+	}
+	t.insertLocked(&j)
+}
+
+func (t *jobTable) insertLocked(j *jobInfo) {
+	for len(t.order) >= maxJobs {
+		evicted := false
+		for i, id := range t.order {
+			if t.jobs[id].terminal() {
+				delete(t.jobs, id)
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted { // everything in flight; evict the oldest anyway
+			delete(t.jobs, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.jobs[j.ID] = j
+	t.order = append(t.order, j.ID)
+}
+
+// update mutates a job's state if it is still tracked.
+func (t *jobTable) update(id string, f func(*jobInfo)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.jobs[id]; ok {
+		f(j)
+	}
+}
+
+// get returns a copy of the job's state.
+func (t *jobTable) get(id string) (jobInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return jobInfo{}, false
+	}
+	return *j, true
+}
+
+// counts tallies jobs by status (for /healthz and /stats).
+func (t *jobTable) counts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range t.jobs {
+		out[j.Status]++
+	}
+	return out
+}

@@ -6,20 +6,35 @@
 //
 // Endpoints:
 //
-//	POST /partition   netlist body -> JSON cut
+//	POST /partition   netlist body -> JSON cut (with a job_id)
 //	                  query: format=nets|hgr, chain=fm,core,
 //	                  starts=N, seed=N, budget=500ms
-//	GET  /healthz     liveness probe
+//	GET  /jobs/{id}   one job's state, surviving daemon restarts
+//	GET  /healthz     liveness probe; body reports ok/degraded with
+//	                  queue depth, breaker states, WAL record age
 //	GET  /stats       atomic request counters
 //
 // Overload and abuse map to status codes, not failures: a full work
 // queue answers 429 with Retry-After, a body over -max-body answers
-// 413, a malformed netlist answers 400. SIGTERM/SIGINT drains
-// in-flight requests for up to -drain-timeout, then exits 0.
+// 413, a malformed netlist answers 400, and with -max-heap set the
+// daemon sheds new work with a retryable 503 while the live heap sits
+// above the watermark. SIGTERM/SIGINT drains in-flight requests for up
+// to -drain-timeout, then exits 0.
+//
+// With -wal the daemon journals every accepted request to a crash-safe
+// write-ahead log before running it and journals the outcome after; at
+// boot the WAL is replayed, jobs the previous process accepted but
+// never finished are re-enqueued, and GET /jobs/{id} answers for all
+// of them. A kill -9 therefore loses no accepted work.
+//
+// Tiers that keep failing trip a per-tier circuit breaker
+// (-breaker-threshold consecutive failures): the tier is skipped —
+// and its budget share rolls to the tiers that run — until
+// -breaker-cooldown admits a single probe request.
 //
 // Example:
 //
-//	hgpartd -addr :8080 -queue 4 &
+//	hgpartd -addr :8080 -queue 4 -wal /var/lib/hgpartd/wal -max-heap 1073741824 &
 //	curl -s -X POST --data-binary @netlist.nets \
 //	    'localhost:8080/partition?chain=multilevel,fm,core&budget=2s'
 package main
@@ -60,6 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed         = fs.Int64("seed", 1, "default random seed")
 		budget       = fs.Duration("budget", 0, "default portfolio budget (0 = -req-timeout)")
 		parallel     = fs.Int("parallel", 0, "engine workers per request (0 = GOMAXPROCS)")
+		walPath      = fs.String("wal", "", "write-ahead log path: accepted requests are journaled and replayed after a crash (empty = off)")
+		maxHeap      = fs.Uint64("max-heap", 0, "live-heap watermark in bytes; above it new requests are shed with 503 (0 = off)")
+		brkThresh    = fs.Int("breaker-threshold", 3, "consecutive failures tripping a tier's circuit breaker (0 = breakers off)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker skips its tier before probing")
 		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'latency@hgpartd.request:0=2s' (also read from FASTHGP_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,19 +102,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := serverConfig{
-		maxBody:      *maxBody,
-		queue:        *queue,
-		reqTimeout:   *reqTimeout,
-		starts:       *starts,
-		seed:         *seed,
-		budget:       *budget,
-		parallelism:  *parallel,
-		drainTimeout: *drainTimeout,
+		maxBody:          *maxBody,
+		queue:            *queue,
+		reqTimeout:       *reqTimeout,
+		starts:           *starts,
+		seed:             *seed,
+		budget:           *budget,
+		parallelism:      *parallel,
+		drainTimeout:     *drainTimeout,
+		maxHeap:          *maxHeap,
+		breakerThreshold: *brkThresh,
+		breakerCooldown:  *brkCooldown,
 	}
 	if *chain != "" {
 		cfg.chain = strings.Split(*chain, ",")
 	}
 	s := newServer(cfg)
+
+	// Boot recovery: replay the WAL, surface every journaled job on
+	// /jobs/{id}, and re-enqueue whatever the previous process accepted
+	// but never finished.
+	if *walPath != "" {
+		w, maxSeq, replayed, pending, err := openWAL(*walPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer w.close()
+		s.attachWAL(w, maxSeq, replayed)
+		if len(replayed) > 0 || len(pending) > 0 {
+			fmt.Fprintf(stdout, "hgpartd: WAL %s: replayed %d record(s), re-enqueuing %d interrupted job(s)\n",
+				*walPath, len(replayed), len(pending))
+		}
+		s.requeue(pending)
+	}
 
 	// Listen before Serve so :0 resolves and the real address is
 	// printed for whoever (CI, scripts) needs to find the port.

@@ -1,0 +1,63 @@
+package main
+
+// Memory-aware load shedding. Partition requests allocate in proportion
+// to the netlist (the flow tier alone builds a graph with two nodes per
+// net), so a daemon near its container's memory limit is better off
+// refusing new work with a retryable 503 than being OOM-killed with
+// every in-flight request lost. The watcher samples the runtime's live
+// heap gauge, cached briefly so the per-request cost is a clock read,
+// and handlePartition sheds while the heap sits above the watermark.
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// heapMetric is the runtime/metrics gauge of live heap bytes: memory
+// occupied by objects, the thing that grows with admitted requests.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// memSampleTTL is how stale a cached heap sample may be. Shedding is a
+// watermark, not an exact limit; 100ms of staleness costs accuracy
+// bounded by one sampling interval of allocation, and keeps the hot
+// path off the metrics runtime.
+const memSampleTTL = 100 * time.Millisecond
+
+type memWatcher struct {
+	limit uint64 // shed above this many live heap bytes
+
+	mu      sync.Mutex
+	sampled time.Time
+	heap    uint64
+}
+
+// newMemWatcher returns a watcher shedding above limit bytes, or nil
+// when limit is 0 (shedding disabled).
+func newMemWatcher(limit uint64) *memWatcher {
+	if limit == 0 {
+		return nil
+	}
+	return &memWatcher{limit: limit}
+}
+
+// heapBytes returns the live heap size, at most memSampleTTL stale.
+func (m *memWatcher) heapBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.sampled) < memSampleTTL {
+		return m.heap
+	}
+	sample := []metrics.Sample{{Name: heapMetric}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		m.heap = sample[0].Value.Uint64()
+	}
+	m.sampled = time.Now()
+	return m.heap
+}
+
+// shouldShed reports whether the heap is above the watermark.
+func (m *memWatcher) shouldShed() bool {
+	return m.heapBytes() > m.limit
+}

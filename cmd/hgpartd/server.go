@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -18,23 +22,31 @@ import (
 
 // serverConfig is the daemon's tunable surface, set by flags in main.
 type serverConfig struct {
-	maxBody      int64         // request-body cap; beyond it the request is 413
-	queue        int           // concurrent partition requests; beyond it 429
-	reqTimeout   time.Duration // per-request wall cap
-	chain        []string      // default fallback chain (empty = library default)
-	starts       int           // default multi-start count per tier
-	seed         int64         // default seed
-	budget       time.Duration // default portfolio budget (0 = reqTimeout)
-	parallelism  int
-	drainTimeout time.Duration // SIGTERM drain grace
+	maxBody          int64         // request-body cap; beyond it the request is 413
+	queue            int           // concurrent partition requests; beyond it 429
+	reqTimeout       time.Duration // per-request wall cap
+	chain            []string      // default fallback chain (empty = library default)
+	starts           int           // default multi-start count per tier
+	seed             int64         // default seed
+	budget           time.Duration // default portfolio budget (0 = reqTimeout)
+	parallelism      int
+	drainTimeout     time.Duration // SIGTERM drain grace
+	maxHeap          uint64        // live-heap watermark; above it new work is shed with 503 (0 = off)
+	breakerThreshold int           // consecutive tier failures tripping its breaker (0 = breakers off)
+	breakerCooldown  time.Duration // open-breaker cooldown before a probe
 }
 
-// server carries the daemon state: the admission semaphore and the
-// atomic counters behind GET /stats.
+// server carries the daemon state: the admission semaphore, the job
+// table, the optional WAL and circuit breakers, and the atomic
+// counters behind GET /stats.
 type server struct {
-	cfg   serverConfig
-	sem   chan struct{} // admission tokens; full queue = 429
-	begin time.Time
+	cfg      serverConfig
+	sem      chan struct{} // admission tokens; full queue = 429
+	begin    time.Time
+	jobs     *jobTable
+	wal      *wal                 // nil = WAL disabled
+	breakers *fasthgp.BreakerSet  // nil = breakers disabled
+	mem      *memWatcher          // nil = shedding disabled
 
 	requests   atomic.Int64 // partition requests admitted or rejected
 	inFlight   atomic.Int64
@@ -42,9 +54,11 @@ type server struct {
 	bad400     atomic.Int64
 	tooLarge   atomic.Int64 // 413
 	busy429    atomic.Int64
+	shed503    atomic.Int64 // memory-watermark sheds
 	failed500  atomic.Int64
 	degraded   atomic.Int64 // 200s answered by a fallback tier
 	recovered  atomic.Int64 // panics converted to 500 by the middleware
+	walErrs    atomic.Int64 // WAL appends that failed (serving continued)
 	reqCounter atomic.Int64 // fault-injection index for hgpartd.request
 }
 
@@ -52,7 +66,103 @@ func newServer(cfg serverConfig) *server {
 	if cfg.queue < 1 {
 		cfg.queue = 1
 	}
-	return &server{cfg: cfg, sem: make(chan struct{}, cfg.queue), begin: time.Now()}
+	s := &server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.queue),
+		begin: time.Now(),
+		jobs:  newJobTable(),
+		mem:   newMemWatcher(cfg.maxHeap),
+	}
+	if cfg.breakerThreshold > 0 {
+		s.breakers = fasthgp.NewBreakerSet(fasthgp.BreakerConfig{
+			Threshold: cfg.breakerThreshold,
+			Cooldown:  cfg.breakerCooldown,
+		})
+	}
+	return s
+}
+
+// attachWAL wires a recovered WAL into the server: job ids continue
+// after the dead process's, and every replayed job is visible to
+// GET /jobs/{id} in its last known state.
+func (s *server) attachWAL(w *wal, maxSeq int64, replayed []walRecord) {
+	s.wal = w
+	s.jobs.continueFrom(maxSeq)
+	state := make(map[string]jobInfo)
+	var order []string
+	for _, rec := range replayed {
+		j, seen := state[rec.JobID]
+		if !seen {
+			order = append(order, rec.JobID)
+			j = jobInfo{ID: rec.JobID, Status: "accepted"}
+		}
+		switch rec.Type {
+		case "done":
+			j.Status, j.Cut, j.TierName, j.Degraded, j.WallMS = "done", rec.Cut, rec.TierName, rec.Degraded, rec.WallMS
+		case "failed":
+			j.Status, j.Error = "failed", rec.Error
+		}
+		state[rec.JobID] = j
+	}
+	for _, id := range order {
+		s.jobs.restore(state[id])
+	}
+}
+
+// requeue re-enqueues the WAL's accepted-but-unfinished jobs through
+// the normal admission semaphore. Recovered work is never dropped: each
+// job blocks for a token instead of answering 429 (there is no client
+// to answer). A job interrupted again before finishing simply stays
+// pending in the WAL for the next boot.
+func (s *server) requeue(pending []pendingJob) {
+	for _, p := range pending {
+		s.jobs.restore(jobInfo{ID: p.JobID, Status: "requeued", Requeued: true})
+		go func(p pendingJob) {
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			s.inFlight.Add(1)
+			defer s.inFlight.Add(-1)
+			s.runRecovered(p)
+		}(p)
+	}
+}
+
+// runRecovered re-runs one WAL-replayed job end to end.
+func (s *server) runRecovered(p pendingJob) {
+	failJob := func(err error) {
+		s.jobs.update(p.JobID, func(j *jobInfo) { j.Status, j.Error = "failed", err.Error() })
+		s.walAppend(walRecord{Type: "failed", JobID: p.JobID, Error: err.Error()})
+	}
+	h, err := parseNetlist(p.Format, strings.NewReader(p.Netlist))
+	if err != nil {
+		failJob(err)
+		return
+	}
+	q, err := url.ParseQuery(p.Query)
+	if err != nil {
+		failJob(err)
+		return
+	}
+	opts, err := s.portfolioOptions(q)
+	if err != nil {
+		failJob(err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.reqTimeout)
+	defer cancel()
+	_, _ = s.execute(ctx, h, opts, p.JobID)
+}
+
+// parseNetlist reads a netlist in the named wire format.
+func parseNetlist(format string, r io.Reader) (*fasthgp.Hypergraph, error) {
+	switch format {
+	case "", "nets":
+		return fasthgp.ReadNetlist(r)
+	case "hgr":
+		return fasthgp.ReadHMetis(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
 }
 
 // handler builds the route table, every route behind the panic-recovery
@@ -63,6 +173,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/partition", s.handlePartition)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/jobs/", s.handleJob)
 	return s.recoverMiddleware(mux)
 }
 
@@ -80,6 +191,7 @@ func (s *server) recoverMiddleware(next http.Handler) http.Handler {
 
 // partitionResponse is the JSON body of a successful POST /partition.
 type partitionResponse struct {
+	JobID      string `json:"job_id"`
 	Modules    int    `json:"modules"`
 	Nets       int    `json:"nets"`
 	Cut        int    `json:"cut"`
@@ -96,6 +208,15 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	// Memory-aware shedding: above the live-heap watermark new work is
+	// refused with a retryable 503 instead of marching toward the OOM
+	// killer (which would take every in-flight request down with it).
+	if s.mem != nil && s.mem.shouldShed() {
+		w.Header().Set("Retry-After", "2")
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("shedding load: live heap above %d-byte watermark; retry later", s.mem.limit))
+		return
+	}
 	// Admission control: a full queue answers 429 immediately rather
 	// than stacking goroutines until memory runs out.
 	select {
@@ -112,19 +233,10 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 
 	// The body is capped before parsing; MaxBytesReader makes the
 	// reader fail once cfg.maxBody is exceeded, which we map to 413
-	// (oversized) as distinct from 400 (malformed).
-	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
-	var h *fasthgp.Hypergraph
-	var err error
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "nets":
-		h, err = fasthgp.ReadNetlist(body)
-	case "hgr":
-		h, err = fasthgp.ReadHMetis(body)
-	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q", format))
-		return
-	}
+	// (oversized) as distinct from 400 (malformed). The raw bytes are
+	// kept: an accepted request is journaled to the WAL verbatim so a
+	// crash can replay it.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	if err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
@@ -135,19 +247,46 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	opts, err := s.portfolioOptions(r)
+	format := r.URL.Query().Get("format")
+	h, err := parseNetlist(format, bytes.NewReader(raw))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	opts, err := s.portfolioOptions(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The request is now accepted: give it a job id and journal it
+	// before running, so a crash from here on re-enqueues it at boot.
+	jobID := s.jobs.create()
+	s.walAppend(walRecord{Type: "accepted", JobID: jobID,
+		Format: format, Query: r.URL.RawQuery, Netlist: string(raw)})
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
 	defer cancel()
-	start := time.Now()
-	res, err := fasthgp.PartitionPortfolio(ctx, h, opts...)
+	resp, err := s.execute(ctx, h, opts, jobID)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("partition failed: %v", err))
 		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs the portfolio for one accepted job, updating the job
+// table and journaling the outcome. Shared by live requests and boot
+// recovery.
+func (s *server) execute(ctx context.Context, h *fasthgp.Hypergraph, opts []fasthgp.PortfolioOption, jobID string) (partitionResponse, error) {
+	s.jobs.update(jobID, func(j *jobInfo) { j.Status = "running" })
+	start := time.Now()
+	res, err := fasthgp.PartitionPortfolio(ctx, h, opts...)
+	wallMS := time.Since(start).Milliseconds()
+	if err != nil {
+		s.jobs.update(jobID, func(j *jobInfo) { j.Status, j.Error, j.WallMS = "failed", err.Error(), wallMS })
+		s.walAppend(walRecord{Type: "failed", JobID: jobID, Error: err.Error()})
+		return partitionResponse{}, err
 	}
 	if res.Degraded {
 		s.degraded.Add(1)
@@ -158,7 +297,13 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			assignment[v] = 1
 		}
 	}
-	s.writeJSON(w, http.StatusOK, partitionResponse{
+	s.jobs.update(jobID, func(j *jobInfo) {
+		j.Status, j.Cut, j.TierName, j.Degraded, j.WallMS = "done", res.CutSize, res.TierName, res.Degraded, wallMS
+	})
+	s.walAppend(walRecord{Type: "done", JobID: jobID,
+		Cut: res.CutSize, TierName: res.TierName, Degraded: res.Degraded, WallMS: wallMS})
+	return partitionResponse{
+		JobID:      jobID,
 		Modules:    h.NumVertices(),
 		Nets:       h.NumEdges(),
 		Cut:        res.CutSize,
@@ -166,14 +311,45 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		TierName:   res.TierName,
 		Degraded:   res.Degraded,
 		Assignment: assignment,
-		WallMS:     time.Since(start).Milliseconds(),
-	})
+		WallMS:     wallMS,
+	}, nil
+}
+
+// walAppend journals rec if the WAL is enabled. Append failures never
+// fail the request — the daemon trades durability for availability and
+// reports the error count on /healthz and /stats.
+func (s *server) walAppend(rec walRecord) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.append(rec); err != nil {
+		s.walErrs.Add(1)
+	}
+}
+
+// handleJob serves GET /jobs/{id} from the job table (rebuilt from the
+// WAL at boot, so it answers for jobs the dead process accepted).
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET /jobs/{id}")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeError(w, http.StatusBadRequest, "want /jobs/{id}")
+		return
+	}
+	job, ok := s.jobs.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not tracked (finished jobs are evicted after %d newer jobs)", id, maxJobs))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, job)
 }
 
 // portfolioOptions merges per-request query parameters over the
 // daemon's configured defaults.
-func (s *server) portfolioOptions(r *http.Request) ([]fasthgp.PortfolioOption, error) {
-	q := r.URL.Query()
+func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, error) {
 	chain, starts, seed, budget := s.cfg.chain, s.cfg.starts, s.cfg.seed, s.cfg.budget
 	if v := q.Get("chain"); v != "" {
 		chain = strings.Split(v, ",")
@@ -209,14 +385,59 @@ func (s *server) portfolioOptions(r *http.Request) ([]fasthgp.PortfolioOption, e
 	if len(chain) > 0 {
 		opts = append(opts, fasthgp.WithChain(chain...))
 	}
+	if s.breakers != nil {
+		opts = append(opts, fasthgp.WithBreakers(s.breakers))
+	}
 	return opts, nil
 }
 
+// handleHealthz is the liveness/readiness probe. It always answers
+// HTTP 200 while the process serves (liveness); degradation — open
+// breakers, the heap above the shedding watermark, WAL append errors —
+// is reported in the body as status "degraded" with the reasons, plus
+// the queue depth, per-tier breaker states, and the age of the last
+// durable WAL record.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.begin).Milliseconds(),
-	})
+	resp := map[string]any{
+		"status":         "ok",
+		"uptime_ms":      time.Since(s.begin).Milliseconds(),
+		"queue_depth":    len(s.sem),
+		"queue_capacity": s.cfg.queue,
+		"jobs":           s.jobs.counts(),
+	}
+	var reasons []string
+	if s.breakers != nil {
+		states := s.breakers.States()
+		resp["breakers"] = states
+		for name, state := range states {
+			if state == "open" {
+				reasons = append(reasons, "circuit breaker open: "+name)
+			}
+		}
+	}
+	if s.mem != nil {
+		heap := s.mem.heapBytes()
+		resp["heap_bytes"] = heap
+		resp["max_heap_bytes"] = s.mem.limit
+		if heap > s.mem.limit {
+			reasons = append(reasons, "live heap above shedding watermark")
+		}
+	}
+	if s.wal != nil {
+		resp["wal"] = true
+		resp["last_checkpoint_age_ms"] = s.wal.lastAppendAge().Milliseconds()
+		if n := s.walErrs.Load(); n > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d WAL append error(s)", n))
+		}
+	} else {
+		resp["wal"] = false
+	}
+	if len(reasons) > 0 {
+		sort.Strings(reasons)
+		resp["status"] = "degraded"
+		resp["degraded_reasons"] = reasons
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -227,9 +448,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bad_request":      s.bad400.Load(),
 		"too_large":        s.tooLarge.Load(),
 		"busy":             s.busy429.Load(),
+		"shed":             s.shed503.Load(),
 		"failed":           s.failed500.Load(),
 		"degraded":         s.degraded.Load(),
 		"panics_recovered": s.recovered.Load(),
+		"wal_errors":       s.walErrs.Load(),
+		"jobs":             s.jobs.counts(),
 		"queue_capacity":   s.cfg.queue,
 		"uptime_ms":        time.Since(s.begin).Milliseconds(),
 	})
@@ -256,6 +480,8 @@ func (s *server) countStatus(code int) {
 		s.tooLarge.Add(1)
 	case http.StatusTooManyRequests:
 		s.busy429.Add(1)
+	case http.StatusServiceUnavailable:
+		s.shed503.Add(1)
 	case http.StatusInternalServerError:
 		s.failed500.Add(1)
 	}

@@ -1,0 +1,166 @@
+package main
+
+// Write-ahead log of accepted partition requests, built on the
+// checkpoint journal's crash-safe frames (CRC-framed records, fsync per
+// append, torn tail truncated on open) with JSON payloads. Every
+// accepted request is logged — job id, netlist body, query parameters —
+// before it runs, and its outcome is logged when it finishes. A daemon
+// that dies mid-request therefore leaves an "accepted" record with no
+// terminal record; the boot recovery scan finds those and re-enqueues
+// them, so a kill -9 loses no accepted work, and GET /jobs/{id} can
+// answer for jobs whose client has long since disconnected.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fasthgp/internal/checkpoint"
+)
+
+// walVersion is bumped whenever the WAL record schema changes.
+const walVersion = 1
+
+// walHeader is the journal's header payload, identifying the file.
+type walHeader struct {
+	Version int    `json:"version"`
+	Purpose string `json:"purpose"`
+}
+
+// walRecord is one JSON frame. Type "accepted" carries the request
+// itself (enough to re-run it); "done"/"failed" carry the outcome.
+type walRecord struct {
+	Type  string `json:"type"` // accepted | done | failed
+	JobID string `json:"job_id"`
+
+	// accepted
+	Format  string `json:"format,omitempty"`
+	Query   string `json:"query,omitempty"` // raw query string (chain/starts/seed/budget)
+	Netlist string `json:"netlist,omitempty"`
+
+	// done
+	Cut      int    `json:"cut,omitempty"`
+	TierName string `json:"tier_name,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+
+	// failed
+	Error string `json:"error,omitempty"`
+}
+
+// pendingJob is an accepted request the previous process never
+// finished; boot recovery re-enqueues these.
+type pendingJob struct {
+	JobID   string
+	Format  string
+	Query   string
+	Netlist string
+}
+
+// wal serializes appends to the underlying journal and remembers when
+// the last record was made durable (surfaced by /healthz).
+type wal struct {
+	mu         sync.Mutex
+	j          *checkpoint.Journal
+	lastAppend time.Time
+}
+
+// openWAL opens (replaying) or creates the WAL at path. It returns the
+// wal, the highest job sequence number seen (so new ids continue after
+// the old process's), the replayed terminal job outcomes, and the
+// accepted-but-unfinished jobs to re-enqueue.
+func openWAL(path string) (w *wal, maxSeq int64, replayed []walRecord, pending []pendingJob, err error) {
+	if _, statErr := os.Stat(path); os.IsNotExist(statErr) {
+		hdr, _ := json.Marshal(walHeader{Version: walVersion, Purpose: "hgpartd-wal"})
+		j, err := checkpoint.Create(path, hdr)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		return &wal{j: j, lastAppend: time.Now()}, 0, nil, nil, nil
+	}
+	j, records, err := checkpoint.Open(path)
+	if err != nil {
+		return nil, 0, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(records) == 0 {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s has no header record", path)
+	}
+	var hdr walHeader
+	if err := json.Unmarshal(records[0], &hdr); err != nil || hdr.Purpose != "hgpartd-wal" {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s is not an hgpartd WAL", path)
+	}
+	if hdr.Version != walVersion {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s is version %d, this daemon speaks %d", path, hdr.Version, walVersion)
+	}
+
+	open := make(map[string]pendingJob)
+	var order []string
+	for _, raw := range records[1:] {
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue // a stray record never blocks boot; frames are CRC-checked, this is schema drift
+		}
+		replayed = append(replayed, rec)
+		if n := jobSeq(rec.JobID); n > maxSeq {
+			maxSeq = n
+		}
+		switch rec.Type {
+		case "accepted":
+			open[rec.JobID] = pendingJob{JobID: rec.JobID, Format: rec.Format, Query: rec.Query, Netlist: rec.Netlist}
+			order = append(order, rec.JobID)
+		case "done", "failed":
+			delete(open, rec.JobID)
+		}
+	}
+	for _, id := range order {
+		if p, ok := open[id]; ok {
+			pending = append(pending, p)
+		}
+	}
+	return &wal{j: j, lastAppend: time.Now()}, maxSeq, replayed, pending, nil
+}
+
+// append journals one record durably (fsynced before return).
+func (w *wal) append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.j.Append(payload); err != nil {
+		return err
+	}
+	w.lastAppend = time.Now()
+	return nil
+}
+
+// lastAppendAge is the time since the last durable record.
+func (w *wal) lastAppendAge() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Since(w.lastAppend)
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.Close()
+}
+
+// jobID formats job sequence n; jobSeq parses it back (0 for foreign
+// ids, which only weakens id continuation, never correctness).
+func jobID(n int64) string { return fmt.Sprintf("j%d", n) }
+
+func jobSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}

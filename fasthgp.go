@@ -24,13 +24,16 @@ package fasthgp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"fasthgp/internal/anneal"
 	"fasthgp/internal/baseline"
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/cluster"
 	"fasthgp/internal/core"
 	"fasthgp/internal/engine"
@@ -117,6 +120,16 @@ type Result = core.Result
 // regardless of Parallelism: each start draws from its own RNG stream
 // and ties break toward the lowest start index.
 type EngineStats = engine.Stats
+
+// CheckpointIO binds a run to a durable checkpoint sink and, on
+// resume, the state recovered from its journal. PartitionCheckpointed
+// manages one for you; build your own (with engine.BindCheckpoint
+// machinery from internal/checkpoint) only for custom sinks.
+type CheckpointIO = engine.CheckpointIO
+
+// CheckpointState is the progress recovered from a checkpoint journal:
+// completed starts, their cuts, and the encoded best result.
+type CheckpointState = engine.RunState
 
 // Partition runs Algorithm I — the paper's O(n²) intersection-graph
 // heuristic — and returns the best bipartition over opts.Starts random
@@ -404,6 +417,11 @@ type AlgoConfig struct {
 	// Parallelism is the engine worker count; values < 1 mean
 	// GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every completed start into its
+	// sink and resumes from its recovered state. Most callers want
+	// PartitionCheckpointed, which manages the journal file; set this
+	// directly only to supply a custom sink.
+	Checkpoint *CheckpointIO
 }
 
 // AlgoResult is the common projection of a bipartitioner's outcome.
@@ -468,7 +486,7 @@ func algorithmTable() []Algorithm {
 			Name:        "algo1",
 			Description: "Algorithm I: intersection-graph double-BFS heuristic (the paper)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -479,7 +497,7 @@ func algorithmTable() []Algorithm {
 			Name:        "kl",
 			Description: "Kernighan–Lin pair swaps (Schweikert–Kernighan net model)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := kl.BisectCtx(ctx, h, kl.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := kl.BisectCtx(ctx, h, kl.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -490,7 +508,7 @@ func algorithmTable() []Algorithm {
 			Name:        "fm",
 			Description: "Fiduccia–Mattheyses gain buckets",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := fm.BisectCtx(ctx, h, fm.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := fm.BisectCtx(ctx, h, fm.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -501,7 +519,7 @@ func algorithmTable() []Algorithm {
 			Name:        "anneal",
 			Description: "simulated annealing with soft balance penalty",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := anneal.BisectCtx(ctx, h, anneal.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := anneal.BisectCtx(ctx, h, anneal.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -512,7 +530,7 @@ func algorithmTable() []Algorithm {
 			Name:        "flow",
 			Description: "exact min s–t net cuts over random seed pairs (Dinic)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := flowpart.BisectCtx(ctx, h, flowpart.Options{SeedPairs: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := flowpart.BisectCtx(ctx, h, flowpart.Options{SeedPairs: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -523,7 +541,7 @@ func algorithmTable() []Algorithm {
 			Name:        "spectral",
 			Description: "Fiedler-vector sweep cut on the clique expansion",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := spectral.BisectCtx(ctx, h, spectral.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := spectral.BisectCtx(ctx, h, spectral.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -534,7 +552,7 @@ func algorithmTable() []Algorithm {
 			Name:        "multilevel",
 			Description: "coarsen → Algorithm I → FM refinement V-cycles",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -570,6 +588,17 @@ func runRandomAlgo(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoRes
 			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 		},
 		Cut: func(r *AlgoResult) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(cfg.Checkpoint,
+			func(r *AlgoResult) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize)
+			},
+			func(b []byte) (*AlgoResult, error) {
+				p, cut, _, err := checkpoint.DecodeBestFor(h, b, 0)
+				if err != nil {
+					return nil, fmt.Errorf("random: %w", err)
+				}
+				return &AlgoResult{Partition: p, CutSize: cut}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err
@@ -635,6 +664,7 @@ type portfolioConfig struct {
 	seed        int64
 	parallelism int
 	maxAttempts int
+	breakers    *resilience.BreakerSet
 }
 
 // PortfolioOption configures PartitionPortfolio.
@@ -668,6 +698,27 @@ func WithParallelism(p int) PortfolioOption { return func(c *portfolioConfig) { 
 // WithMaxAttempts caps per-tier retries of transient failures —
 // panics and oracle-rejected results (default 2: one try + one retry).
 func WithMaxAttempts(n int) PortfolioOption { return func(c *portfolioConfig) { c.maxAttempts = n } }
+
+// WithBreakers attaches a circuit-breaker set shared across portfolio
+// runs: a tier that keeps failing is skipped outright (and excluded
+// from the budget split) until its cooldown admits a probe. Meant for
+// long-lived callers like hgpartd; one-shot runs don't need it.
+func WithBreakers(b *BreakerSet) PortfolioOption { return func(c *portfolioConfig) { c.breakers = b } }
+
+// BreakerSet is a per-tier-name collection of circuit breakers; build
+// one with NewBreakerSet and share it across PartitionPortfolio calls.
+type BreakerSet = resilience.BreakerSet
+
+// BreakerConfig tunes a BreakerSet's breakers (consecutive-failure
+// threshold and open-state cooldown).
+type BreakerConfig = resilience.BreakerConfig
+
+// NewBreakerSet returns an empty breaker set; breakers are created
+// closed, per tier name, on first use.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet { return resilience.NewBreakerSet(cfg) }
+
+// ErrBreakerOpen marks a tier skipped because its breaker was open.
+var ErrBreakerOpen = resilience.ErrBreakerOpen
 
 // DefaultChain is the default portfolio fallback chain: the strongest
 // partitioner first, degrading toward the cheapest.
@@ -728,7 +779,53 @@ func PartitionPortfolio(ctx context.Context, h *Hypergraph, opts ...PortfolioOpt
 		Budget:      cfg.budget,
 		Seed:        cfg.seed,
 		MaxAttempts: cfg.maxAttempts,
+		Breakers:    cfg.breakers,
 	})
+}
+
+// PartitionCheckpointed runs one registry algorithm with a crash-safe
+// journal at path: every completed start is fsynced into the journal,
+// and when resume is true and the journal already exists, the run
+// continues from the recovered progress instead of starting over.
+// Because each start is a pure function of (h, seed, start index) and
+// ties break toward the lowest start index, a resumed run returns a
+// partition and cut bit-for-bit identical to an uninterrupted run with
+// the same arguments — no matter where the previous process died.
+//
+// The journal binds itself to (algorithm, hypergraph, seed, starts);
+// resuming with any of those changed is refused. A journal whose tail
+// was torn by the crash is truncated to its last intact record. On
+// resume the journal may also be a fresh path (the file is then
+// created), so callers can pass the same flags for first runs and
+// retries alike.
+func PartitionCheckpointed(ctx context.Context, h *Hypergraph, algo string, cfg AlgoConfig, path string, resume bool) (*AlgoResult, error) {
+	alg, err := resolveAlgorithm(algo)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize the start count up front so the journal's identity and
+	// every package's engine invocation agree (flow would otherwise
+	// default 0 seed pairs to 5 while the journal recorded 1).
+	cfg.Starts = engine.Normalize(cfg.Starts)
+	meta := checkpoint.NewMeta(alg.Name, h, cfg.Seed, cfg.Starts)
+
+	var rj *checkpoint.RunJournal
+	var state *CheckpointState
+	if resume {
+		rj, state, err = checkpoint.Resume(path, meta)
+		if errors.Is(err, os.ErrNotExist) {
+			rj, err = checkpoint.CreateRun(path, meta)
+		}
+	} else {
+		rj, err = checkpoint.CreateRun(path, meta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer rj.Close()
+
+	cfg.Checkpoint = &CheckpointIO{Sink: rj, State: state}
+	return alg.Run(ctx, h, cfg)
 }
 
 // GranularResult describes a granularized netlist.

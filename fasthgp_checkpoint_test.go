@@ -1,0 +1,124 @@
+package fasthgp
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// checkpointTestHypergraph builds a small instance every registry
+// algorithm handles (connected, ≥ 2 vertices, non-trivial cuts).
+func checkpointTestHypergraph(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(10)
+	edges := [][]int{
+		{0, 1, 2}, {2, 3}, {3, 4, 5}, {5, 6}, {6, 7, 8}, {8, 9}, {0, 9}, {1, 4, 7},
+	}
+	for _, e := range edges {
+		b.AddEdge(e...)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestPartitionCheckpointedMatchesPlain runs every registry algorithm
+// twice — plain and checkpointed — and requires identical partitions,
+// then resumes the finished journal and requires the identical result
+// again without running a single start.
+func TestPartitionCheckpointedMatchesPlain(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	ctx := context.Background()
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			cfg := AlgoConfig{Starts: 4, Seed: 7}
+			plain, err := alg.Run(ctx, h, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			got, err := PartitionCheckpointed(ctx, h, alg.Name, cfg, path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.CutSize != plain.CutSize || !reflect.DeepEqual(got.Partition.Sides(), plain.Partition.Sides()) {
+				t.Fatalf("checkpointed run differs: cut %d vs %d", got.CutSize, plain.CutSize)
+			}
+			if got.Engine.CheckpointErr != nil {
+				t.Fatalf("CheckpointErr = %v", got.Engine.CheckpointErr)
+			}
+			if _, err := VerifyCut(h, got.Partition, got.CutSize); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed, err := PartitionCheckpointed(ctx, h, alg.Name, cfg, path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.CutSize != plain.CutSize || !reflect.DeepEqual(resumed.Partition.Sides(), plain.Partition.Sides()) {
+				t.Fatalf("resumed run differs: cut %d vs %d", resumed.CutSize, plain.CutSize)
+			}
+			if resumed.Engine.StartsResumed != resumed.Engine.StartsRun {
+				t.Fatalf("StartsResumed = %d, want all %d", resumed.Engine.StartsResumed, resumed.Engine.StartsRun)
+			}
+		})
+	}
+}
+
+// TestPartitionCheckpointedResumeCreatesFresh accepts resume=true on a
+// path that does not exist yet, so first runs and retries share flags.
+func TestPartitionCheckpointedResumeCreatesFresh(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	path := filepath.Join(t.TempDir(), "fresh.ckpt")
+	res, err := PartitionCheckpointed(context.Background(), h, "kl", AlgoConfig{Starts: 3, Seed: 1}, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.StartsResumed != 0 {
+		t.Fatalf("StartsResumed = %d on a fresh path", res.Engine.StartsResumed)
+	}
+}
+
+// TestPartitionCheckpointedRefusesForeignJournal refuses to resume a
+// journal written by a different run configuration.
+func TestPartitionCheckpointedRefusesForeignJournal(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := PartitionCheckpointed(ctx, h, "kl", AlgoConfig{Starts: 3, Seed: 1}, path, false); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		algo string
+		cfg  AlgoConfig
+	}{
+		{"algorithm", "fm", AlgoConfig{Starts: 3, Seed: 1}},
+		{"seed", "kl", AlgoConfig{Starts: 3, Seed: 2}},
+		{"starts", "kl", AlgoConfig{Starts: 5, Seed: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := PartitionCheckpointed(ctx, h, tc.algo, tc.cfg, path, true); err == nil {
+				t.Fatal("resume with mismatched", tc.name, "succeeded")
+			} else if !strings.Contains(err.Error(), "journal") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// TestPartitionCheckpointedUnknownAlgorithm surfaces registry errors
+// before touching the journal path.
+func TestPartitionCheckpointedUnknownAlgorithm(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	path := filepath.Join(t.TempDir(), "never.ckpt")
+	if _, err := PartitionCheckpointed(context.Background(), h, "no-such", AlgoConfig{}, path, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

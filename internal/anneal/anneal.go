@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/cutstate"
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
@@ -58,6 +59,10 @@ type Options struct {
 	// PenaltyWeight scales the imbalance penalty in cut units per
 	// average vertex weight (default 2).
 	PenaltyWeight float64
+	// Checkpoint, when non-nil, journals every completed walk into its
+	// sink and resumes from its recovered state — see internal/checkpoint.
+	// A resumed run returns the same Result an uninterrupted run would.
+	Checkpoint *engine.CheckpointIO
 }
 
 func (o *Options) defaults(h *hypergraph.Hypergraph) {
@@ -126,6 +131,19 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 		},
 		Cut: func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize,
+					int64(r.Temperatures), int64(r.Accepted))
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 2)
+				if err != nil {
+					return nil, fmt.Errorf("anneal: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut,
+					Temperatures: int(aux[0]), Accepted: int(aux[1])}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,89 @@
+package checkpoint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fasthgp/internal/checkpoint"
+	"fasthgp/internal/partition"
+	"fasthgp/internal/verify"
+)
+
+// FuzzCheckpointReplay feeds arbitrary bytes through the full recovery
+// path — journal scan, truncation, meta check, record fold, payload
+// decode, oracle certification. Whatever the bytes, recovery must never
+// panic, and when it accepts, the resulting state must be internally
+// consistent and describe a partition the verify oracle certifies —
+// i.e. corruption is either truncated away or rejected, never resumed
+// into.
+func FuzzCheckpointReplay(f *testing.F) {
+	h := testHG(f)
+	meta := checkpoint.NewMeta("kl", h, 42, 4)
+
+	// Seed corpus: a healthy journal, one cut mid-frame, and one with
+	// trailing garbage.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.ckpt")
+	rj, err := checkpoint.CreateRun(seedPath, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sides := []partition.Side{0, 0, 0, 1, 1, 1}
+	if err := rj.StartDone(0, 3, checkpoint.EncodeBest(sides, 3)); err != nil {
+		f.Fatal(err)
+	}
+	if err := rj.StartDone(1, 5, nil); err != nil {
+		f.Fatal(err)
+	}
+	rj.Close()
+	healthy, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)-7])
+	f.Add(append(append([]byte(nil), healthy...), 0xde, 0xad, 0xbe, 0xef))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rj, state, err := checkpoint.Resume(path, meta)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		defer rj.Close()
+		if len(state.Completed) != meta.Starts || len(state.Cuts) != meta.Starts {
+			t.Fatalf("accepted state sized %d/%d, meta has %d starts",
+				len(state.Completed), len(state.Cuts), meta.Starts)
+		}
+		done := 0
+		for _, c := range state.Completed {
+			if c {
+				done++
+			}
+		}
+		if done == 0 {
+			if state.BestStart != -1 {
+				t.Fatalf("no completed starts but BestStart = %d", state.BestStart)
+			}
+			return
+		}
+		if state.BestStart < 0 || state.BestStart >= meta.Starts || !state.Completed[state.BestStart] {
+			t.Fatalf("accepted state with invalid BestStart %d", state.BestStart)
+		}
+		// The payload crosses a trust boundary: it must either fail
+		// decode/certification (a resume would then be refused) or be a
+		// complete bipartition whose claimed cut the oracle confirms.
+		got, cut, _, err := checkpoint.DecodeBest(state.BestPayload, h.NumVertices())
+		if err != nil {
+			return
+		}
+		if _, err := verify.CheckCut(h, partition.FromSides(got), cut); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"fasthgp/internal/engine"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// metaVersion is bumped whenever the journal record layout changes; a
+// version mismatch refuses to resume rather than misparse.
+const metaVersion = 1
+
+// Meta binds a journal to exactly one run. Resume refuses a journal
+// whose Meta differs in any field: resuming start 7 of seed 3 on a
+// different hypergraph would silently produce garbage, so identity is
+// checked, not assumed.
+type Meta struct {
+	// Version is the record-format version (metaVersion).
+	Version int `json:"version"`
+	// Algorithm is the registry name of the partitioner.
+	Algorithm string `json:"algorithm"`
+	// Seed is the run's user-facing seed.
+	Seed int64 `json:"seed"`
+	// Starts is the normalized multi-start count.
+	Starts int `json:"starts"`
+	// Vertices, Edges, Pins and Hash fingerprint the instance.
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Pins     int    `json:"pins"`
+	Hash     uint64 `json:"hash"`
+}
+
+// NewMeta fingerprints one run of algorithm on h.
+func NewMeta(algorithm string, h *hypergraph.Hypergraph, seed int64, starts int) Meta {
+	return Meta{
+		Version:   metaVersion,
+		Algorithm: algorithm,
+		Seed:      seed,
+		Starts:    engine.Normalize(starts),
+		Vertices:  h.NumVertices(),
+		Edges:     h.NumEdges(),
+		Pins:      h.NumPins(),
+		Hash:      HashHypergraph(h),
+	}
+}
+
+// HashHypergraph fingerprints the structure and weights of h (FNV-1a
+// over sizes, per-vertex weights, and per-edge weight + pin lists).
+// Vertex and edge names are excluded: they do not affect any cut.
+func HashHypergraph(h *hypergraph.Hypergraph) uint64 {
+	fh := fnv.New64a()
+	var buf [8]byte
+	w := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		fh.Write(buf[:])
+	}
+	w(uint64(h.NumVertices()))
+	w(uint64(h.NumEdges()))
+	for v := 0; v < h.NumVertices(); v++ {
+		w(uint64(h.VertexWeight(v)))
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		w(uint64(h.EdgeWeight(e)))
+		pins := h.EdgePins(e)
+		w(uint64(len(pins)))
+		for _, p := range pins {
+			w(uint64(p))
+		}
+	}
+	return fh.Sum64()
+}
+
+// recStartDone is the record type byte of a start-completion record:
+// [type u8][start u32][cut i64][payload length u32][payload]. The
+// payload is the algorithm's encoded best-so-far result; it is empty
+// when the start did not improve the best.
+const recStartDone = 1
+
+// RunJournal journals engine progress for one run. It implements
+// engine.CheckpointSink; the engine serializes StartDone calls, so no
+// internal locking is needed.
+type RunJournal struct {
+	j    *Journal
+	meta Meta
+}
+
+// CreateRun atomically creates a fresh run journal at path.
+func CreateRun(path string, meta Meta) (*RunJournal, error) {
+	hdr, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	j, err := Create(path, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return &RunJournal{j: j, meta: meta}, nil
+}
+
+// StartDone durably records that a start completed with the given cut;
+// bestPayload, when non-empty, is the encoded new best-so-far result.
+// It is the engine's snapshot hook (engine.CheckpointSink).
+func (r *RunJournal) StartDone(start, cut int, bestPayload []byte) error {
+	rec := make([]byte, 0, 1+4+8+4+len(bestPayload))
+	rec = append(rec, recStartDone)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(start))
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(cut))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(bestPayload)))
+	rec = append(rec, bestPayload...)
+	return r.j.Append(rec)
+}
+
+// Close closes the journal file.
+func (r *RunJournal) Close() error { return r.j.Close() }
+
+// Meta returns the journal's run identity.
+func (r *RunJournal) Meta() Meta { return r.meta }
+
+// Resume opens the journal at path for the run described by want,
+// truncates any torn tail, replays the surviving records into an
+// engine.RunState, and returns the journal positioned for further
+// appends. The recovery state machine is scan → truncate-at-corruption
+// → validate identity → fold records; any record that would produce an
+// invalid state (out-of-range start, completed starts with no best,
+// best from a never-completed start) fails the resume instead of
+// poisoning the run.
+func Resume(path string, want Meta) (*RunJournal, *engine.RunState, error) {
+	j, records, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*RunJournal, *engine.RunState, error) {
+		j.Close()
+		return nil, nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(records[0], &meta); err != nil {
+		return fail(fmt.Errorf("checkpoint: %s: bad header: %w", path, err))
+	}
+	if meta != want {
+		return fail(fmt.Errorf("checkpoint: %s belongs to a different run: journal %+v, want %+v", path, meta, want))
+	}
+	state := &engine.RunState{
+		Completed: make([]bool, meta.Starts),
+		Cuts:      make([]int, meta.Starts),
+		BestStart: -1,
+	}
+	for i := range state.Cuts {
+		state.Cuts[i] = engine.NotRun
+	}
+	for _, rec := range records[1:] {
+		if len(rec) < 1+4+8+4 || rec[0] != recStartDone {
+			return fail(fmt.Errorf("checkpoint: %s: malformed record", path))
+		}
+		start := int(binary.LittleEndian.Uint32(rec[1:5]))
+		cut := int(int64(binary.LittleEndian.Uint64(rec[5:13])))
+		plen := int(binary.LittleEndian.Uint32(rec[13:17]))
+		if start >= meta.Starts || plen != len(rec)-17 {
+			return fail(fmt.Errorf("checkpoint: %s: malformed record", path))
+		}
+		state.Completed[start] = true
+		state.Cuts[start] = cut
+		if plen > 0 {
+			state.BestStart = start
+			state.BestCut = cut
+			state.BestPayload = rec[17:]
+		}
+	}
+	completed := 0
+	for _, done := range state.Completed {
+		if done {
+			completed++
+		}
+	}
+	if completed > 0 && state.BestStart < 0 {
+		return fail(fmt.Errorf("checkpoint: %s: completed starts but no best record", path))
+	}
+	if state.BestStart >= 0 && !state.Completed[state.BestStart] {
+		return fail(fmt.Errorf("checkpoint: %s: best record from incomplete start", path))
+	}
+	return &RunJournal{j: j, meta: meta}, state, nil
+}
+
+// EncodeBest serializes the uniform best-so-far payload every
+// partitioner checkpoints: the complete side assignment, the cut, and
+// algorithm-specific scalar metadata (FM pass counts, flow values, …).
+func EncodeBest(sides []partition.Side, cut int, aux ...int64) []byte {
+	b := make([]byte, 0, 4+8+4+8*len(aux)+len(sides))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(aux)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cut)))
+	for _, a := range aux {
+		b = binary.LittleEndian.AppendUint64(b, uint64(a))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(sides)))
+	for _, s := range sides {
+		b = append(b, byte(s))
+	}
+	return b
+}
+
+// DecodeBestFor is the decode half every algorithm package binds: it
+// parses an EncodeBest payload against h, requires exactly wantAux
+// auxiliary scalars, and certifies the decoded sides by recomputing the
+// cut — a CRC-valid but semantically wrong payload (claimed cut ≠
+// actual cut) is rejected rather than allowed to poison the engine's
+// Better comparisons.
+func DecodeBestFor(h *hypergraph.Hypergraph, payload []byte, wantAux int) (*partition.Bipartition, int, []int64, error) {
+	sides, cut, aux, err := DecodeBest(payload, h.NumVertices())
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if len(aux) != wantAux {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload carries %d aux values, want %d", len(aux), wantAux)
+	}
+	p := partition.FromSides(sides)
+	if got := partition.CutSize(h, p); got != cut {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload claims cut %d, partition cuts %d", cut, got)
+	}
+	return p, cut, aux, nil
+}
+
+// DecodeBest parses an EncodeBest payload. The partition must be
+// complete (every side Left or Right) and cover exactly wantVertices
+// vertices — a resumed best is used verbatim as a candidate result, so
+// structural validity is enforced here, at the trust boundary.
+func DecodeBest(b []byte, wantVertices int) (sides []partition.Side, cut int, aux []int64, err error) {
+	if len(b) < 12 {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload truncated")
+	}
+	nAux := int(binary.LittleEndian.Uint32(b[0:4]))
+	cut = int(int64(binary.LittleEndian.Uint64(b[4:12])))
+	b = b[12:]
+	if nAux > len(b)/8 {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload truncated")
+	}
+	aux = make([]int64, nAux)
+	for i := range aux {
+		aux[i] = int64(binary.LittleEndian.Uint64(b[:8]))
+		b = b[8:]
+	}
+	if len(b) < 4 {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n != len(b) || n != wantVertices {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload covers %d vertices, want %d", n, wantVertices)
+	}
+	if cut < 0 {
+		return nil, 0, nil, fmt.Errorf("checkpoint: best payload has negative cut %d", cut)
+	}
+	sides = make([]partition.Side, n)
+	for i, raw := range b {
+		s := partition.Side(int8(raw))
+		if s != partition.Left && s != partition.Right {
+			return nil, 0, nil, fmt.Errorf("checkpoint: best payload vertex %d unassigned", i)
+		}
+		sides[i] = s
+	}
+	return sides, cut, aux, nil
+}

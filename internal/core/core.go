@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/intersect"
@@ -126,6 +127,16 @@ type Options struct {
 	// values < 1 mean GOMAXPROCS. It affects wall time only, never the
 	// result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every completed start into its
+	// sink and resumes from its recovered state — see
+	// internal/checkpoint. The resumed partition and cut are identical
+	// to an uninterrupted run's; the per-start diagnostics (Losers,
+	// Boundary, BFSDepth, BoundarySize, Repaired) are not journaled and
+	// are zero when the winning start was resumed rather than
+	// re-executed. Disconnected instances bypass the engine (the
+	// outcome is start-independent and instant), so no journal is
+	// written for them.
+	Checkpoint *engine.CheckpointIO
 }
 
 // Stats reports per-run diagnostics matching the quantities the paper's
@@ -234,6 +245,17 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options)
 		},
 		Better: func(a, b *Result) bool { return better(h, a, b, opts.Objective) },
 		Cut:    func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize)
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, _, err := checkpoint.DecodeBestFor(h, b, 0)
+				if err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut}, nil
+			}),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

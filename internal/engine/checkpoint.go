@@ -1,0 +1,102 @@
+// Checkpoint support: the engine can snapshot per-start progress into a
+// durable sink and later resume, skipping the starts a previous (killed)
+// process already completed. Because each start is a pure function of
+// (instance, seed, start index) and the reduction is a deterministic
+// ascending-index scan, a resumed run returns a result bit-for-bit
+// identical to an uninterrupted run with the same Spec.
+//
+// The generic/non-generic split keeps import graphs simple: algorithm
+// packages thread a *CheckpointIO (non-generic — sink plus resumed
+// state) through their Options, and bind their own Result codec with
+// BindCheckpoint at the engine.Run call site. The sink itself lives in
+// internal/checkpoint and satisfies CheckpointSink structurally, so the
+// engine does not import the journal and the journal imports only the
+// engine's types.
+package engine
+
+import "fmt"
+
+// CheckpointSink receives one durable record per completed start. The
+// engine serializes calls under its own mutex, so implementations need
+// no locking. bestPayload is non-empty exactly when this start improved
+// the run's best-so-far (the first completed start of a fresh run
+// always does), and holds the Checkpoint.Encode serialization of the
+// new best result. A sink error does not abort the run: the engine
+// records it in Stats.CheckpointErr and stops checkpointing — compute
+// is never hostage to the journal.
+type CheckpointSink interface {
+	StartDone(start, cut int, bestPayload []byte) error
+}
+
+// RunState is the resume point recovered from a journal: which starts
+// already completed, their recorded primary costs, and the best result
+// among them in encoded form. The zero RunState (or a nil *RunState in
+// CheckpointIO) means a fresh run.
+type RunState struct {
+	// Completed flags each start the previous process finished; its
+	// length must equal the Spec's normalized Starts.
+	Completed []bool
+	// Cuts holds each completed start's recorded primary cost, indexed
+	// by start (NotRun elsewhere).
+	Cuts []int
+	// BestStart is the start index of the best completed result, or -1.
+	// The journal invariant "any completed start ⇒ a best record"
+	// guarantees BestStart >= 0 whenever Completed has a true entry.
+	BestStart int
+	// BestCut is the recorded primary cost of BestStart.
+	BestCut int
+	// BestPayload is the encoded best result, decoded via
+	// Checkpoint.Decode on resume.
+	BestPayload []byte
+}
+
+// CheckpointIO is the non-generic half of a checkpoint binding: where
+// snapshots go and, on resume, the state to start from. Algorithm
+// Options carry a *CheckpointIO; nil disables checkpointing.
+type CheckpointIO struct {
+	// Sink receives the per-start records.
+	Sink CheckpointSink
+	// State, when non-nil, resumes from a recovered journal.
+	State *RunState
+}
+
+// Checkpoint binds a CheckpointIO to one result type via an
+// encode/decode pair. Encode must capture everything Better and the
+// caller-visible result need (for this library: sides, cut, and a few
+// scalar counters); Decode must reject payloads that do not describe a
+// valid result, since a resumed payload crosses a trust boundary.
+type Checkpoint[T any] struct {
+	IO     *CheckpointIO
+	Encode func(T) []byte
+	Decode func([]byte) (T, error)
+}
+
+// BindCheckpoint pairs io with a codec for T, returning nil (checkpoint
+// disabled) when io or its sink is nil so call sites can bind
+// unconditionally.
+func BindCheckpoint[T any](io *CheckpointIO, encode func(T) []byte, decode func([]byte) (T, error)) *Checkpoint[T] {
+	if io == nil || io.Sink == nil {
+		return nil
+	}
+	return &Checkpoint[T]{IO: io, Encode: encode, Decode: decode}
+}
+
+// validate checks a resume state against the normalized start count.
+func (s *RunState) validate(starts int) error {
+	if len(s.Completed) != starts {
+		return fmt.Errorf("engine: checkpoint covers %d starts, spec has %d", len(s.Completed), starts)
+	}
+	if len(s.Cuts) != starts {
+		return fmt.Errorf("engine: checkpoint cuts cover %d starts, spec has %d", len(s.Cuts), starts)
+	}
+	done := 0
+	for _, c := range s.Completed {
+		if c {
+			done++
+		}
+	}
+	if done > 0 && (s.BestStart < 0 || s.BestStart >= starts || !s.Completed[s.BestStart]) {
+		return fmt.Errorf("engine: checkpoint has %d completed starts but no valid best (BestStart=%d)", done, s.BestStart)
+	}
+	return nil
+}

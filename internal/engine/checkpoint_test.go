@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// memSink is an in-memory CheckpointSink: each record mirrors what a
+// journal would persist, and failAfter simulates a dying disk.
+type memSink struct {
+	recs      []memRec
+	failAfter int // fail every call once len(recs) reaches this (-1: never)
+}
+
+type memRec struct {
+	start, cut int
+	best       []byte
+}
+
+func (m *memSink) StartDone(start, cut int, best []byte) error {
+	if m.failAfter >= 0 && len(m.recs) >= m.failAfter {
+		return errors.New("sink: disk full")
+	}
+	m.recs = append(m.recs, memRec{start, cut, append([]byte(nil), best...)})
+	return nil
+}
+
+// state folds the sink's records into a RunState exactly the way the
+// journal replay does: last best record wins.
+func (m *memSink) state(starts int) *RunState {
+	s := &RunState{Completed: make([]bool, starts), Cuts: make([]int, starts), BestStart: -1}
+	for i := range s.Cuts {
+		s.Cuts[i] = NotRun
+	}
+	for _, r := range m.recs {
+		s.Completed[r.start] = true
+		s.Cuts[r.start] = r.cut
+		if len(r.best) > 0 {
+			s.BestStart, s.BestCut, s.BestPayload = r.start, r.cut, r.best
+		}
+	}
+	return s
+}
+
+func intCodec() (func(int) []byte, func([]byte) (int, error)) {
+	enc := func(v int) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+		return b[:]
+	}
+	dec := func(b []byte) (int, error) {
+		if len(b) != 8 {
+			return 0, fmt.Errorf("bad payload length %d", len(b))
+		}
+		return int(int64(binary.LittleEndian.Uint64(b))), nil
+	}
+	return enc, dec
+}
+
+func checkpointed(spec Spec[int], io *CheckpointIO) Spec[int] {
+	enc, dec := intCodec()
+	spec.Checkpoint = BindCheckpoint(io, enc, dec)
+	return spec
+}
+
+func TestCheckpointRecordsEveryStart(t *testing.T) {
+	sink := &memSink{failAfter: -1}
+	spec := checkpointed(scoreSpec(16, 4, 7), &CheckpointIO{Sink: sink})
+	best, st, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) != 16 {
+		t.Fatalf("sink got %d records, want 16", len(sink.recs))
+	}
+	seen := map[int]bool{}
+	var lastBest []byte
+	for _, r := range sink.recs {
+		if seen[r.start] {
+			t.Errorf("start %d recorded twice", r.start)
+		}
+		seen[r.start] = true
+		if r.cut != st.Cuts[r.start] {
+			t.Errorf("start %d recorded cut %d, stats say %d", r.start, r.cut, st.Cuts[r.start])
+		}
+		if len(r.best) > 0 {
+			lastBest = r.best
+		}
+	}
+	if len(sink.recs[0].best) == 0 {
+		t.Error("first completed start wrote no best record")
+	}
+	_, dec := intCodec()
+	got, err := dec(lastBest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != best {
+		t.Errorf("last best record decodes to %d, run returned %d", got, best)
+	}
+}
+
+// TestCheckpointOnlineBestMatchesReduction drives completion out of
+// index order (high parallelism, every start ties) and checks the
+// journal's final best record names the same winner as the
+// deterministic ascending-scan reduction.
+func TestCheckpointOnlineBestMatchesReduction(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		sink := &memSink{failAfter: -1}
+		spec := Spec[int]{
+			Starts:      16,
+			Parallelism: 8,
+			Run: func(_ context.Context, start int, _ *rand.Rand, _ *Scratch) (int, error) {
+				return 5, nil // every start ties: lowest index must win
+			},
+			Better: func(a, b int) bool { return a < b },
+		}
+		spec = checkpointed(spec, &CheckpointIO{Sink: sink})
+		_, st, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BestStart != 0 {
+			t.Fatalf("reduction picked start %d, want 0", st.BestStart)
+		}
+		if rs := sink.state(16); rs.BestStart != 0 {
+			t.Fatalf("journal's last best record is start %d, want 0", rs.BestStart)
+		}
+	}
+}
+
+// TestResumeIsBitForBitIdentical interrupts a run after every possible
+// record count K and checks the resumed run reproduces the
+// uninterrupted result exactly, at several parallelism levels.
+func TestResumeIsBitForBitIdentical(t *testing.T) {
+	const starts = 12
+	golden, gst, err := Run(context.Background(), scoreSpec(starts, 1, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &memSink{failAfter: -1}
+	if _, _, err := Run(context.Background(), checkpointed(scoreSpec(starts, 1, 42), &CheckpointIO{Sink: full})); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= starts; k++ {
+		partial := &memSink{failAfter: -1, recs: full.recs[:k]}
+		for _, par := range []int{1, 4} {
+			resumeSink := &memSink{failAfter: -1}
+			spec := checkpointed(scoreSpec(starts, par, 42),
+				&CheckpointIO{Sink: resumeSink, State: partial.state(starts)})
+			got, st, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("k=%d par=%d: %v", k, par, err)
+			}
+			if got != golden || st.BestStart != gst.BestStart {
+				t.Errorf("k=%d par=%d: resumed %d (start %d), uninterrupted %d (start %d)",
+					k, par, got, st.BestStart, golden, gst.BestStart)
+			}
+			if st.StartsResumed != k || st.StartsRun != starts {
+				t.Errorf("k=%d par=%d: StartsResumed=%d StartsRun=%d, want %d and %d",
+					k, par, st.StartsResumed, st.StartsRun, k, starts)
+			}
+			if len(resumeSink.recs) != starts-k {
+				t.Errorf("k=%d par=%d: resumed run wrote %d records, want %d", k, par, len(resumeSink.recs), starts-k)
+			}
+			for i := range st.Cuts {
+				if st.Cuts[i] != gst.Cuts[i] {
+					t.Errorf("k=%d par=%d: Cuts[%d] = %d, uninterrupted %d", k, par, i, st.Cuts[i], gst.Cuts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestResumeFullyCompletedRunsNothing(t *testing.T) {
+	full := &memSink{failAfter: -1}
+	if _, _, err := Run(context.Background(), checkpointed(scoreSpec(8, 2, 3), &CheckpointIO{Sink: full})); err != nil {
+		t.Fatal(err)
+	}
+	golden, gst, _ := Run(context.Background(), scoreSpec(8, 1, 3))
+	got, st, err := Run(context.Background(),
+		checkpointed(scoreSpec(8, 2, 3), &CheckpointIO{Sink: &memSink{failAfter: -1}, State: full.state(8)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != golden || st.BestStart != gst.BestStart {
+		t.Errorf("fully-resumed run returned %d (start %d), want %d (start %d)", got, st.BestStart, golden, gst.BestStart)
+	}
+	if st.StartsResumed != 8 || st.CPU != 0 {
+		t.Errorf("StartsResumed=%d CPU=%v, want 8 and 0 (no start re-executed)", st.StartsResumed, st.CPU)
+	}
+}
+
+// TestResumePreCancelledReturnsResumedBest: with a best in the resumed
+// state, no start is exempt from cancellation, and the resumed best
+// comes back unchanged.
+func TestResumePreCancelledReturnsResumedBest(t *testing.T) {
+	full := &memSink{failAfter: -1}
+	if _, _, err := Run(context.Background(), checkpointed(scoreSpec(8, 1, 3), &CheckpointIO{Sink: full})); err != nil {
+		t.Fatal(err)
+	}
+	partial := &memSink{failAfter: -1, recs: full.recs[:3]}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, st, err := Run(ctx,
+		checkpointed(scoreSpec(8, 1, 3), &CheckpointIO{Sink: &memSink{failAfter: -1}, State: partial.state(8)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StartsRun != 3 || st.StartsResumed != 3 || !st.Cancelled {
+		t.Errorf("StartsRun=%d StartsResumed=%d Cancelled=%v, want 3, 3, true", st.StartsRun, st.StartsResumed, st.Cancelled)
+	}
+	want := partial.state(8)
+	_, dec := intCodec()
+	wantBest, _ := dec(want.BestPayload)
+	if got != wantBest || st.BestStart != want.BestStart {
+		t.Errorf("got %d (start %d), want resumed best %d (start %d)", got, st.BestStart, wantBest, want.BestStart)
+	}
+}
+
+func TestResumeRejectsMismatchedState(t *testing.T) {
+	enc, dec := intCodec()
+	base := scoreSpec(8, 1, 3)
+	for name, state := range map[string]*RunState{
+		"wrong length": {Completed: make([]bool, 5), Cuts: make([]int, 5), BestStart: -1},
+		"wrong cuts":   {Completed: make([]bool, 8), Cuts: make([]int, 3), BestStart: -1},
+		"completed without best": {
+			Completed: []bool{true, false, false, false, false, false, false, false},
+			Cuts:      make([]int, 8), BestStart: -1,
+		},
+		"best not completed": {
+			Completed: []bool{true, false, false, false, false, false, false, false},
+			Cuts:      make([]int, 8), BestStart: 3, BestPayload: enc(1),
+		},
+	} {
+		spec := base
+		spec.Checkpoint = BindCheckpoint(&CheckpointIO{Sink: &memSink{failAfter: -1}, State: state}, enc, dec)
+		if _, _, err := Run(context.Background(), spec); err == nil {
+			t.Errorf("%s: resume accepted invalid state", name)
+		}
+	}
+	// Undecodable best payload must also refuse.
+	spec := base
+	spec.Checkpoint = BindCheckpoint(&CheckpointIO{Sink: &memSink{failAfter: -1}, State: &RunState{
+		Completed: []bool{true, false, false, false, false, false, false, false},
+		Cuts:      make([]int, 8), BestStart: 0, BestPayload: []byte{1, 2, 3},
+	}}, enc, dec)
+	if _, _, err := Run(context.Background(), spec); err == nil {
+		t.Error("resume accepted an undecodable best payload")
+	}
+}
+
+// TestCheckpointSinkFailureDegrades: a failing sink must not abort the
+// run or change its result, only set Stats.CheckpointErr.
+func TestCheckpointSinkFailureDegrades(t *testing.T) {
+	golden, _, _ := Run(context.Background(), scoreSpec(12, 1, 9))
+	sink := &memSink{failAfter: 4}
+	got, st, err := Run(context.Background(), checkpointed(scoreSpec(12, 3, 9), &CheckpointIO{Sink: sink}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != golden {
+		t.Errorf("run with failing sink returned %d, want %d", got, golden)
+	}
+	if st.CheckpointErr == nil {
+		t.Error("Stats.CheckpointErr not set after sink failure")
+	}
+	if len(sink.recs) != 4 {
+		t.Errorf("sink holds %d records, want 4 (journaling stops at first failure)", len(sink.recs))
+	}
+	if st.StartsRun != 12 {
+		t.Errorf("StartsRun = %d, want 12 (compute is not hostage to the journal)", st.StartsRun)
+	}
+}
+
+func TestBindCheckpointNilIO(t *testing.T) {
+	enc, dec := intCodec()
+	if BindCheckpoint[int](nil, enc, dec) != nil {
+		t.Error("BindCheckpoint(nil) != nil")
+	}
+	if BindCheckpoint[int](&CheckpointIO{}, enc, dec) != nil {
+		t.Error("BindCheckpoint(sinkless io) != nil")
+	}
+}

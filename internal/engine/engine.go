@@ -16,8 +16,9 @@
 //     before each start is claimed (and algorithms additionally poll it
 //     inside their hot loops); on expiry the engine stops claiming new
 //     starts, waits for in-flight ones, and returns the best completed
-//     result rather than an error. Start 0 always runs, so a result
-//     exists whenever no start fails.
+//     result rather than an error. One start stays exempt from the
+//     check — start 0, or on a checkpoint resume the lowest unresumed
+//     start — so a result exists whenever no start fails.
 //   - No per-start allocation churn: each worker leases a Scratch arena
 //     from a sync.Pool and hands it to every start it executes.
 //
@@ -129,6 +130,16 @@ type Stats struct {
 	// Failures holds one *resilience.PartitionError per panicked start,
 	// in ascending start-index order.
 	Failures []error
+	// StartsResumed counts starts skipped because a resumed checkpoint
+	// already recorded their completion (they are included in
+	// StartsRun: the work was done, just by an earlier process).
+	StartsResumed int
+	// CheckpointErr is the first error the checkpoint sink returned.
+	// The run still completes — compute is never hostage to the
+	// journal — but records after the failure were not persisted, so a
+	// later resume may redo some starts (and, by determinism, still
+	// reach the identical result).
+	CheckpointErr error
 }
 
 // Spec configures one multi-start run of the engine.
@@ -162,6 +173,14 @@ type Spec[T any] struct {
 	// Cut extracts the primary cost of a result for Stats.Cuts.
 	// Optional; nil leaves Cuts at NotRun.
 	Cut func(T) int
+	// Checkpoint, when non-nil, snapshots each completed start into its
+	// sink and — when its IO carries a resumed RunState — skips the
+	// starts a previous process already completed. Checkpointing never
+	// changes the returned result: Better must be a strict weak
+	// ordering (all the library's predicates are), which makes the
+	// resumed best exactly the result the skipped starts would have
+	// reduced to. Build with BindCheckpoint.
+	Checkpoint *Checkpoint[T]
 }
 
 // ErrNoStart is returned when no start completed, which can only
@@ -195,12 +214,80 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 		st.Cuts[i] = NotRun
 	}
 
+	cp := spec.Checkpoint
+	if cp != nil && (cp.IO == nil || cp.IO.Sink == nil) {
+		cp = nil
+	}
+	var resumed *RunState
+	var resumedBest T
+	haveResumedBest := false
+	if cp != nil && cp.IO.State != nil {
+		resumed = cp.IO.State
+		if err := resumed.validate(starts); err != nil {
+			return zero, st, err
+		}
+		if resumed.BestStart >= 0 {
+			v, err := cp.Decode(resumed.BestPayload)
+			if err != nil {
+				return zero, st, err
+			}
+			resumedBest = v
+			haveResumedBest = true
+		}
+	}
+	// mustRun is the one start exempt from the cancellation check, so a
+	// result exists whenever no start fails: the lowest unresumed index,
+	// or none at all when the resumed state already carries a best.
+	mustRun := -1
+	if !haveResumedBest {
+		mustRun = 0
+		for resumed != nil && mustRun < starts && resumed.Completed[mustRun] {
+			mustRun++
+		}
+	}
+
 	results := make([]T, starts)
 	completed := make([]bool, starts)
 	errs := make([]error, starts)
 	begin := time.Now()
 	var cpu atomic.Int64
 	var failed atomic.Bool
+
+	// Online best tracking for the checkpoint journal. Completion order
+	// is arbitrary under parallelism, so "is v the new best" cannot be
+	// the reduction's simple ascending scan; the replacement rule below
+	// is its order-free equivalent: v takes over when it strictly
+	// improves on the incumbent, or ties it from a lower start index.
+	// For a strict weak ordering this converges to exactly the
+	// ascending-scan winner regardless of arrival order, which is what
+	// makes resuming from the journal's last best record deterministic.
+	var ckMu sync.Mutex
+	ckBestIdx := -1
+	var ckBest T
+	if haveResumedBest {
+		ckBestIdx, ckBest = resumed.BestStart, resumedBest
+	}
+	record := func(i int, v T) {
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		if st.CheckpointErr != nil {
+			return
+		}
+		improved := ckBestIdx < 0 || spec.Better(v, ckBest) ||
+			(i < ckBestIdx && !spec.Better(ckBest, v))
+		var payload []byte
+		if improved {
+			ckBestIdx, ckBest = i, v
+			payload = cp.Encode(v)
+		}
+		cut := NotRun
+		if spec.Cut != nil {
+			cut = spec.Cut(v)
+		}
+		if err := cp.IO.Sink.StartDone(i, cut, payload); err != nil {
+			st.CheckpointErr = err
+		}
+	}
 
 	// runOne executes start i into the shared result arrays, inside a
 	// recover boundary: a panicking start becomes a typed
@@ -229,18 +316,28 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 		}
 		results[i] = v
 		completed[i] = true
+		if cp != nil {
+			record(i, v)
+		}
 	}
-	// claimable reports whether start i may still begin. Start 0 is
-	// exempt from the cancellation check so that a result always
-	// exists; later starts stop as soon as the context expires or a
-	// start fails.
+	// claimable reports whether start i may still begin. The mustRun
+	// start is exempt from the cancellation check so that a result
+	// always exists; other starts stop as soon as the context expires
+	// or a start fails.
 	claimable := func(i int) bool {
-		return i == 0 || (!failed.Load() && ctx.Err() == nil)
+		return i == mustRun || (!failed.Load() && ctx.Err() == nil)
+	}
+	// skip reports starts a resumed checkpoint already completed.
+	skip := func(i int) bool {
+		return resumed != nil && resumed.Completed[i]
 	}
 
 	if workers <= 1 {
 		scratch := GetScratch()
 		for i := 0; i < starts; i++ {
+			if skip(i) {
+				continue
+			}
 			if !claimable(i) {
 				break
 			}
@@ -258,7 +355,13 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 				defer PutScratch(scratch)
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= starts || !claimable(i) {
+					if i >= starts {
+						return
+					}
+					if skip(i) {
+						continue
+					}
+					if !claimable(i) {
 						return
 					}
 					runOne(i, scratch)
@@ -272,9 +375,24 @@ func Run[T any](ctx context.Context, spec Spec[T]) (T, Stats, error) {
 	// improvement only, so the lowest index wins every tie and the
 	// winner is independent of completion order. Panicked starts are
 	// recorded and skipped; ctx-error starts count as never run; any
-	// other error aborts.
+	// other error aborts. Resumed starts contribute their recorded cuts
+	// and exactly one candidate — the resumed best, which (Better being
+	// a strict weak ordering) is the value this very scan would have
+	// reduced the skipped starts to.
 	ctxSkipped := 0
 	for i := 0; i < starts; i++ {
+		if skip(i) {
+			st.StartsRun++
+			st.StartsResumed++
+			st.Cuts[i] = resumed.Cuts[i]
+			if i == resumed.BestStart {
+				results[i] = resumedBest
+				if st.BestStart < 0 || spec.Better(results[i], results[st.BestStart]) {
+					st.BestStart = i
+				}
+			}
+			continue
+		}
 		if err := errs[i]; err != nil {
 			var pe *resilience.PartitionError
 			switch {

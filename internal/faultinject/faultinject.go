@@ -39,6 +39,15 @@ const (
 	// PointServeRequest fires at the top of each hgpartd partition
 	// request; the index is the daemon's request counter.
 	PointServeRequest Point = "hgpartd.request"
+	// PointCheckpointWrite fires before each checkpoint-journal record
+	// write; the index is the journal's record sequence number. A
+	// KindTorn rule here makes the journal write only a prefix of the
+	// record — a simulated crash mid-write — so recovery-scan
+	// truncation is testable without killing the process.
+	PointCheckpointWrite Point = "checkpoint.write"
+	// PointCheckpointSync fires before each checkpoint-journal fsync;
+	// the index is the record sequence number being made durable.
+	PointCheckpointSync Point = "checkpoint.fsync"
 )
 
 // Kind is the fault a rule raises.
@@ -53,6 +62,10 @@ const (
 	// KindCorrupt asks the caller (via ShouldCorrupt) to invalidate its
 	// result at the point.
 	KindCorrupt
+	// KindTorn asks the caller (via ShouldTear) to tear its write at
+	// the point: persist only a prefix of the record and fail, as a
+	// power cut mid-write would.
+	KindTorn
 )
 
 func (k Kind) String() string {
@@ -63,6 +76,8 @@ func (k Kind) String() string {
 		return "latency"
 	case KindCorrupt:
 		return "corrupt"
+	case KindTorn:
+		return "torn"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -160,12 +175,24 @@ func Fire(point Point, idx int) {
 // ShouldCorrupt reports whether a KindCorrupt rule matches (point, idx);
 // the caller is responsible for actually invalidating its result.
 func ShouldCorrupt(point Point, idx int) bool {
+	return matches(KindCorrupt, point, idx)
+}
+
+// ShouldTear reports whether a KindTorn rule matches (point, idx); the
+// caller is responsible for writing only a prefix of its record and
+// reporting the write failed.
+func ShouldTear(point Point, idx int) bool {
+	return matches(KindTorn, point, idx)
+}
+
+// matches reports whether any rule of the given kind covers (point, idx).
+func matches(kind Kind, point Point, idx int) bool {
 	p := active.Load()
 	if p == nil {
 		return false
 	}
 	for _, r := range p.Rules {
-		if r.Kind == KindCorrupt && r.Point == point && (r.Index == AnyIndex || r.Index == idx) {
+		if r.Kind == kind && r.Point == point && (r.Index == AnyIndex || r.Index == idx) {
 			return true
 		}
 	}
@@ -200,6 +227,8 @@ func ParseSpec(spec string) (*Plan, error) {
 			r.Kind = KindLatency
 		case "corrupt":
 			r.Kind = KindCorrupt
+		case "torn":
+			r.Kind = KindTorn
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q", field, kindStr)
 		}
@@ -220,7 +249,8 @@ func ParseSpec(spec string) (*Plan, error) {
 			return nil, fmt.Errorf("faultinject: rule %q: want kind@point:index", field)
 		}
 		switch Point(pointStr) {
-		case PointEngineStart, PointTierResult, PointServeRequest:
+		case PointEngineStart, PointTierResult, PointServeRequest,
+			PointCheckpointWrite, PointCheckpointSync:
 			r.Point = Point(pointStr)
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown point %q", field, pointStr)

@@ -67,8 +67,23 @@ func TestShouldCorrupt(t *testing.T) {
 	}
 }
 
+func TestShouldTear(t *testing.T) {
+	defer Install(&Plan{Rules: []Rule{{Point: PointCheckpointWrite, Index: 2, Kind: KindTorn}}})()
+	if ShouldTear(PointCheckpointWrite, 1) {
+		t.Error("tears wrong index")
+	}
+	if !ShouldTear(PointCheckpointWrite, 2) {
+		t.Error("does not tear matching index")
+	}
+	if ShouldTear(PointCheckpointSync, 2) {
+		t.Error("tears wrong point")
+	}
+	// Tearing is caller-driven: Fire must ignore KindTorn rules.
+	Fire(PointCheckpointWrite, 2)
+}
+
 func TestParseSpec(t *testing.T) {
-	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*")
+	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*,torn@checkpoint.write:1,panic@checkpoint.fsync:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +91,8 @@ func TestParseSpec(t *testing.T) {
 		{Point: PointEngineStart, Index: 3, Kind: KindPanic},
 		{Point: PointServeRequest, Index: 0, Kind: KindLatency, Delay: 50 * time.Millisecond},
 		{Point: PointTierResult, Index: AnyIndex, Kind: KindCorrupt},
+		{Point: PointCheckpointWrite, Index: 1, Kind: KindTorn},
+		{Point: PointCheckpointSync, Index: 0, Kind: KindPanic},
 	}
 	if len(plan.Rules) != len(want) {
 		t.Fatalf("parsed %d rules, want %d", len(plan.Rules), len(want))

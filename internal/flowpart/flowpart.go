@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/maxflow"
@@ -36,6 +37,11 @@ type Options struct {
 	// concurrently; values < 1 mean GOMAXPROCS. Wall time only, never
 	// the result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every solved pair into its
+	// sink and resumes from its recovered state — see internal/checkpoint.
+	// A resumed run returns the same Result an uninterrupted run would
+	// (FlowValue is journaled: the tie-break depends on it).
+	Checkpoint *engine.CheckpointIO
 }
 
 // Result is the flow-partition outcome.
@@ -150,6 +156,17 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 			return a.FlowValue < b.FlowValue
 		},
 		Cut: func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize, r.FlowValue)
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 1)
+				if err != nil {
+					return nil, fmt.Errorf("flowpart: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut, FlowValue: aux[0]}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err

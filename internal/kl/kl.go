@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/cutstate"
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
@@ -46,6 +47,10 @@ type Options struct {
 	// Parallelism is the number of workers running starts concurrently;
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every completed start into its
+	// sink and resumes from its recovered state — see internal/checkpoint.
+	// A resumed run returns the same Result an uninterrupted run would.
+	Checkpoint *engine.CheckpointIO
 }
 
 func (o *Options) defaults() {
@@ -96,6 +101,17 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		},
 		Better: func(a, b *Result) bool { return betterResult(h, a, b) },
 		Cut:    func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize, int64(r.Passes))
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 1)
+				if err != nil {
+					return nil, fmt.Errorf("kl: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut, Passes: int(aux[0])}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/coarsen"
 	"fasthgp/internal/core"
 	"fasthgp/internal/engine"
@@ -45,6 +46,11 @@ type Options struct {
 	// the coarsest-level Algorithm I multi-start); values < 1 mean
 	// GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every completed V-cycle into
+	// its sink and resumes from its recovered state — see
+	// internal/checkpoint. A resumed run returns the same Result an
+	// uninterrupted run would.
+	Checkpoint *engine.CheckpointIO
 }
 
 func (o *Options) defaults() {
@@ -109,6 +115,19 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 		},
 		Cut: func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize,
+					int64(r.Levels), int64(r.CoarsestVertices))
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 2)
+				if err != nil {
+					return nil, fmt.Errorf("multilevel: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut,
+					Levels: int(aux[0]), CoarsestVertices: int(aux[1])}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err

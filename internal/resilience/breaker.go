@@ -1,0 +1,196 @@
+// Circuit breakers: per-tier failure memory for long-lived callers
+// (the hgpartd daemon above all). A portfolio run is one-shot — its
+// retries and fallbacks handle failures inside a single request — but a
+// daemon replays the same chain thousands of times, and a tier that has
+// started panicking or timing out deterministically will fail the same
+// way on every request while still burning its full budget slice. A
+// breaker converts that repeated discovery into remembered state:
+//
+//   - Closed: requests flow; consecutive failures are counted.
+//   - Open: after Threshold consecutive failures the tier is skipped
+//     outright (Allow returns false) until Cooldown elapses. Skipped
+//     tiers are also excluded from the budget split, so their slices
+//     roll to the tiers that will actually run.
+//   - HalfOpen: after Cooldown one probe attempt is admitted. Success
+//     closes the breaker; failure reopens it for another Cooldown. At
+//     most one probe is in flight at a time, so a recovering tier sees
+//     a single request, not a thundering herd.
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen marks a tier that was skipped without running because
+// its circuit breaker was open.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every attempt.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every attempt until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe attempt.
+	BreakerHalfOpen
+)
+
+// String returns the state's wire name (used verbatim in hgpartd's
+// /healthz payload).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures the breakers of a BreakerSet.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (values < 1 mean 3).
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before
+	// admitting a probe (values <= 0 mean 30s).
+	Cooldown time.Duration
+	// Now is the clock (nil means time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is one tier's circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether an attempt may run now. In the half-open state
+// only one caller at a time gets true; every admitted attempt must be
+// answered with Record, or the probe slot stays occupied forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports an admitted attempt's outcome. Success closes the
+// breaker and clears the failure count; failure increments it, trips
+// the breaker at the threshold, and reopens a half-open breaker
+// immediately (a failed probe restarts the cooldown).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// State returns the breaker's current position, surfacing the
+// open→half-open transition that Allow would take now.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// BreakerSet holds one breaker per tier name, created lazily with a
+// shared config. Safe for concurrent use; the zero value is not usable
+// — construct with NewBreakerSet.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set whose breakers all use cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for name, creating it (closed) on first use.
+func (s *BreakerSet) For(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[name]
+	if !ok {
+		b = &Breaker{cfg: s.cfg}
+		s.breakers[name] = b
+	}
+	return b
+}
+
+// States snapshots every breaker's position by tier name (the shape
+// hgpartd's /healthz reports).
+func (s *BreakerSet) States() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.breakers))
+	for name, b := range s.breakers {
+		out[name] = b.State().String()
+	}
+	return out
+}

@@ -10,7 +10,9 @@
 // budget rolls forward — a tier that finishes in a tenth of its slice
 // leaves the rest to its successors — and the final tier always gets
 // everything left. Retries recompute the slice from the then-remaining
-// budget, so a retried tier cannot starve the tiers below it.
+// budget, so a retried tier cannot starve the tiers below it. Tiers
+// whose circuit breaker is open (Options.Breakers) are excluded from m:
+// they are about to be skipped, so their slices roll to tiers that run.
 package resilience
 
 import (
@@ -56,6 +58,13 @@ type Options struct {
 	BackoffBase time.Duration
 	// BackoffCap caps the exponential backoff.
 	BackoffCap time.Duration
+	// Breakers, when non-nil, consults one circuit breaker per tier
+	// name: tiers whose breaker is open are skipped without running
+	// (TierReport.Err = ErrBreakerOpen, Attempts = 0) and excluded from
+	// the budget split, and every attempt's outcome is recorded back.
+	// Meant for long-lived callers (hgpartd) that share the set across
+	// requests; one-shot runs can leave it nil.
+	Breakers *BreakerSet
 }
 
 // TierReport is the portfolio's account of one attempted tier.
@@ -153,12 +162,25 @@ func RunPortfolio(ctx context.Context, h *hypergraph.Hypergraph, tiers []Tier, o
 	var failures []error
 	for ti, tier := range tiers {
 		report := TierReport{Name: tier.Name, CutSize: -1}
+		var breaker *Breaker
+		if opts.Breakers != nil {
+			breaker = opts.Breakers.For(tier.Name)
+		}
 		backoff := backoffBase
 		for attempt := 0; attempt < maxAttempts; attempt++ {
 			if ctx.Err() != nil {
 				break
 			}
-			tctx, cancel := tierContext(ctx, len(tiers)-ti)
+			if breaker != nil && !breaker.Allow() {
+				// Open breaker: skip the tier outright. A half-open
+				// breaker whose single probe this loop already spent
+				// stops retrying, keeping the probe budget at one.
+				if report.Attempts == 0 {
+					report.Err = ErrBreakerOpen
+				}
+				break
+			}
+			tctx, cancel := tierContext(ctx, tiersLeft(tiers, ti, opts.Breakers))
 			seed := AttemptSeed(opts.Seed, ti, attempt)
 			t0 := time.Now()
 			p, claimed, err := runTier(tctx, tier, h, seed)
@@ -178,6 +200,9 @@ func RunPortfolio(ctx context.Context, h *hypergraph.Hypergraph, tiers []Tier, o
 					err = errors.Join(fmt.Errorf("%w (tier %s): %v", ErrInvalidResult, tier.Name, verr), err)
 					p = nil
 				}
+			}
+			if breaker != nil {
+				breaker.Record(p != nil && err == nil)
 			}
 			if p != nil {
 				if err == nil {
@@ -231,6 +256,20 @@ func runTier(ctx context.Context, tier Tier, h *hypergraph.Hypergraph, seed int6
 		return runErr
 	})
 	return p, claimed, err
+}
+
+// tiersLeft counts the tiers from index ti onward that are actually
+// going to run: tiers whose breaker is open are about to be skipped, so
+// counting them would strand budget on rungs that never execute. The
+// current tier was already admitted, so the count is at least 1.
+func tiersLeft(tiers []Tier, ti int, breakers *BreakerSet) int {
+	n := 1
+	for tj := ti + 1; tj < len(tiers); tj++ {
+		if breakers == nil || breakers.For(tiers[tj].Name).State() != BreakerOpen {
+			n++
+		}
+	}
+	return n
 }
 
 // tierContext carves the current attempt's slice out of the remaining

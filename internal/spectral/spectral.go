@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/cutstate"
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
@@ -50,6 +51,12 @@ type Options struct {
 	// Parallelism is the number of workers running starts concurrently;
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Checkpoint, when non-nil, journals every completed start into its
+	// sink and resumes from its recovered state — see internal/checkpoint.
+	// The resumed partition and cut are identical to an uninterrupted
+	// run's; the Fiedler vector is not journaled, so Result.Fiedler is
+	// nil when the winning start was resumed rather than re-executed.
+	Checkpoint *engine.CheckpointIO
 }
 
 func (o *Options) defaults() {
@@ -122,6 +129,17 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 			return partition.Imbalance(h, a.Partition) < partition.Imbalance(h, b.Partition)
 		},
 		Cut: func(r *Result) int { return r.CutSize },
+		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
+			func(r *Result) []byte {
+				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize, int64(r.Iterations))
+			},
+			func(b []byte) (*Result, error) {
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 1)
+				if err != nil {
+					return nil, fmt.Errorf("spectral: %w", err)
+				}
+				return &Result{Partition: p, CutSize: cut, Iterations: int(aux[0])}, nil
+			}),
 	})
 	if err != nil {
 		return nil, err

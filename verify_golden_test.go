@@ -9,8 +9,11 @@ package fasthgp
 //
 //	go test -run TestGoldenCorpus -update .
 //
-// The same run emits BENCH_verify.json (per-algorithm total cutsize and
-// wall time over the corpus) so successive commits leave a perf trail.
+// The same run emits BENCH_verify.json (per-algorithm cutsizes over the
+// corpus — fully deterministic, so the committed file only changes when
+// behavior does) and BENCH_verify.timing.json (wall times; machine-
+// dependent, gitignored) so successive commits leave a perf trail
+// without wall-clock churn in the diff.
 
 import (
 	"encoding/json"
@@ -39,12 +42,20 @@ type goldenFile struct {
 	Cuts map[string]map[string]int `json:"cuts"`
 }
 
-// benchEntry is one BENCH_verify.json row.
+// benchEntry is one BENCH_verify.json row. Everything here is a pure
+// function of (corpus, goldenConfig): no timing, so the committed file
+// is byte-stable across machines and runs.
 type benchEntry struct {
 	Algorithm string         `json:"algorithm"`
 	TotalCut  int            `json:"total_cut"`
-	WallMS    float64        `json:"wall_ms"`
 	Cuts      map[string]int `json:"cuts"`
+}
+
+// timingEntry is one BENCH_verify.timing.json row — the machine-
+// dependent sidecar holding what used to churn the committed file.
+type timingEntry struct {
+	Algorithm string  `json:"algorithm"`
+	WallMS    float64 `json:"wall_ms"`
 }
 
 func corpusInstances(t *testing.T) map[string]*Hypergraph {
@@ -80,6 +91,7 @@ func TestGoldenCorpus(t *testing.T) {
 		got[name] = make(map[string]int, len(algos))
 	}
 	bench := make([]benchEntry, 0, len(algos))
+	timings := make([]timingEntry, 0, len(algos))
 	names := make([]string, 0, len(insts))
 	for name := range insts {
 		names = append(names, name)
@@ -94,16 +106,23 @@ func TestGoldenCorpus(t *testing.T) {
 			entry.Cuts[name] = cut
 			entry.TotalCut += cut
 		}
-		entry.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+		timings = append(timings, timingEntry{Algorithm: a.Name,
+			WallMS: float64(time.Since(begin).Microseconds()) / 1000})
 		bench = append(bench, entry)
 	}
 
-	// The perf trail is emitted on every full run, pass or fail.
+	// The perf trail is emitted on every full run, pass or fail: the
+	// deterministic cuts in the committed file, the wall times in the
+	// gitignored sidecar.
 	writeJSON(t, "BENCH_verify.json", struct {
 		Config  AlgoConfig   `json:"config"`
 		Corpus  int          `json:"corpus_size"`
 		Entries []benchEntry `json:"algorithms"`
 	}{goldenConfig, len(insts), bench})
+	writeJSON(t, "BENCH_verify.timing.json", struct {
+		Corpus  int           `json:"corpus_size"`
+		Entries []timingEntry `json:"algorithms"`
+	}{len(insts), timings})
 
 	goldenPath := filepath.Join("testdata", "golden.json")
 	if *updateGolden {
