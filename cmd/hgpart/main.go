@@ -32,6 +32,10 @@
 //
 //	hgpart -in netlist.nets -algo fm -starts 50 -checkpoint run.ckpt -resume
 //
+// -cpuprofile and -memprofile write pprof profiles of the run (the CPU
+// profile covers everything after flag parsing; the heap profile is
+// captured after a final GC on exit) for use with go tool pprof.
+//
 // Every error path prints to stderr and exits non-zero (2 for flag
 // errors, 1 for everything else); partial results are never reported
 // with a success status.
@@ -43,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -77,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptPath   = fs.String("checkpoint", "", "crash-safe journal path: every completed start is fsynced there as the run progresses")
 		resume     = fs.Bool("resume", false, "with -checkpoint: resume an interrupted run from the journal (bit-for-bit identical result); a missing journal starts fresh")
 		faults     = fs.String("faultinject", "", "fault-injection spec, e.g. 'panic@engine.start:2' (also read from FASTHGP_FAULTS)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 		stats      = fs.Bool("stats", false, "print engine multi-start statistics")
 		doVerify   = fs.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
 		verbose    = fs.Bool("v", false, "print the side of every module")
@@ -92,6 +100,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hgpart: -in is required")
 		fs.Usage()
 		return 2
+	}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Written on every exit path so a profile survives even a failed
+		// run; GC first so the heap profile reflects live objects.
+		defer func() {
+			pf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "hgpart: memprofile:", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintln(stderr, "hgpart: memprofile:", err)
+			}
+		}()
 	}
 	if spec := *faults; spec != "" || os.Getenv("FASTHGP_FAULTS") != "" {
 		if spec == "" {

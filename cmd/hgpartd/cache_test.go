@@ -1,0 +1,138 @@
+package main
+
+// Correctness tests for the fingerprint-keyed result cache: identical
+// resubmissions must return the byte-identical body while only the hit
+// counter moves; any change to the netlist or to a result-affecting
+// option must miss; degraded responses must never be stored; and the
+// LRU bound must hold.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func cacheCounters(t *testing.T, s *server) (hits, misses, size int64) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	var body struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+			Size   int64 `json:"size"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Cache.Hits, body.Cache.Misses, body.Cache.Size
+}
+
+func TestCacheHitReturnsIdenticalBody(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.cacheSize = 8 })
+	h := s.handler()
+
+	first := post(t, h, "/partition?seed=3", testNets)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first = %d: %s", first.Code, first.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 1 {
+		t.Fatalf("after first request: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	second := post(t, h, "/partition?seed=3", testNets)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second = %d: %s", second.Code, second.Body)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("cache hit body differs:\nfirst:  %s\nsecond: %s", first.Body, second.Body)
+	}
+	if hits, misses, size := cacheCounters(t, s); hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("after resubmission: hits=%d misses=%d size=%d, want 1/1/1", hits, misses, size)
+	}
+}
+
+func TestCacheMissOnMutatedNetlistOrOptions(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.cacheSize = 8 })
+	h := s.handler()
+
+	if rec := post(t, h, "/partition?seed=3", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("seed run = %d: %s", rec.Code, rec.Body)
+	}
+
+	// One extra net: the fingerprint must discriminate.
+	mutated := testNets + "net n5 a f\n"
+	if rec := post(t, h, "/partition?seed=3", mutated); rec.Code != http.StatusOK {
+		t.Fatalf("mutated run = %d: %s", rec.Code, rec.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 2 {
+		t.Fatalf("mutated netlist: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// Same netlist, different result-affecting option: also a miss.
+	if rec := post(t, h, "/partition?seed=4", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("reseeded run = %d: %s", rec.Code, rec.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 3 {
+		t.Fatalf("different seed: hits=%d misses=%d, want 0/3", hits, misses)
+	}
+}
+
+func TestCacheKeyCanonicalizesDefaults(t *testing.T) {
+	// Spelling out the configured defaults must share a cache line with
+	// omitting them.
+	s := testServer(func(c *serverConfig) { c.cacheSize = 8 })
+	h := s.handler()
+	if rec := post(t, h, "/partition", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("defaulted = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/partition?starts=2&seed=1", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("explicit = %d: %s", rec.Code, rec.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 1 || misses != 1 {
+		t.Fatalf("canonicalization: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheDisabledByDefaultConfigZero(t *testing.T) {
+	s := testServer() // testServer sets cacheSize 0 unless overridden
+	h := s.handler()
+	for i := 0; i < 2; i++ {
+		if rec := post(t, h, "/partition?seed=3", testNets); rec.Code != http.StatusOK {
+			t.Fatalf("run %d = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !strings.Contains(rec.Body.String(), `"cache":false`) {
+		t.Fatalf("healthz should report cache:false when disabled: %s", rec.Body)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := newResultCache(2)
+	k := func(i uint64) cacheKey { return cacheKey{fingerprint: i, opts: "o"} }
+	c.put(k(1), partitionResponse{JobID: "a"})
+	c.put(k(2), partitionResponse{JobID: "b"})
+	if _, ok := c.get(k(1)); !ok { // bump 1 to most recent
+		t.Fatal("entry 1 evicted early")
+	}
+	c.put(k(3), partitionResponse{JobID: "c"}) // evicts 2, the LRU
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("LRU entry 2 not evicted at capacity")
+	}
+	for _, i := range []uint64{1, 3} {
+		if _, ok := c.get(k(i)); !ok {
+			t.Fatalf("entry %d wrongly evicted", i)
+		}
+	}
+	if snap := c.snapshot(); snap["size"] != 2 {
+		t.Fatalf("size = %v, want 2", snap["size"])
+	}
+}

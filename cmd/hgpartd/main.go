@@ -32,6 +32,13 @@
 // and its budget share rolls to the tiers that run — until
 // -breaker-cooldown admits a single probe request.
 //
+// Results are cached (-cache entries, LRU; 0 disables): a request
+// whose netlist fingerprint and effective options match an earlier
+// non-degraded success is answered from memory with the original body.
+// Hit/miss counters appear on /healthz and /stats. With -pprof ADDR
+// the daemon additionally serves net/http/pprof on a separate listener
+// (off by default).
+//
 // Example:
 //
 //	hgpartd -addr :8080 -queue 4 -wal /var/lib/hgpartd/wal -max-heap 1073741824 &
@@ -46,6 +53,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -79,6 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxHeap      = fs.Uint64("max-heap", 0, "live-heap watermark in bytes; above it new requests are shed with 503 (0 = off)")
 		brkThresh    = fs.Int("breaker-threshold", 3, "consecutive failures tripping a tier's circuit breaker (0 = breakers off)")
 		brkCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker skips its tier before probing")
+		cacheSize    = fs.Int("cache", 128, "result-cache entries, keyed by netlist fingerprint + options (0 = off)")
+		pprofAddr    = fs.String("pprof", "", "listen address for net/http/pprof, e.g. 127.0.0.1:6060 (empty = off)")
 		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'latency@hgpartd.request:0=2s' (also read from FASTHGP_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxHeap:          *maxHeap,
 		breakerThreshold: *brkThresh,
 		breakerCooldown:  *brkCooldown,
+		cacheSize:        *cacheSize,
 	}
 	if *chain != "" {
 		cfg.chain = strings.Split(*chain, ",")
@@ -134,6 +145,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 				*walPath, len(replayed), len(pending))
 		}
 		s.requeue(pending)
+	}
+
+	// Profiling endpoint, off by default and on its own listener + mux
+	// so the serving port never exposes /debug/pprof.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fail(err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(stdout, "hgpartd: pprof listening on %s\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pmux) }()
 	}
 
 	// Listen before Serve so :0 resolves and the real address is

@@ -34,6 +34,7 @@ type serverConfig struct {
 	maxHeap          uint64        // live-heap watermark; above it new work is shed with 503 (0 = off)
 	breakerThreshold int           // consecutive tier failures tripping its breaker (0 = breakers off)
 	breakerCooldown  time.Duration // open-breaker cooldown before a probe
+	cacheSize        int           // result-cache entries (0 = caching off)
 }
 
 // server carries the daemon state: the admission semaphore, the job
@@ -44,9 +45,10 @@ type server struct {
 	sem      chan struct{} // admission tokens; full queue = 429
 	begin    time.Time
 	jobs     *jobTable
-	wal      *wal                 // nil = WAL disabled
-	breakers *fasthgp.BreakerSet  // nil = breakers disabled
-	mem      *memWatcher          // nil = shedding disabled
+	wal      *wal                // nil = WAL disabled
+	breakers *fasthgp.BreakerSet // nil = breakers disabled
+	mem      *memWatcher         // nil = shedding disabled
+	cache    *resultCache        // nil = result caching disabled
 
 	requests   atomic.Int64 // partition requests admitted or rejected
 	inFlight   atomic.Int64
@@ -72,6 +74,7 @@ func newServer(cfg serverConfig) *server {
 		begin: time.Now(),
 		jobs:  newJobTable(),
 		mem:   newMemWatcher(cfg.maxHeap),
+		cache: newResultCache(cfg.cacheSize),
 	}
 	if cfg.breakerThreshold > 0 {
 		s.breakers = fasthgp.NewBreakerSet(fasthgp.BreakerConfig{
@@ -143,7 +146,7 @@ func (s *server) runRecovered(p pendingJob) {
 		failJob(err)
 		return
 	}
-	opts, err := s.portfolioOptions(q)
+	opts, _, err := s.portfolioOptions(q)
 	if err != nil {
 		failJob(err)
 		return
@@ -253,10 +256,23 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts, err := s.portfolioOptions(r.URL.Query())
+	opts, optsKey, err := s.portfolioOptions(r.URL.Query())
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+
+	// Result cache: an identical (netlist fingerprint, options) pair is
+	// answered from memory with the originally computed body — same
+	// job_id, no WAL record, no engine run. Only non-degraded successes
+	// are ever stored, so a hit is always a full-fidelity answer.
+	var ck cacheKey
+	if s.cache != nil {
+		ck = cacheKey{fingerprint: fingerprintFor(h), opts: optsKey}
+		if resp, ok := s.cache.get(ck); ok {
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
 	}
 
 	// The request is now accepted: give it a job id and journal it
@@ -271,6 +287,9 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("partition failed: %v", err))
 		return
+	}
+	if s.cache != nil && !resp.Degraded {
+		s.cache.put(ck, resp)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -348,8 +367,13 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // portfolioOptions merges per-request query parameters over the
-// daemon's configured defaults.
-func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, error) {
+// daemon's configured defaults. Alongside the option list it returns
+// the canonical key string for the result cache: every parameter that
+// can change the computed partition (chain, starts, seed, budget) in a
+// fixed rendering, after defaulting — so ?starts=8 and an absent
+// starts under the default 8 share a cache line. Parallelism is
+// excluded: the engine guarantees it never changes the result.
+func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, string, error) {
 	chain, starts, seed, budget := s.cfg.chain, s.cfg.starts, s.cfg.seed, s.cfg.budget
 	if v := q.Get("chain"); v != "" {
 		chain = strings.Split(v, ",")
@@ -357,21 +381,21 @@ func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, erro
 	if v := q.Get("starts"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad starts %q", v)
+			return nil, "", fmt.Errorf("bad starts %q", v)
 		}
 		starts = n
 	}
 	if v := q.Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad seed %q", v)
+			return nil, "", fmt.Errorf("bad seed %q", v)
 		}
 		seed = n
 	}
 	if v := q.Get("budget"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			return nil, fmt.Errorf("bad budget %q", v)
+			return nil, "", fmt.Errorf("bad budget %q", v)
 		}
 		budget = d
 	}
@@ -388,7 +412,9 @@ func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, erro
 	if s.breakers != nil {
 		opts = append(opts, fasthgp.WithBreakers(s.breakers))
 	}
-	return opts, nil
+	key := fmt.Sprintf("chain=%s starts=%d seed=%d budget=%s",
+		strings.Join(chain, ","), starts, seed, budget)
+	return opts, key, nil
 }
 
 // handleHealthz is the liveness/readiness probe. It always answers
@@ -423,6 +449,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			reasons = append(reasons, "live heap above shedding watermark")
 		}
 	}
+	if s.cache != nil {
+		resp["cache"] = s.cache.snapshot()
+	} else {
+		resp["cache"] = false
+	}
 	if s.wal != nil {
 		resp["wal"] = true
 		resp["last_checkpoint_age_ms"] = s.wal.lastAppendAge().Milliseconds()
@@ -441,7 +472,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var cache any = false
+	if s.cache != nil {
+		cache = s.cache.snapshot()
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
+		"cache":            cache,
 		"requests":         s.requests.Load(),
 		"in_flight":        s.inFlight.Load(),
 		"ok":               s.ok200.Load(),

@@ -30,40 +30,53 @@ func CompleteCutGreedy(bg *BoundaryGraph) []bool {
 func completeCutGreedy(bg *BoundaryGraph, scratch *engine.Scratch) []bool {
 	g := bg.G
 	n := g.NumVertices()
-	var winner, alive []bool
-	var deg []int
-	if scratch != nil {
-		winner = scratch.Bools(n)
-		alive = scratch.Bools(n)
-		deg = scratch.Ints(n)
-	} else {
-		winner = make([]bool, n)
-		alive = make([]bool, n)
-		deg = make([]int, n)
-	}
-	maxd := 0
+	winner := leaseBools(scratch, n)
+	alive := leaseBools(scratch, n)
+	deg := leaseInts(scratch, n)
+	maxd := g.MaxDegree()
 	for v := 0; v < n; v++ {
 		alive[v] = true
 		deg[v] = g.Degree(v)
-		if deg[v] > maxd {
-			maxd = deg[v]
-		}
 	}
 	// Lazy bucket queue over degrees: vertices are (re)pushed whenever
 	// their degree drops; stale entries are skipped on pop. Each vertex
-	// is pushed at most 1+deg times, so the loop is O(V + E) amortized.
-	buckets := make([][]int, maxd+1)
+	// is pushed once initially and at most once per incident edge, so
+	// entries fit in n + 2·|E′| slots and the loop is O(V + E)
+	// amortized. The queue is stored as flat per-degree FIFO lists
+	// (heads/tails index entry+1, 0 meaning empty) over two entry
+	// arrays, so the whole structure leases from the arena instead of
+	// allocating a slice per degree — and pop order is exactly the
+	// per-bucket FIFO order of the slice-of-slices formulation, which
+	// the golden corpus pins down.
+	entryCap := n + 2*g.NumEdges()
+	heads := leaseInts(scratch, maxd+1)
+	tails := leaseInts(scratch, maxd+1)
+	entryNext := leaseInts(scratch, entryCap)
+	entryVert := leaseInts(scratch, entryCap)
+	nEntries := 0
 	for v := 0; v < n; v++ {
-		buckets[deg[v]] = append(buckets[deg[v]], v)
+		entryVert[nEntries] = v
+		entryNext[nEntries] = 0
+		if tails[deg[v]] == 0 {
+			heads[deg[v]] = nEntries + 1
+		} else {
+			entryNext[tails[deg[v]]-1] = nEntries + 1
+		}
+		tails[deg[v]] = nEntries + 1
+		nEntries++
 	}
 	d := 0
 	for d <= maxd {
-		if len(buckets[d]) == 0 {
+		e := heads[d]
+		if e == 0 {
 			d++
 			continue
 		}
-		v := buckets[d][0]
-		buckets[d] = buckets[d][1:]
+		heads[d] = entryNext[e-1]
+		if heads[d] == 0 {
+			tails[d] = 0
+		}
+		v := entryVert[e-1]
 		if !alive[v] || deg[v] != d {
 			continue // stale entry
 		}
@@ -75,12 +88,21 @@ func completeCutGreedy(bg *BoundaryGraph, scratch *engine.Scratch) []bool {
 			}
 			alive[u] = false // loser
 			for _, w := range g.Neighbors(u) {
-				if alive[w] {
-					deg[w]--
-					buckets[deg[w]] = append(buckets[deg[w]], w)
-					if deg[w] < d {
-						d = deg[w]
-					}
+				if !alive[w] {
+					continue
+				}
+				deg[w]--
+				entryVert[nEntries] = w
+				entryNext[nEntries] = 0
+				if tails[deg[w]] == 0 {
+					heads[deg[w]] = nEntries + 1
+				} else {
+					entryNext[tails[deg[w]]-1] = nEntries + 1
+				}
+				tails[deg[w]] = nEntries + 1
+				nEntries++
+				if deg[w] < d {
+					d = deg[w]
 				}
 			}
 		}

@@ -290,7 +290,7 @@ func better(h *hypergraph.Hypergraph, a, b *Result, obj Objective) bool {
 // arena (may be nil) backs buffers that die with the start.
 func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options, scratch *engine.Scratch) *Result {
 	u, v, depth := ig.G.LongestBFSPath(rng)
-	pb := PartialFromCutPolicy(h, ig, u, v, opts.BalancedBFS)
+	pb := partialFromCut(h, ig, u, v, opts.BalancedBFS, scratch)
 
 	var winner []bool
 	switch opts.Completion {
@@ -303,7 +303,7 @@ func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opt
 	}
 
 	p, losers := pb.Apply(h, winner)
-	assignLeftovers(h, p)
+	assignLeftovers(h, p, scratch)
 
 	repaired := false
 	if l, r, _ := p.Counts(); l == 0 || r == 0 {
@@ -357,16 +357,17 @@ func majorityFallback(h *hypergraph.Hypergraph, pb *Partial) *partition.Bipartit
 			p.Assign(m, partition.Right)
 		}
 	}
-	assignLeftovers(h, p)
+	assignLeftovers(h, p, nil)
 	return p
 }
 
 // assignLeftovers places every still-unassigned module (modules
 // belonging only to loser or excluded nets, or to no net at all) on the
 // lighter side, heaviest first — the first-fit-decreasing flavor of the
-// paper's weight packing.
-func assignLeftovers(h *hypergraph.Hypergraph, p *partition.Bipartition) {
-	var leftovers []int
+// paper's weight packing. The leftover list leases from the scratch
+// arena when one is available.
+func assignLeftovers(h *hypergraph.Hypergraph, p *partition.Bipartition, scratch *engine.Scratch) {
+	leftovers := leaseInts(scratch, h.NumVertices())[:0]
 	for m := 0; m < h.NumVertices(); m++ {
 		if p.Side(m) == partition.Unassigned {
 			leftovers = append(leftovers, m)

@@ -3,11 +3,38 @@ package core
 import (
 	"sort"
 
+	"fasthgp/internal/engine"
 	"fasthgp/internal/graph"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/intersect"
 	"fasthgp/internal/partition"
 )
+
+// The lease helpers draw a buffer from the multi-start scratch arena
+// when one is available and fall back to a fresh allocation otherwise,
+// so the public entry points (nil scratch) keep their allocate-and-
+// forget semantics while the engine's hot path reuses everything.
+
+func leaseInts(s *engine.Scratch, n int) []int {
+	if s != nil {
+		return s.Ints(n)
+	}
+	return make([]int, n)
+}
+
+func leaseBools(s *engine.Scratch, n int) []bool {
+	if s != nil {
+		return s.Bools(n)
+	}
+	return make([]bool, n)
+}
+
+func leaseSides(s *engine.Scratch, n int) []partition.Side {
+	if s != nil {
+		return s.Sides(n)
+	}
+	return make([]partition.Side, n)
+}
 
 // BoundaryGraph is the bipartite graph G′ on the boundary set of a cut
 // in the intersection graph: its vertices are the boundary nets and its
@@ -53,18 +80,32 @@ func PartialFromCut(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int) *P
 // alternation (the paper's prescription); balanced=true expands the
 // side that has claimed fewer vertices (ablated in the benchmarks).
 func PartialFromCutPolicy(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, balanced bool) *Partial {
+	return partialFromCut(h, ig, u, v, balanced, nil)
+}
+
+// partialFromCut is PartialFromCutPolicy drawing every working buffer —
+// the double-BFS side labeling and frontiers, the net-side and boundary
+// flags, and the boundary graph's CSR itself — from the multi-start
+// scratch arena when one is available. A Partial built with a non-nil
+// scratch must not outlive the start that leased it (the engine zeroes
+// and reuses the buffers on Release); runOnce copies what it keeps.
+func partialFromCut(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, balanced bool, s *engine.Scratch) *Partial {
 	g := ig.G
+	n := g.NumVertices()
+	sideBuf := leaseInts(s, n)
+	f0 := leaseInts(s, n)[:0]
+	f1 := leaseInts(s, n)[:0]
+	next := leaseInts(s, n)[:0]
 	var raw []int
 	if balanced {
-		raw = g.DoubleBFSSidesBalanced(u, v)
+		raw = g.DoubleBFSSidesBalancedInto(u, v, sideBuf, f0, f1, next)
 	} else {
-		raw = g.DoubleBFSSides(u, v)
+		raw = g.DoubleBFSSidesInto(u, v, sideBuf, f0, f1, next)
 	}
-	n := g.NumVertices()
 	pb := &Partial{
 		IG:         ig,
-		NetSide:    make([]partition.Side, n),
-		IsBoundary: make([]bool, n),
+		NetSide:    leaseSides(s, n),
+		IsBoundary: leaseBools(s, n),
 		U:          u,
 		V:          v,
 	}
@@ -88,42 +129,70 @@ func PartialFromCutPolicy(h *hypergraph.Hypergraph, ig *intersect.Result, u, v i
 			}
 		}
 	}
-	pb.Boundary = buildBoundaryGraph(ig, pb.NetSide, pb.IsBoundary)
+	pb.Boundary = buildBoundaryGraph(ig, pb.NetSide, pb.IsBoundary, s)
 	return pb
 }
 
-// buildBoundaryGraph extracts G′ from the cut labeling.
-func buildBoundaryGraph(ig *intersect.Result, side []partition.Side, isBoundary []bool) *BoundaryGraph {
+// buildBoundaryGraph extracts G′ from the cut labeling by direct CSR
+// construction: one counting pass over the boundary rows, a prefix sum,
+// and one emission pass. Only cross edges are kept — same-side edges
+// are deleted, which is what makes G′ bipartite. Because boundary-graph
+// indices are assigned in ascending G order and Neighbors lists are
+// sorted, every emitted row is already sorted, so the CSR needs no
+// sort or dedup pass (G is simple, so no duplicates can arise).
+func buildBoundaryGraph(ig *intersect.Result, side []partition.Side, isBoundary []bool, s *engine.Scratch) *BoundaryGraph {
 	g := ig.G
-	bgIndex := make([]int, g.NumVertices())
+	n := g.NumVertices()
+	bgIndex := leaseInts(s, n)
 	bg := &BoundaryGraph{}
-	for i := 0; i < g.NumVertices(); i++ {
+	nb := 0
+	for i := 0; i < n; i++ {
 		if isBoundary[i] {
-			bgIndex[i] = len(bg.Nets)
-			bg.Nets = append(bg.Nets, ig.NetOf[i])
-			bg.SideOf = append(bg.SideOf, side[i])
+			bgIndex[i] = nb
+			nb++
 		} else {
 			bgIndex[i] = -1
 		}
 	}
-	b := graph.NewBuilder(len(bg.Nets))
-	for i := 0; i < g.NumVertices(); i++ {
-		if !isBoundary[i] {
+	if nb > 0 {
+		bg.Nets = leaseInts(s, nb)
+		bg.SideOf = leaseSides(s, nb)
+	}
+	start := leaseInts(s, nb+1)
+	for i := 0; i < n; i++ {
+		bi := bgIndex[i]
+		if bi < 0 {
+			continue
+		}
+		bg.Nets[bi] = ig.NetOf[i]
+		bg.SideOf[bi] = side[i]
+		deg := 0
+		for _, j := range g.Neighbors(i) {
+			if isBoundary[j] && side[j] != side[i] {
+				deg++
+			}
+		}
+		start[bi+1] = deg
+	}
+	for k := 0; k < nb; k++ {
+		start[k+1] += start[k]
+	}
+	adj := leaseInts(s, start[nb])
+	cursor := leaseInts(s, nb)
+	copy(cursor, start[:nb])
+	for i := 0; i < n; i++ {
+		bi := bgIndex[i]
+		if bi < 0 {
 			continue
 		}
 		for _, j := range g.Neighbors(i) {
-			// Keep only cross edges; same-side edges are deleted, which
-			// is what makes G′ bipartite.
-			if j > i && isBoundary[j] && side[j] != side[i] {
-				b.AddEdge(bgIndex[i], bgIndex[j])
+			if isBoundary[j] && side[j] != side[i] {
+				adj[cursor[bi]] = bgIndex[j]
+				cursor[bi]++
 			}
 		}
 	}
-	g2, err := b.Build()
-	if err != nil {
-		panic("core: boundary graph build: " + err.Error())
-	}
-	bg.G = g2
+	bg.G = graph.UncheckedCSR(start, adj)
 	return bg
 }
 

@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+
+	"fasthgp/internal/partition"
+)
 
 // Scratch is a per-worker arena of reusable working buffers — BFS
 // queues, side arrays, gain arrays, candidate lists — so that parallel
@@ -17,6 +21,7 @@ type Scratch struct {
 	freeInts, usedInts     [][]int
 	freeBools, usedBools   [][]bool
 	freeInt64s, usedInt64s [][]int64
+	freeSides, usedSides   [][]partition.Side
 }
 
 // Ints leases a zeroed []int of length n from the arena.
@@ -70,6 +75,27 @@ func (s *Scratch) Int64s(n int) []int64 {
 	return buf
 }
 
+// Sides leases a zeroed []partition.Side of length n from the arena.
+// Note the zero Side is Left, not Unassigned — callers that need the
+// "nothing placed yet" state must fill with partition.Unassigned
+// themselves. Side arrays are the working currency of every
+// partitioner's per-start state, so they get their own free list.
+func (s *Scratch) Sides(n int) []partition.Side {
+	for k := len(s.freeSides) - 1; k >= 0; k-- {
+		if cap(s.freeSides[k]) >= n {
+			buf := s.freeSides[k][:n]
+			s.freeSides[k] = s.freeSides[len(s.freeSides)-1]
+			s.freeSides = s.freeSides[:len(s.freeSides)-1]
+			clear(buf)
+			s.usedSides = append(s.usedSides, buf)
+			return buf
+		}
+	}
+	buf := make([]partition.Side, n)
+	s.usedSides = append(s.usedSides, buf)
+	return buf
+}
+
 // Release reclaims every leased buffer back into the free lists. The
 // engine calls it after each start; algorithms running several
 // independent phases within one start may also call it themselves.
@@ -80,6 +106,8 @@ func (s *Scratch) Release() {
 	s.usedBools = s.usedBools[:0]
 	s.freeInt64s = append(s.freeInt64s, s.usedInt64s...)
 	s.usedInt64s = s.usedInt64s[:0]
+	s.freeSides = append(s.freeSides, s.usedSides...)
+	s.usedSides = s.usedSides[:0]
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

@@ -18,8 +18,9 @@ import (
 // Graph is an immutable simple undirected graph with vertices
 // 0..N-1, stored in CSR adjacency form.
 type Graph struct {
-	start []int
-	adj   []int
+	start  []int
+	adj    []int
+	maxDeg int // computed once at construction; see MaxDegree
 }
 
 // NumVertices returns the vertex count.
@@ -35,15 +36,20 @@ func (g *Graph) Neighbors(v int) []int { return g.adj[g.start[v]:g.start[v+1]] }
 // Degree returns the degree of vertex v.
 func (g *Graph) Degree(v int) int { return g.start[v+1] - g.start[v] }
 
-// MaxDegree returns the maximum degree, or 0 for an empty graph.
-func (g *Graph) MaxDegree() int {
+// MaxDegree returns the maximum degree, or 0 for an empty graph. The
+// value is computed once at construction (the graph is immutable), so
+// callers in hot loops — bucket-queue sizing in particular — pay O(1).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// computeMaxDeg scans the start offsets; called by every constructor.
+func (g *Graph) computeMaxDeg() {
 	m := 0
-	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.Degree(v); d > m {
+	for v := 0; v < len(g.start)-1; v++ {
+		if d := g.start[v+1] - g.start[v]; d > m {
 			m = d
 		}
 	}
-	return m
+	g.maxDeg = m
 }
 
 // HasEdge reports whether {u,v} is an edge, by binary search.
@@ -121,7 +127,77 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.start[b.n] = len(adj)
 	g.adj = adj
+	g.computeMaxDeg()
 	return g, nil
+}
+
+// FromCSR adopts caller-built CSR arrays as a Graph after validating
+// every structural invariant with ValidateCSR. start must have length
+// n+1 with start[0] == 0 and start[n] == len(adj); row v is
+// adj[start[v]:start[v+1]] and must be strictly ascending (simple, no
+// self-loop) and symmetric. The slices are adopted, not copied.
+func FromCSR(start, adj []int) (*Graph, error) {
+	g := &Graph{start: start, adj: adj}
+	if err := g.ValidateCSR(); err != nil {
+		return nil, err
+	}
+	g.computeMaxDeg()
+	return g, nil
+}
+
+// UncheckedCSR adopts caller-built CSR arrays without validation — the
+// zero-copy constructor for hot paths whose arrays are generated
+// internally (the intersection-graph and boundary-graph builders).
+// Callers must uphold the ValidateCSR invariants; the differential and
+// fuzz suites check them after the fact.
+func UncheckedCSR(start, adj []int) *Graph {
+	g := &Graph{start: start, adj: adj}
+	g.computeMaxDeg()
+	return g
+}
+
+// ValidateCSR checks the representation invariants of the CSR arrays:
+// monotone offsets, in-range endpoints, rows sorted strictly ascending
+// (which implies simplicity: no parallel edges, no self-loops once
+// symmetry holds), and symmetry (u lists v iff v lists u). It is the
+// oracle behind FromCSR and the construction fuzz targets.
+func (g *Graph) ValidateCSR() error {
+	n := len(g.start) - 1
+	if n < 0 {
+		return fmt.Errorf("graph: csr: start array is empty")
+	}
+	if g.start[0] != 0 || g.start[n] != len(g.adj) {
+		return fmt.Errorf("graph: csr: start bounds [%d,%d], want [0,%d]", g.start[0], g.start[n], len(g.adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.start[v+1] < g.start[v] {
+			return fmt.Errorf("graph: csr: start not monotone at vertex %d", v)
+		}
+		row := g.adj[g.start[v]:g.start[v+1]]
+		for i, u := range row {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: csr: vertex %d lists out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: csr: vertex %d has a self-loop", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: csr: row of vertex %d not strictly ascending at position %d", v, i)
+			}
+		}
+	}
+	// Symmetry: every arc must have its reverse. Rows are sorted, so
+	// binary search keeps this O(E log maxdeg) with no allocation.
+	for v := 0; v < n; v++ {
+		for _, u := range g.adj[g.start[v]:g.start[v+1]] {
+			rev := g.adj[g.start[u]:g.start[u+1]]
+			i := sort.SearchInts(rev, v)
+			if i >= len(rev) || rev[i] != v {
+				return fmt.Errorf("graph: csr: arc %d->%d has no reverse", v, u)
+			}
+		}
+	}
+	return nil
 }
 
 // MustBuild is Build that panics on error; for tests and examples.
@@ -336,19 +412,30 @@ func (g *Graph) IsBipartite() (color []int, ok bool) {
 // suite.
 func (g *Graph) DoubleBFSSides(u, v int) []int {
 	n := g.NumVertices()
-	side := make([]int, n)
+	return g.DoubleBFSSidesInto(u, v,
+		make([]int, n), make([]int, 0, n), make([]int, 0, n), make([]int, 0, n))
+}
+
+// DoubleBFSSidesInto is DoubleBFSSides writing into caller-provided
+// buffers, for allocation-free multi-start runs: side must have length
+// NumVertices; f0, f1 and next are frontier buffers (their contents are
+// ignored; capacity NumVertices avoids growth). The returned labeling
+// aliases side.
+func (g *Graph) DoubleBFSSidesInto(u, v int, side, f0, f1, next []int) []int {
+	n := g.NumVertices()
+	side = side[:n]
 	for i := range side {
 		side[i] = Unreached
 	}
 	if n == 0 {
 		return side
 	}
-	frontiers := [2][]int{{u}, {v}}
+	frontiers := [2][]int{append(f0[:0], u), append(f1[:0], v)}
 	side[u] = 0
 	if v != u {
 		side[v] = 1
 	}
-	next := make([]int, 0, n)
+	next = next[:0]
 	for len(frontiers[0]) > 0 || len(frontiers[1]) > 0 {
 		for s := 0; s < 2; s++ {
 			next = next[:0]
@@ -380,23 +467,31 @@ func (g *Graph) DoubleBFSSides(u, v int) []int {
 // cost of no longer matching the paper's plain prescription.
 func (g *Graph) DoubleBFSSidesBalanced(u, v int) []int {
 	n := g.NumVertices()
-	side := make([]int, n)
+	return g.DoubleBFSSidesBalancedInto(u, v,
+		make([]int, n), make([]int, 0, n), make([]int, 0, n), make([]int, 0, n))
+}
+
+// DoubleBFSSidesBalancedInto is DoubleBFSSidesBalanced writing into
+// caller-provided buffers, mirroring DoubleBFSSidesInto.
+func (g *Graph) DoubleBFSSidesBalancedInto(u, v int, side, f0, f1, next []int) []int {
+	n := g.NumVertices()
+	side = side[:n]
 	for i := range side {
 		side[i] = Unreached
 	}
 	if n == 0 {
 		return side
 	}
-	frontiers := [2][]int{{u}, {v}}
+	frontiers := [2][]int{append(f0[:0], u), append(f1[:0], v)}
 	claimed := [2]int{1, 0}
 	side[u] = 0
 	if v != u {
 		side[v] = 1
 		claimed[1] = 1
 	} else {
-		frontiers[1] = nil
+		frontiers[1] = frontiers[1][:0]
 	}
-	next := make([]int, 0, n)
+	next = next[:0]
 	for len(frontiers[0]) > 0 || len(frontiers[1]) > 0 {
 		s := 0
 		switch {

@@ -14,9 +14,21 @@
 // practice, increases the diameter of G (sparser G ⇒ smaller boundary
 // set). Options.Threshold implements that filtering; excluded nets are
 // reported so callers can account for them when scoring the final cut.
+//
+// Build is the production constructor: a two-pass counting construction
+// straight into CSR form. Pass one counts each G-vertex's deduplicated
+// degree, pass two emits arcs directly into their final slots; both
+// passes deduplicate with a per-net lastSeen stamp array instead of
+// buffering the Σ d·(d−1)/2 per-module clique pairs, and emitting in
+// ascending source order leaves every CSR row sorted without a single
+// sort call. The only allocations are the output arrays themselves —
+// working stamps come from a sync.Pool — and the Result is bit-
+// identical to BuildReference's, which the differential suite enforces.
 package intersect
 
 import (
+	"sync"
+
 	"fasthgp/internal/graph"
 	"fasthgp/internal/hypergraph"
 )
@@ -49,51 +61,108 @@ type Result struct {
 // NumIncluded returns the number of nets represented in G.
 func (r *Result) NumIncluded() int { return len(r.NetOf) }
 
+// buildScratch holds the per-net stamp and cursor arrays of one Build.
+// Pooled: construction runs once per partitioning call, but daemon
+// traffic makes that a steady drumbeat, and the arrays are O(nets).
+type buildScratch struct {
+	lastSeen []int
+	cursor   []int
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // Build constructs the intersection graph of h under opts.
 //
-// Complexity: for each module of degree d it emits d·(d−1)/2 candidate
-// edges; with the bounded module degree of circuit netlists this is
-// O(pins · maxdeg), within the paper's O(n²) budget.
+// Complexity: both passes walk, for every included net, the incident
+// nets of each of its modules — O(pins · maxdeg) total, within the
+// paper's O(n²) budget — and the peak transient memory is two O(nets)
+// integer arrays, not the O(Σ d²) pair buffer of BuildReference.
 func Build(h *hypergraph.Hypergraph, opts Options) *Result {
 	numEdges := h.NumEdges()
 	res := &Result{GVertexOf: make([]int, numEdges)}
-	include := make([]bool, numEdges)
+
+	// Net filtering: one sizing pass so NetOf and Excluded are
+	// allocated exactly (nil when empty, matching BuildReference).
+	included := numEdges
+	if opts.Threshold > 0 {
+		included = 0
+		for e := 0; e < numEdges; e++ {
+			if h.EdgeSize(e) < opts.Threshold {
+				included++
+			}
+		}
+	}
+	if included > 0 {
+		res.NetOf = make([]int, 0, included)
+	}
+	if excluded := numEdges - included; excluded > 0 {
+		res.Excluded = make([]int, 0, excluded)
+	}
 	for e := 0; e < numEdges; e++ {
 		if opts.Threshold > 0 && h.EdgeSize(e) >= opts.Threshold {
 			res.GVertexOf[e] = -1
 			res.Excluded = append(res.Excluded, e)
 			continue
 		}
-		include[e] = true
 		res.GVertexOf[e] = len(res.NetOf)
 		res.NetOf = append(res.NetOf, e)
 	}
 
-	b := graph.NewBuilder(len(res.NetOf))
-	for v := 0; v < h.NumVertices(); v++ {
-		inc := h.VertexEdges(v)
-		for i := 0; i < len(inc); i++ {
-			ei := inc[i]
-			if !include[ei] {
-				continue
-			}
-			gi := res.GVertexOf[ei]
-			for j := i + 1; j < len(inc); j++ {
-				ej := inc[j]
-				if !include[ej] {
+	nG := len(res.NetOf)
+	sc := buildPool.Get().(*buildScratch)
+	if cap(sc.lastSeen) < nG {
+		sc.lastSeen = make([]int, nG)
+		sc.cursor = make([]int, nG)
+	}
+	lastSeen := sc.lastSeen[:nG]
+	clear(lastSeen) // stale stamps from a previous Build would alias
+
+	// Pass 1 — counting. For source vertex src, every incident net of
+	// every module of net NetOf[src] is a neighbor candidate; the stamp
+	// src+1 marks candidates already counted for this src, so each
+	// unordered pair contributes exactly one arc per direction.
+	start := make([]int, nG+1)
+	for src := 0; src < nG; src++ {
+		stamp := src + 1
+		for _, m := range h.EdgePins(res.NetOf[src]) {
+			for _, e2 := range h.VertexEdges(m) {
+				dst := res.GVertexOf[e2]
+				if dst < 0 || dst == src || lastSeen[dst] == stamp {
 					continue
 				}
-				b.AddEdge(gi, res.GVertexOf[ej])
+				lastSeen[dst] = stamp
+				start[dst+1]++
 			}
 		}
 	}
-	g, err := b.Build()
-	if err != nil {
-		// All indices are internally generated; failure is a programming
-		// error, not an input error.
-		panic("intersect: invalid graph built: " + err.Error())
+	for v := 0; v < nG; v++ {
+		start[v+1] += start[v]
 	}
-	res.G = g
+
+	// Pass 2 — emission. Identical walk with negated stamps (so no
+	// clear between passes); arc src→dst lands in row dst, and because
+	// src ascends monotonically every row comes out sorted ascending —
+	// the invariant graph.UncheckedCSR relies on.
+	adj := make([]int, start[nG])
+	cursor := sc.cursor[:nG]
+	copy(cursor, start[:nG])
+	for src := 0; src < nG; src++ {
+		stamp := -(src + 1)
+		for _, m := range h.EdgePins(res.NetOf[src]) {
+			for _, e2 := range h.VertexEdges(m) {
+				dst := res.GVertexOf[e2]
+				if dst < 0 || dst == src || lastSeen[dst] == stamp {
+					continue
+				}
+				lastSeen[dst] = stamp
+				adj[cursor[dst]] = src
+				cursor[dst]++
+			}
+		}
+	}
+	buildPool.Put(sc)
+
+	res.G = graph.UncheckedCSR(start, adj)
 	return res
 }
 

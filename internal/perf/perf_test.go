@@ -1,0 +1,304 @@
+package perf
+
+// TestPerfBaseline is the continuous-performance gate. It
+//
+//   - recomputes every family's deterministic work counters and
+//     compares them exactly against the committed BENCH_perf.json
+//     (machine-independent: only a behavior change moves them);
+//   - measures allocs/op of the stamp builder and fails hard on
+//     regression past the blessed value — the CI benchmark job runs
+//     exactly this;
+//   - asserts the acceptance ratios on the dense suite (≥2× speedup,
+//     ≥10× allocs/op reduction vs the reference builder), skipped
+//     under -short and under the race detector;
+//   - always rewrites the gitignored BENCH_perf.timing.json sidecar so
+//     successive commits leave a local perf trail without wall-clock
+//     churn in the diff.
+//
+// Re-bless after an intentional change with
+//
+//	go test ./internal/perf/ -run TestPerfBaseline -update
+//
+// which also regenerates testdata/baseline.bench.txt, the benchstat
+// baseline the CI job diffs against.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"fasthgp/internal/core"
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/intersect"
+)
+
+var update = flag.Bool("update", false, "re-bless BENCH_perf.json and testdata/baseline.bench.txt")
+
+// Benchmark sinks, so the builds cannot be optimized away.
+var (
+	sinkResult *intersect.Result
+	sinkCut    int
+)
+
+// BenchmarkIntersectBuild measures the production stamp builder (new)
+// against the retained clique-pair builder (old) on every family.
+// These are the dual-construction benchmarks the CI allocs gate and
+// benchstat baseline refer to.
+func BenchmarkIntersectBuild(b *testing.B) {
+	for _, f := range Families() {
+		opts := intersect.Options{Threshold: f.Threshold}
+		h := f.H
+		b.Run(f.Name+"/new", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkResult = intersect.Build(h, opts)
+			}
+		})
+		b.Run(f.Name+"/old", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkResult = intersect.BuildReference(h, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline runs full Algorithm I multi-start on the dense
+// family — construction, double-BFS cut, completion, packing — to
+// track steady-state allocation of the whole scratch-threaded path.
+func BenchmarkPipeline(b *testing.B) {
+	f := denseFamily()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Bipartition(f.H, core.Options{Starts: 4, Seed: 1, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCut = res.CutSize
+	}
+}
+
+func denseFamily() Family {
+	for _, f := range Families() {
+		if f.Dense {
+			return f
+		}
+	}
+	panic("perf: no dense family in the suite")
+}
+
+// familyEntry is one BENCH_perf.json row: the deterministic counters
+// plus the allocs/op blessed at -update time (the regression bound).
+type familyEntry struct {
+	Name      string `json:"name"`
+	Threshold int    `json:"threshold"`
+	Counters
+	AllocsPerOpNew float64 `json:"allocs_per_op_new"`
+	AllocsPerOpOld float64 `json:"allocs_per_op_old"`
+}
+
+// perfFile mirrors BENCH_perf.json.
+type perfFile struct {
+	Suite    string        `json:"suite"`
+	Families []familyEntry `json:"families"`
+	// Dense records the acceptance ratios measured on the dense suite
+	// at bless time (live runs must still meet the 2×/10× floors).
+	Dense struct {
+		Name             string  `json:"name"`
+		SpeedupX         float64 `json:"speedup_x"`
+		AllocsReductionX float64 `json:"allocs_reduction_x"`
+	} `json:"dense"`
+}
+
+// timingRow is one BENCH_perf.timing.json row — machine-dependent,
+// gitignored.
+type timingRow struct {
+	Name     string  `json:"name"`
+	NsNew    float64 `json:"ns_per_op_new"`
+	NsOld    float64 `json:"ns_per_op_old"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// measurement is a cheap local benchmark: minimum wall time over a few
+// repetitions plus testing.AllocsPerRun, after one warm-up call so
+// sync.Pool reuse is in steady state.
+type measurement struct {
+	ns     float64
+	allocs float64
+}
+
+func measure(fn func()) measurement {
+	fn() // warm pools
+	allocs := testing.AllocsPerRun(5, fn)
+	best := time.Duration(-1)
+	var total time.Duration
+	for i := 0; i < 3 || (total < 150*time.Millisecond && i < 200); i++ {
+		begin := time.Now()
+		fn()
+		d := time.Since(begin)
+		total += d
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return measurement{ns: float64(best.Nanoseconds()), allocs: allocs}
+}
+
+const (
+	benchPath    = "../../BENCH_perf.json"
+	timingPath   = "../../BENCH_perf.timing.json"
+	baselinePath = "testdata/baseline.bench.txt"
+)
+
+func TestPerfBaseline(t *testing.T) {
+	families := Families()
+	entries := make([]familyEntry, 0, len(families))
+	timings := make([]timingRow, 0, len(families))
+	var got perfFile
+	got.Suite = "intersect-build"
+
+	for _, f := range families {
+		opts := intersect.Options{Threshold: f.Threshold}
+		h := f.H
+		mNew := measure(func() { sinkResult = intersect.Build(h, opts) })
+		mOld := measure(func() { sinkResult = intersect.BuildReference(h, opts) })
+		e := familyEntry{
+			Name:           f.Name,
+			Threshold:      f.Threshold,
+			Counters:       CountersFor(f),
+			AllocsPerOpNew: mNew.allocs,
+			AllocsPerOpOld: mOld.allocs,
+		}
+		entries = append(entries, e)
+		timings = append(timings, timingRow{
+			Name:     f.Name,
+			NsNew:    mNew.ns,
+			NsOld:    mOld.ns,
+			SpeedupX: round1(mOld.ns / mNew.ns),
+		})
+		if f.Dense {
+			got.Dense.Name = f.Name
+			got.Dense.SpeedupX = round1(mOld.ns / mNew.ns)
+			got.Dense.AllocsReductionX = round1(mOld.allocs / math.Max(mNew.allocs, 1))
+		}
+		t.Logf("%-16s new: %8.0f ns/op %6.1f allocs/op | old: %8.0f ns/op %8.1f allocs/op | %5.1fx / %5.1fx",
+			f.Name, mNew.ns, mNew.allocs, mOld.ns, mOld.allocs,
+			mOld.ns/mNew.ns, mOld.allocs/math.Max(mNew.allocs, 1))
+	}
+	got.Families = entries
+
+	// The timing sidecar is emitted on every run, pass or fail.
+	writeJSON(t, timingPath, struct {
+		Suite   string      `json:"suite"`
+		Entries []timingRow `json:"families"`
+	}{"intersect-build", timings})
+
+	// Live acceptance floors on the dense suite. Timing and allocation
+	// behavior under the race detector (or a -short smoke run) is not
+	// representative, so only full builds enforce them.
+	if !raceEnabled && !testing.Short() {
+		if got.Dense.SpeedupX < 2 {
+			t.Errorf("dense suite speedup %.1fx < 2x acceptance floor", got.Dense.SpeedupX)
+		}
+		if got.Dense.AllocsReductionX < 10 {
+			t.Errorf("dense suite allocs/op reduction %.1fx < 10x acceptance floor", got.Dense.AllocsReductionX)
+		}
+	}
+
+	if *update {
+		writeJSON(t, benchPath, &got)
+		writeBenchstatBaseline(t, families)
+		t.Logf("re-blessed %s and %s", benchPath, baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("missing %s — run `go test ./internal/perf/ -run TestPerfBaseline -update`: %v", benchPath, err)
+	}
+	var want perfFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("%s: %v", benchPath, err)
+	}
+	wantByName := make(map[string]familyEntry, len(want.Families))
+	for _, e := range want.Families {
+		wantByName[e.Name] = e
+	}
+	for _, e := range entries {
+		w, ok := wantByName[e.Name]
+		if !ok {
+			t.Errorf("family %q missing from BENCH_perf.json — re-bless with -update", e.Name)
+			continue
+		}
+		if e.Counters != w.Counters || e.Threshold != w.Threshold {
+			t.Errorf("%s: counters changed\n got %+v thr=%d\nwant %+v thr=%d — construction workload moved; re-bless with -update if intentional",
+				e.Name, e.Counters, e.Threshold, w.Counters, w.Threshold)
+		}
+		// Hard allocation gate: the live stamp builder may not regress
+		// past the blessed allocs/op (small absolute slack absorbs pool
+		// and GC noise).
+		if slack := math.Max(2, w.AllocsPerOpNew/2); e.AllocsPerOpNew > w.AllocsPerOpNew+slack {
+			t.Errorf("%s: allocs/op regression: %.1f > blessed %.1f (+%.1f slack)",
+				e.Name, e.AllocsPerOpNew, w.AllocsPerOpNew, slack)
+		}
+	}
+	for name := range wantByName {
+		found := false
+		for _, e := range entries {
+			if e.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_perf.json family %q is gone from the suite — re-bless with -update", name)
+		}
+	}
+}
+
+// writeBenchstatBaseline records the dual-construction benchmarks in Go
+// benchmark format via testing.Benchmark, for the CI benchstat diff.
+func writeBenchstatBaseline(t *testing.T, families []Family) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(baselinePath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out := fmt.Sprintf("goos: %s\ngoarch: %s\npkg: fasthgp/internal/perf\n", runtime.GOOS, runtime.GOARCH)
+	bench := func(name string, h *hypergraph.Hypergraph, opts intersect.Options, build func(*hypergraph.Hypergraph, intersect.Options) *intersect.Result) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkResult = build(h, opts)
+			}
+		})
+		out += fmt.Sprintf("BenchmarkIntersectBuild/%s-%d\t%s\t%s\n",
+			name, runtime.GOMAXPROCS(0), r.String(), r.MemString())
+	}
+	for _, f := range families {
+		opts := intersect.Options{Threshold: f.Threshold}
+		bench(f.Name+"/new", f.H, opts, intersect.Build)
+		bench(f.Name+"/old", f.H, opts, intersect.BuildReference)
+	}
+	if err := os.WriteFile(baselinePath, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func round1(x float64) float64 { return math.Round(x*10) / 10 }

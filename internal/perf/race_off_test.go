@@ -1,0 +1,8 @@
+//go:build !race
+
+package perf
+
+// raceEnabled reports whether the race detector is compiled in; the
+// performance-ratio assertions are skipped under it (instrumentation
+// distorts both timing and allocation behavior).
+const raceEnabled = false
