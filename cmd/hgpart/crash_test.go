@@ -186,3 +186,75 @@ func TestCheckpointResumeSkipsCompletedStarts(t *testing.T) {
 		t.Errorf("-stats missing resumed marker:\n%s", out)
 	}
 }
+
+// TestCrashResumeConstrainedIsBitForBitIdentical repeats the chaos test
+// under the unified balance contract: ε=0.2 with m0 pinned Left and m11
+// pinned Right via an hMETIS fix file. The journal binds to the
+// constraint, the kill lands mid-run, and the resume must reproduce the
+// uninterrupted constrained result exactly — with the verifier
+// certifying the constraint on the way out.
+func TestCrashResumeConstrainedIsBitForBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills processes")
+	}
+	nets := writeNetlist(t, crashNets)
+	fixFile := filepath.Join(t.TempDir(), "pins.fix")
+	fix := "0\n" + strings.Repeat("-1\n", 10) + "1\n" // m0 Left, m11 Right
+	if err := os.WriteFile(fixFile, []byte(fix), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range crashAlgos {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			common := []string{"-in", nets, "-algo", algo, "-starts", "6", "-seed", "5",
+				"-epsilon", "0.2", "-fixed", fixFile, "-v"}
+
+			code, refOut, refErr := execHgpart(t, common...)
+			if code != 0 {
+				t.Fatalf("reference run failed: %s", refErr)
+			}
+			want := resultOf(t, refOut)
+			if !strings.Contains(refOut, "m0 L") || !strings.Contains(refOut, "m11 R") {
+				t.Fatalf("reference run ignored the pins:\n%s", refOut)
+			}
+
+			ckpt := filepath.Join(dir, "run.ckpt")
+			victim := startHgpart(t, []string{"FASTHGP_FAULTS=latency@engine.start:*=120ms"},
+				append(common, "-checkpoint", ckpt, "-parallel", "1")...)
+			time.Sleep(300 * time.Millisecond)
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_ = victim.Wait()
+
+			args := append(common, "-checkpoint", ckpt, "-resume", "-verify", "-stats")
+			code, out, stderr := execHgpart(t, args...)
+			if code != 0 {
+				t.Fatalf("resume failed: %s", stderr)
+			}
+			if got := resultOf(t, out); got != want {
+				t.Errorf("resumed constrained result differs:\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if !strings.Contains(out, "[constraint satisfied]") {
+				t.Errorf("resume result not certified against the constraint:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCheckpointConstraintMismatchRefused: a journal written under one
+// balance contract refuses to resume under another.
+func TestCheckpointConstraintMismatchRefused(t *testing.T) {
+	nets := writeNetlist(t, crashNets)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	common := []string{"-in", nets, "-algo", "fm", "-starts", "4", "-seed", "1", "-checkpoint", ckpt}
+	if code, _, stderr := execHgpart(t, append(common, "-epsilon", "0.1")...); code != 0 {
+		t.Fatalf("seed run failed: %s", stderr)
+	}
+	code, _, stderr := execHgpart(t, append(common, "-epsilon", "0.3", "-resume")...)
+	if code != 1 || !strings.Contains(stderr, "different run") {
+		t.Errorf("constraint-mismatched journal: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -32,6 +32,16 @@
 //
 //	hgpart -in netlist.nets -algo fm -starts 50 -checkpoint run.ckpt -resume
 //
+// -epsilon and -fixed impose the unified balance contract on any
+// algorithm: -epsilon bounds each side at (1+eps)·⌈w(V)/2⌉ (per part
+// for -k > 2), and -fixed names an hMETIS-style fix file pinning
+// vertices to sides (one part id per line, -1 free). Netlists in the
+// nets format may also pin modules inline with fixed directives; a
+// -fixed file overrides them. The result is certified against the
+// contract when -verify is set:
+//
+//	hgpart -in netlist.nets -algo fm -epsilon 0.1 -fixed pins.fix -verify
+//
 // -cpuprofile and -memprofile write pprof profiles of the run (the CPU
 // profile covers everything after flag parsing; the heap profile is
 // captured after a final GC on exit) for use with go tool pprof.
@@ -76,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		completion = fs.String("completion", "greedy", "Algorithm I: boundary completion: greedy, exact, weighted")
 		objective  = fs.String("objective", "cut", "Algorithm I: objective: cut, quotient")
 		seed       = fs.Int64("seed", 1, "random seed")
+		epsilon    = fs.Float64("epsilon", 0, "balance bound: each side at most (1+epsilon)*ceil(total/k) weight (0 = unconstrained)")
+		fixedPath  = fs.String("fixed", "", "hMETIS-style fix file pinning vertices to sides (one part id per line, -1 = free); overrides inline fixed directives")
 		parallel   = fs.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
 		fallback   = fs.String("fallback", "", "comma-separated fallback chain after -algo (e.g. fm,core); runs the resilience portfolio")
@@ -146,9 +158,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	var h *fasthgp.Hypergraph
+	var inlineFixed []int8
 	switch *format {
 	case "nets":
-		h, err = fasthgp.ReadNetlist(f)
+		h, inlineFixed, err = fasthgp.ReadNetlistFixed(f)
 	case "hgr":
 		h, err = fasthgp.ReadHMetis(f)
 	default:
@@ -158,7 +171,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	constraint := fasthgp.Constraint{Epsilon: *epsilon, FixedSide: inlineFixed}
+	if *fixedPath != "" {
+		ff, err := os.Open(*fixedPath)
+		if err != nil {
+			return fail(err)
+		}
+		constraint.FixedSide, err = fasthgp.ReadHMetisFix(ff, h.NumVertices())
+		ff.Close()
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if err := constraint.Validate(h.NumVertices(), *k); err != nil {
+		return fail(err)
+	}
 	fmt.Fprintf(stdout, "netlist: %d modules, %d nets, %d pins\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+	if !constraint.IsZero() {
+		pinned := 0
+		for _, f := range constraint.FixedSide {
+			if f >= 0 {
+				pinned++
+			}
+		}
+		fmt.Fprintf(stdout, "constraint: epsilon %g, %d fixed vertices\n", constraint.Epsilon, pinned)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -174,7 +211,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *ckptPath != "" {
 			return fail(fmt.Errorf("-checkpoint cannot be combined with -fallback/-budget"))
 		}
-		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, *doVerify, *verbose, stdout, stderr)
+		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, constraint, *doVerify, *verbose, stdout, stderr)
 	}
 
 	if *resume && *ckptPath == "" {
@@ -185,13 +222,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("-checkpoint supports bipartitioning only (got -k %d)", *k))
 		}
 		return runCheckpointed(ctx, h, *algo, *ckptPath, *resume,
-			fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel},
+			fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint},
 			*stats, *doVerify, *verbose, stdout, stderr)
 	}
 
 	if *k > 2 {
 		start := time.Now()
-		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
@@ -228,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	switch *algo {
 	case "algI":
-		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed, Parallelism: *parallel}
+		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed, Parallelism: *parallel, Constraint: constraint}
 		switch *completion {
 		case "greedy":
 			opts.Completion = fasthgp.CompletionGreedy
@@ -259,49 +296,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	case "multilevel":
-		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
 	case "kl":
-		res, err := fasthgp.KLCtx(ctx, h, fasthgp.KLOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.KLCtx(ctx, h, fasthgp.KLOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "kernighan-lin: %d passes\n", res.Passes)
 	case "fm":
-		res, err := fasthgp.FMCtx(ctx, h, fasthgp.FMOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.FMCtx(ctx, h, fasthgp.FMOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "fiduccia-mattheyses: %d passes\n", res.Passes)
 	case "spectral":
-		res, err := fasthgp.SpectralCtx(ctx, h, fasthgp.SpectralOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.SpectralCtx(ctx, h, fasthgp.SpectralOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "spectral: %d power iterations\n", res.Iterations)
 	case "flow":
-		res, err := fasthgp.FlowCtx(ctx, h, fasthgp.FlowOptions{SeedPairs: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.FlowCtx(ctx, h, fasthgp.FlowOptions{SeedPairs: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "flow-based: min s-t net cut value %d over seed pairs\n", res.FlowValue)
 	case "sa":
-		res, err := fasthgp.AnnealCtx(ctx, h, fasthgp.AnnealOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := fasthgp.AnnealCtx(ctx, h, fasthgp.AnnealOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "simulated annealing: %d temperatures, %d accepted moves\n", res.Temperatures, res.Accepted)
 	case "random":
-		res, err := runRegistered(ctx, "random", h, fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel})
+		res, err := runRegistered(ctx, "random", h, fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
@@ -317,7 +354,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printStats(stdout, es)
 	}
 	if *doVerify {
-		if code := verifyBipartition(stdout, stderr, h, p, cut); code != 0 {
+		if code := verifyBipartition(stdout, stderr, h, p, cut, constraint); code != 0 {
 			return code
 		}
 	}
@@ -333,6 +370,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // same cut an uninterrupted run would.
 func runCheckpointed(ctx context.Context, h *fasthgp.Hypergraph, algo, path string, resume bool,
 	cfg fasthgp.AlgoConfig, stats, doVerify, verbose bool, stdout, stderr io.Writer) int {
+	constraint := cfg.Constraint
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hgpart:", err)
 		return 1
@@ -355,7 +393,7 @@ func runCheckpointed(ctx context.Context, h *fasthgp.Hypergraph, algo, path stri
 		printStats(stdout, res.Engine)
 	}
 	if doVerify {
-		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize); code != 0 {
+		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize, constraint); code != 0 {
 			return code
 		}
 	}
@@ -368,7 +406,7 @@ func runCheckpointed(ctx context.Context, h *fasthgp.Hypergraph, algo, path stri
 // runPortfolio executes the deadline-aware fallback chain and reports
 // the winning tier.
 func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback string, budget time.Duration,
-	starts int, seed int64, parallel int, doVerify, verbose bool, stdout, stderr io.Writer) int {
+	starts int, seed int64, parallel int, constraint fasthgp.Constraint, doVerify, verbose bool, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hgpart:", err)
 		return 1
@@ -383,7 +421,8 @@ func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback str
 	start := time.Now()
 	res, err := fasthgp.PartitionPortfolio(ctx, h,
 		fasthgp.WithChain(chain...), fasthgp.WithBudget(budget),
-		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithParallelism(parallel))
+		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithParallelism(parallel),
+		fasthgp.WithConstraint(constraint))
 	if err != nil {
 		return fail(err)
 	}
@@ -405,7 +444,7 @@ func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback str
 	fmt.Fprintf(stdout, "winner: tier %d (%s)%s\n", res.Tier, res.TierName, degraded)
 	reportBipartition(stdout, h, res.Partition, res.CutSize, elapsed)
 	if doVerify {
-		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize); code != 0 {
+		if code := verifyBipartition(stdout, stderr, h, res.Partition, res.CutSize, constraint); code != 0 {
 			return code
 		}
 	}
@@ -425,15 +464,23 @@ func reportBipartition(stdout io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipar
 	fmt.Fprintf(stdout, "time: %s\n", elapsed.Round(time.Microsecond))
 }
 
-// verifyBipartition runs the oracle and reports; non-zero on violation.
-func verifyBipartition(stdout, stderr io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipartition, cut int) int {
+// verifyBipartition runs the oracle — including the balance contract
+// when one is in force — and reports; non-zero on violation.
+func verifyBipartition(stdout, stderr io.Writer, h *fasthgp.Hypergraph, p *fasthgp.Bipartition, cut int, c fasthgp.Constraint) int {
 	rep, err := fasthgp.VerifyCut(h, p, cut)
+	if err == nil && !c.IsZero() {
+		_, err = fasthgp.VerifyConstraint(h, p, c)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "hgpart:", fmt.Errorf("verification FAILED: %w", err))
 		return 1
 	}
-	fmt.Fprintf(stdout, "verified: cut %d (weighted %d), sides %d/%d, weights %d/%d\n",
+	fmt.Fprintf(stdout, "verified: cut %d (weighted %d), sides %d/%d, weights %d/%d",
 		rep.CutSize, rep.WeightedCut, rep.Left, rep.Right, rep.LeftWeight, rep.RightWeight)
+	if !c.IsZero() {
+		fmt.Fprint(stdout, " [constraint satisfied]")
+	}
+	fmt.Fprintln(stdout)
 	return 0
 }
 

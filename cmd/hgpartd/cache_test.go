@@ -136,3 +136,65 @@ func TestCacheLRUBound(t *testing.T) {
 		t.Fatalf("size = %v, want 2", snap["size"])
 	}
 }
+
+// TestCacheNeverLeaksAcrossConstraints is the constraint-isolation
+// guarantee: inline fixed directives and epsilon/fixed query params do
+// not change the hypergraph fingerprint, so the cache key must carry
+// the canonical constraint key — a result computed under one balance
+// contract must never be served for another.
+func TestCacheNeverLeaksAcrossConstraints(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.cacheSize = 8 })
+	h := s.handler()
+
+	// Same netlist, three distinct contracts: unconstrained, ε=0.1, ε=0.5.
+	for i, q := range []string{"", "&epsilon=0.1", "&epsilon=0.5"} {
+		if rec := post(t, h, "/partition?seed=3"+q, testNets); rec.Code != http.StatusOK {
+			t.Fatalf("run %d = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 3 {
+		t.Fatalf("distinct epsilons: hits=%d misses=%d, want 0/3", hits, misses)
+	}
+
+	// Different fixed sets under the same ε: also distinct lines.
+	if rec := post(t, h, "/partition?seed=3&epsilon=0.1&fixed=0:L", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("fixed run = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/partition?seed=3&epsilon=0.1&fixed=0:R", testNets); rec.Code != http.StatusOK {
+		t.Fatalf("fixed run = %d: %s", rec.Code, rec.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 5 {
+		t.Fatalf("distinct fixed sets: hits=%d misses=%d, want 0/5", hits, misses)
+	}
+
+	// Resubmitting each identical contract must hit its own line.
+	for i, q := range []string{"", "&epsilon=0.1", "&epsilon=0.5", "&epsilon=0.1&fixed=0:L", "&epsilon=0.1&fixed=0:R"} {
+		if rec := post(t, h, "/partition?seed=3"+q, testNets); rec.Code != http.StatusOK {
+			t.Fatalf("rerun %d = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if hits, misses, size := cacheCounters(t, s); hits != 5 || misses != 5 || size != 5 {
+		t.Fatalf("resubmissions: hits=%d misses=%d size=%d, want 5/5/5", hits, misses, size)
+	}
+}
+
+// TestCacheDiscriminatesInlineFixedDirectives covers the sharpest
+// corner: two netlists whose nets are identical but whose inline fixed
+// directives differ hash to the same hypergraph fingerprint, so only
+// the constraint component of the key keeps them apart.
+func TestCacheDiscriminatesInlineFixedDirectives(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.cacheSize = 8 })
+	h := s.handler()
+
+	pinnedL := testNets + "fixed a L\n"
+	pinnedR := testNets + "fixed a R\n"
+	if rec := post(t, h, "/partition?seed=3", pinnedL); rec.Code != http.StatusOK {
+		t.Fatalf("pinned-L = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/partition?seed=3", pinnedR); rec.Code != http.StatusOK {
+		t.Fatalf("pinned-R = %d: %s", rec.Code, rec.Body)
+	}
+	if hits, misses, _ := cacheCounters(t, s); hits != 0 || misses != 2 {
+		t.Fatalf("inline fixed variants: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}

@@ -136,7 +136,7 @@ func (s *server) runRecovered(p pendingJob) {
 		s.jobs.update(p.JobID, func(j *jobInfo) { j.Status, j.Error = "failed", err.Error() })
 		s.walAppend(walRecord{Type: "failed", JobID: p.JobID, Error: err.Error()})
 	}
-	h, err := parseNetlist(p.Format, strings.NewReader(p.Netlist))
+	h, inlineFixed, err := parseNetlistFixed(p.Format, strings.NewReader(p.Netlist))
 	if err != nil {
 		failJob(err)
 		return
@@ -146,7 +146,7 @@ func (s *server) runRecovered(p pendingJob) {
 		failJob(err)
 		return
 	}
-	opts, _, err := s.portfolioOptions(q)
+	opts, _, err := s.portfolioOptions(q, h, inlineFixed)
 	if err != nil {
 		failJob(err)
 		return
@@ -156,15 +156,17 @@ func (s *server) runRecovered(p pendingJob) {
 	_, _ = s.execute(ctx, h, opts, p.JobID)
 }
 
-// parseNetlist reads a netlist in the named wire format.
-func parseNetlist(format string, r io.Reader) (*fasthgp.Hypergraph, error) {
+// parseNetlistFixed reads a netlist in the named wire format along with
+// any inline fixed-vertex directives (nets format only; nil otherwise).
+func parseNetlistFixed(format string, r io.Reader) (*fasthgp.Hypergraph, []int8, error) {
 	switch format {
 	case "", "nets":
-		return fasthgp.ReadNetlist(r)
+		return fasthgp.ReadNetlistFixed(r)
 	case "hgr":
-		return fasthgp.ReadHMetis(r)
+		h, err := fasthgp.ReadHMetis(r)
+		return h, nil, err
 	default:
-		return nil, fmt.Errorf("unknown format %q", format)
+		return nil, nil, fmt.Errorf("unknown format %q", format)
 	}
 }
 
@@ -251,12 +253,12 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	format := r.URL.Query().Get("format")
-	h, err := parseNetlist(format, bytes.NewReader(raw))
+	h, inlineFixed, err := parseNetlistFixed(format, bytes.NewReader(raw))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts, optsKey, err := s.portfolioOptions(r.URL.Query())
+	opts, optsKey, err := s.portfolioOptions(r.URL.Query(), h, inlineFixed)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -369,11 +371,15 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 // portfolioOptions merges per-request query parameters over the
 // daemon's configured defaults. Alongside the option list it returns
 // the canonical key string for the result cache: every parameter that
-// can change the computed partition (chain, starts, seed, budget) in a
-// fixed rendering, after defaulting — so ?starts=8 and an absent
-// starts under the default 8 share a cache line. Parallelism is
-// excluded: the engine guarantees it never changes the result.
-func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, string, error) {
+// can change the computed partition (chain, starts, seed, budget, and
+// the balance contract — epsilon, fixed vertices from the query or
+// inline netlist directives) in a fixed rendering, after defaulting —
+// so ?starts=8 and an absent starts under the default 8 share a cache
+// line, while runs under different ε or fixed sets never share one
+// (the netlist fingerprint alone would collide: inline fixed
+// directives don't change the hypergraph). Parallelism is excluded:
+// the engine guarantees it never changes the result.
+func (s *server) portfolioOptions(q url.Values, h *fasthgp.Hypergraph, inlineFixed []int8) ([]fasthgp.PortfolioOption, string, error) {
 	chain, starts, seed, budget := s.cfg.chain, s.cfg.starts, s.cfg.seed, s.cfg.budget
 	if v := q.Get("chain"); v != "" {
 		chain = strings.Split(v, ",")
@@ -402,6 +408,24 @@ func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, stri
 	if budget <= 0 || budget > s.cfg.reqTimeout {
 		budget = s.cfg.reqTimeout
 	}
+	constraint := fasthgp.Constraint{FixedSide: inlineFixed}
+	if v := q.Get("epsilon"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || eps < 0 {
+			return nil, "", fmt.Errorf("bad epsilon %q", v)
+		}
+		constraint.Epsilon = eps
+	}
+	if v := q.Get("fixed"); v != "" {
+		fixed, err := parseFixedSpec(v, h.NumVertices())
+		if err != nil {
+			return nil, "", err
+		}
+		constraint.FixedSide = fixed
+	}
+	if err := constraint.Validate(h.NumVertices(), 2); err != nil {
+		return nil, "", err
+	}
 	opts := []fasthgp.PortfolioOption{
 		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithBudget(budget),
 		fasthgp.WithParallelism(s.cfg.parallelism),
@@ -412,9 +436,50 @@ func (s *server) portfolioOptions(q url.Values) ([]fasthgp.PortfolioOption, stri
 	if s.breakers != nil {
 		opts = append(opts, fasthgp.WithBreakers(s.breakers))
 	}
-	key := fmt.Sprintf("chain=%s starts=%d seed=%d budget=%s",
-		strings.Join(chain, ","), starts, seed, budget)
+	if !constraint.IsZero() {
+		opts = append(opts, fasthgp.WithConstraint(constraint))
+	}
+	key := fmt.Sprintf("chain=%s starts=%d seed=%d budget=%s constraint=%q",
+		strings.Join(chain, ","), starts, seed, budget, constraint.Key())
 	return opts, key, nil
+}
+
+// parseFixedSpec parses the fixed query parameter: comma-separated
+// vertex:side records (side L, R, 0, or 1), e.g. "0:L,5:R". The result
+// covers all n vertices, with unnamed vertices free.
+func parseFixedSpec(spec string, n int) ([]int8, error) {
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = fasthgp.FreeVertex
+	}
+	for _, rec := range strings.Split(spec, ",") {
+		rec = strings.TrimSpace(rec)
+		if rec == "" {
+			continue
+		}
+		idx, sideTok, ok := strings.Cut(rec, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fixed record %q (want vertex:side)", rec)
+		}
+		v, err := strconv.Atoi(idx)
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("bad fixed vertex %q (netlist has %d modules)", idx, n)
+		}
+		var side int8
+		switch sideTok {
+		case "L", "l", "0":
+			side = 0
+		case "R", "r", "1":
+			side = 1
+		default:
+			return nil, fmt.Errorf("bad fixed side %q (want L, R, 0, or 1)", sideTok)
+		}
+		if fixed[v] >= 0 && fixed[v] != side {
+			return nil, fmt.Errorf("vertex %d fixed to both sides", v)
+		}
+		fixed[v] = side
+	}
+	return fixed, nil
 }
 
 // handleHealthz is the liveness/readiness probe. It always answers

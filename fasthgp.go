@@ -86,6 +86,21 @@ const (
 // vertex Unassigned.
 func NewBipartition(n int) *Bipartition { return partition.New(n) }
 
+// Constraint is the unified balance contract every partitioner in the
+// registry honors: an ε-imbalance bound (each side weighs at most
+// (1+Epsilon)·⌈w(V)/2⌉, or ⌈w(V)/K⌉ per part K-way) plus an optional
+// fixed-vertex assignment (FixedSide[v] pins vertex v to a side, −1
+// leaves it free). The zero value is unconstrained and preserves each
+// algorithm's historical behavior exactly.
+type Constraint = partition.Constraint
+
+// FreeVertex marks an unpinned vertex in Constraint.FixedSide.
+const FreeVertex = partition.FreeVertex
+
+// FromBalanceFraction converts a legacy balance fraction b (allowed
+// |weight(L) − weight(R)| ≤ 2b·w(V)) into the equivalent ε-constraint.
+func FromBalanceFraction(b float64) Constraint { return partition.FromBalanceFraction(b) }
+
 // Options configures Algorithm I (see internal/core for details).
 type Options = core.Options
 
@@ -311,11 +326,30 @@ func KWayCtx(ctx context.Context, h *Hypergraph, opts KWayOptions) (*KWayResult,
 	return kway.PartitionCtx(ctx, h, opts)
 }
 
+// ErrNegativeTolerance is returned by Rebalance when the tolerance is
+// negative — historically the value was silently clamped, masking
+// caller bugs.
+var ErrNegativeTolerance = rebalance.ErrNegativeTolerance
+
+// ErrConstraintInfeasible is returned (wrapped, with the reason) when a
+// constraint provably admits no partition — e.g. one side's fixed
+// vertices alone outweigh the ε bound.
+var ErrConstraintInfeasible = rebalance.ErrInfeasible
+
 // Rebalance repairs the weight balance of p in place, moving the
 // cheapest vertices from the heavy side until the imbalance is within
-// tolerance; it returns the number of vertices moved.
+// tolerance; it returns the number of vertices moved. A negative
+// tolerance is rejected with ErrNegativeTolerance.
 func Rebalance(h *Hypergraph, p *Bipartition, tolerance int64) (int, error) {
 	return rebalance.Bisect(h, p, tolerance)
+}
+
+// EnforceConstraint makes p satisfy c in place: fixed vertices are
+// forced onto their pinned sides, then free vertices move off any side
+// exceeding c's maximum side weight. It returns
+// ErrConstraintInfeasible when no sequence of legal moves can succeed.
+func EnforceConstraint(h *Hypergraph, p *Bipartition, c Constraint) error {
+	return rebalance.Enforce(h, p, c)
 }
 
 // ReadNetlist parses a netlist in the library's text format.
@@ -324,11 +358,29 @@ func ReadNetlist(r io.Reader) (*Hypergraph, error) { return netio.Read(r) }
 // WriteNetlist emits h in the library's text format.
 func WriteNetlist(w io.Writer, h *Hypergraph) error { return netio.Write(w, h) }
 
+// ReadNetlistFixed parses a netlist along with its fixed-vertex
+// directives: fixed[v] is vertex v's pinned side, FreeVertex when free,
+// and the slice is nil when the input pins nothing.
+func ReadNetlistFixed(r io.Reader) (*Hypergraph, []int8, error) { return netio.ReadFixed(r) }
+
+// WriteNetlistFixed emits h plus a fixed directive per pinned vertex.
+func WriteNetlistFixed(w io.Writer, h *Hypergraph, fixed []int8) error {
+	return netio.WriteFixed(w, h, fixed)
+}
+
 // ReadHMetis parses a hypergraph in the hMETIS .hgr benchmark format.
 func ReadHMetis(r io.Reader) (*Hypergraph, error) { return netio.ReadHMetis(r) }
 
 // WriteHMetis emits h in the hMETIS .hgr format.
 func WriteHMetis(w io.Writer, h *Hypergraph) error { return netio.WriteHMetis(w, h) }
+
+// ReadHMetisFix parses an hMETIS fix file (one part id per vertex, −1
+// free) for a hypergraph with n vertices; nil when every vertex is free.
+func ReadHMetisFix(r io.Reader, n int) ([]int8, error) { return netio.ReadHMetisFix(r, n) }
+
+// WriteHMetisFix emits a fixed-vertex assignment in the hMETIS fix-file
+// format.
+func WriteHMetisFix(w io.Writer, fixed []int8) error { return netio.WriteHMetisFix(w, fixed) }
 
 // Technology selects a synthetic circuit-profile family.
 type Technology = gen.Technology
@@ -417,6 +469,11 @@ type AlgoConfig struct {
 	// Parallelism is the engine worker count; values < 1 mean
 	// GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract (ε-imbalance bound plus
+	// fixed vertices) every registry algorithm honors; the zero value is
+	// unconstrained. Checkpoint journals bind to it: a journal written
+	// under one constraint refuses to resume a run under another.
+	Constraint Constraint
 	// Checkpoint, when non-nil, journals every completed start into its
 	// sink and resumes from its recovered state. Most callers want
 	// PartitionCheckpointed, which manages the journal file; set this
@@ -486,7 +543,7 @@ func algorithmTable() []Algorithm {
 			Name:        "algo1",
 			Description: "Algorithm I: intersection-graph double-BFS heuristic (the paper)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -497,7 +554,7 @@ func algorithmTable() []Algorithm {
 			Name:        "kl",
 			Description: "Kernighan–Lin pair swaps (Schweikert–Kernighan net model)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := kl.BisectCtx(ctx, h, kl.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := kl.BisectCtx(ctx, h, kl.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -508,7 +565,7 @@ func algorithmTable() []Algorithm {
 			Name:        "fm",
 			Description: "Fiduccia–Mattheyses gain buckets",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := fm.BisectCtx(ctx, h, fm.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := fm.BisectCtx(ctx, h, fm.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -519,7 +576,7 @@ func algorithmTable() []Algorithm {
 			Name:        "anneal",
 			Description: "simulated annealing with soft balance penalty",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := anneal.BisectCtx(ctx, h, anneal.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := anneal.BisectCtx(ctx, h, anneal.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -530,7 +587,7 @@ func algorithmTable() []Algorithm {
 			Name:        "flow",
 			Description: "exact min s–t net cuts over random seed pairs (Dinic)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := flowpart.BisectCtx(ctx, h, flowpart.Options{SeedPairs: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := flowpart.BisectCtx(ctx, h, flowpart.Options{SeedPairs: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -541,7 +598,7 @@ func algorithmTable() []Algorithm {
 			Name:        "spectral",
 			Description: "Fiedler-vector sweep cut on the clique expansion",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := spectral.BisectCtx(ctx, h, spectral.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := spectral.BisectCtx(ctx, h, spectral.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -552,7 +609,7 @@ func algorithmTable() []Algorithm {
 			Name:        "multilevel",
 			Description: "coarsen → Algorithm I → FM refinement V-cycles",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Checkpoint: cfg.Checkpoint})
+				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -573,12 +630,23 @@ func runRandomAlgo(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoRes
 	if h.NumVertices() < 2 {
 		return nil, fmt.Errorf("fasthgp: hypergraph has %d vertices; need at least 2", h.NumVertices())
 	}
+	if err := cfg.Constraint.Validate(h.NumVertices(), 2); err != nil {
+		return nil, fmt.Errorf("fasthgp: %w", err)
+	}
 	best, es, err := engine.Run(ctx, engine.Spec[*AlgoResult]{
 		Starts:      cfg.Starts,
 		Parallelism: cfg.Parallelism,
 		Seed:        cfg.Seed,
 		Run: func(_ context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*AlgoResult, error) {
-			p := kl.RandomBisection(h.NumVertices(), rng)
+			var p *Bipartition
+			if cfg.Constraint.IsZero() {
+				p = kl.RandomBisection(h.NumVertices(), rng)
+			} else {
+				p = kl.RandomBisectionConstrained(h, rng, cfg.Constraint)
+				if err := rebalance.Enforce(h, p, cfg.Constraint); err != nil {
+					return nil, fmt.Errorf("random: %w", err)
+				}
+			}
 			return &AlgoResult{Partition: p, CutSize: partition.CutSize(h, p)}, nil
 		},
 		Better: func(a, b *AlgoResult) bool {
@@ -635,6 +703,24 @@ func VerifyKWay(h *Hypergraph, part []int, k int) (*KWayVerifyReport, error) {
 	return verify.CheckKWay(h, part, k)
 }
 
+// VerifyEpsilon is Verify plus the ε-imbalance bound: both sides must
+// weigh at most (1+eps)·⌈w(V)/2⌉.
+func VerifyEpsilon(h *Hypergraph, p *Bipartition, eps float64) (*VerifyReport, error) {
+	return verify.CheckEpsilon(h, p, eps)
+}
+
+// VerifyFixed is Verify plus the fixed-vertex contract: every pinned
+// vertex must sit on its pinned side.
+func VerifyFixed(h *Hypergraph, p *Bipartition, fixed []int8) (*VerifyReport, error) {
+	return verify.CheckFixed(h, p, fixed)
+}
+
+// VerifyConstraint certifies p against the full contract c — validity,
+// the ε bound when present, and the fixed assignment when present.
+func VerifyConstraint(h *Hypergraph, p *Bipartition, c Constraint) (*VerifyReport, error) {
+	return verify.CheckConstraint(h, p, c)
+}
+
 // PartitionError is the typed value a panic inside any partitioner is
 // converted into at the library's recover boundaries: the algorithm
 // name, the engine start index that panicked (resilience.WholeRun when
@@ -665,6 +751,7 @@ type portfolioConfig struct {
 	parallelism int
 	maxAttempts int
 	breakers    *resilience.BreakerSet
+	constraint  Constraint
 }
 
 // PortfolioOption configures PartitionPortfolio.
@@ -704,6 +791,14 @@ func WithMaxAttempts(n int) PortfolioOption { return func(c *portfolioConfig) { 
 // from the budget split) until its cooldown admits a probe. Meant for
 // long-lived callers like hgpartd; one-shot runs don't need it.
 func WithBreakers(b *BreakerSet) PortfolioOption { return func(c *portfolioConfig) { c.breakers = b } }
+
+// WithConstraint runs every tier under the unified balance contract c
+// and tightens the oracle gate to certify candidates against it: a tier
+// that moves a fixed vertex or overshoots the ε bound is treated as
+// having produced no result and the chain degrades past it.
+func WithConstraint(c Constraint) PortfolioOption {
+	return func(pc *portfolioConfig) { pc.constraint = c }
+}
 
 // BreakerSet is a per-tier-name collection of circuit breakers; build
 // one with NewBreakerSet and share it across PartitionPortfolio calls.
@@ -767,7 +862,7 @@ func PartitionPortfolio(ctx context.Context, h *Hypergraph, opts ...PortfolioOpt
 		tiers = append(tiers, resilience.Tier{
 			Name: alg.Name,
 			Run: func(ctx context.Context, h *Hypergraph, seed int64) (*Bipartition, int, error) {
-				r, err := alg.Run(ctx, h, AlgoConfig{Starts: cfg.starts, Seed: seed, Parallelism: cfg.parallelism})
+				r, err := alg.Run(ctx, h, AlgoConfig{Starts: cfg.starts, Seed: seed, Parallelism: cfg.parallelism, Constraint: cfg.constraint})
 				if err != nil {
 					return nil, 0, err
 				}
@@ -780,6 +875,7 @@ func PartitionPortfolio(ctx context.Context, h *Hypergraph, opts ...PortfolioOpt
 		Seed:        cfg.seed,
 		MaxAttempts: cfg.maxAttempts,
 		Breakers:    cfg.breakers,
+		Constraint:  cfg.constraint,
 	})
 }
 
@@ -808,6 +904,10 @@ func PartitionCheckpointed(ctx context.Context, h *Hypergraph, algo string, cfg 
 	// default 0 seed pairs to 5 while the journal recorded 1).
 	cfg.Starts = engine.Normalize(cfg.Starts)
 	meta := checkpoint.NewMeta(alg.Name, h, cfg.Seed, cfg.Starts)
+	// The journal is bound to the balance contract too: per-start
+	// results depend on it, so resuming a run under a different ε or
+	// fixed set must be refused, not silently blended.
+	meta.Constraint = cfg.Constraint.Key()
 
 	var rj *checkpoint.RunJournal
 	var state *CheckpointState

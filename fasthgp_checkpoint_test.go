@@ -122,3 +122,103 @@ func TestPartitionCheckpointedUnknownAlgorithm(t *testing.T) {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
+
+// TestPartitionCheckpointedConstrained is the checkpoint contract under
+// the unified balance contract: checkpointed ≡ plain bit-for-bit,
+// resume of a finished constrained journal replays the identical
+// result without re-running a start, and the result satisfies the
+// constraint oracle.
+func TestPartitionCheckpointedConstrained(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	ctx := context.Background()
+	fixed := make([]int8, h.NumVertices())
+	for i := range fixed {
+		fixed[i] = FreeVertex
+	}
+	fixed[0] = 0
+	fixed[9] = 1
+	c := Constraint{Epsilon: 0.2, FixedSide: fixed}
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			cfg := AlgoConfig{Starts: 4, Seed: 7, Constraint: c}
+			plain, err := alg.Run(ctx, h, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			got, err := PartitionCheckpointed(ctx, h, alg.Name, cfg, path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.CutSize != plain.CutSize || !reflect.DeepEqual(got.Partition.Sides(), plain.Partition.Sides()) {
+				t.Fatalf("constrained checkpointed run differs: cut %d vs %d", got.CutSize, plain.CutSize)
+			}
+			if _, err := VerifyConstraint(h, got.Partition, c); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := PartitionCheckpointed(ctx, h, alg.Name, cfg, path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.CutSize != plain.CutSize || !reflect.DeepEqual(resumed.Partition.Sides(), plain.Partition.Sides()) {
+				t.Fatalf("constrained resumed run differs: cut %d vs %d", resumed.CutSize, plain.CutSize)
+			}
+			if resumed.Engine.StartsResumed != resumed.Engine.StartsRun {
+				t.Fatalf("StartsResumed = %d, want all %d", resumed.Engine.StartsResumed, resumed.Engine.StartsRun)
+			}
+		})
+	}
+}
+
+// TestPartitionCheckpointedRefusesConstraintMismatch: a journal binds to
+// the balance contract it ran under; resuming it under a different ε or
+// fixed set must be refused — the per-start results differ, so splicing
+// them together would fabricate a result no single run produced.
+func TestPartitionCheckpointedRefusesConstraintMismatch(t *testing.T) {
+	h := checkpointTestHypergraph(t)
+	ctx := context.Background()
+	fixed := make([]int8, h.NumVertices())
+	for i := range fixed {
+		fixed[i] = FreeVertex
+	}
+	fixed[0] = 0
+	otherFixed := append([]int8(nil), fixed...)
+	otherFixed[9] = 1
+	base := AlgoConfig{Starts: 3, Seed: 1, Constraint: Constraint{Epsilon: 0.1}}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := PartitionCheckpointed(ctx, h, "kl", base, path, false); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		c    Constraint
+	}{
+		{"different-epsilon", Constraint{Epsilon: 0.3}},
+		{"dropped-constraint", Constraint{}},
+		{"added-fixed", Constraint{Epsilon: 0.1, FixedSide: fixed}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Constraint = tc.c
+			if _, err := PartitionCheckpointed(ctx, h, "kl", cfg, path, true); err == nil {
+				t.Fatal("resume under a different constraint succeeded")
+			} else if !strings.Contains(err.Error(), "journal") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+	// Different fixed SETS with the same ε must also be distinguished
+	// (the key hashes the assignment, not just its presence).
+	cfgA := AlgoConfig{Starts: 3, Seed: 1, Constraint: Constraint{Epsilon: 0.1, FixedSide: fixed}}
+	pathF := filepath.Join(t.TempDir(), "fixed.ckpt")
+	if _, err := PartitionCheckpointed(ctx, h, "kl", cfgA, pathF, false); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Constraint = Constraint{Epsilon: 0.1, FixedSide: otherFixed}
+	if _, err := PartitionCheckpointed(ctx, h, "kl", cfgB, pathF, true); err == nil {
+		t.Fatal("resume under a different fixed set succeeded")
+	}
+}

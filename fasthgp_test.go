@@ -2,6 +2,7 @@ package fasthgp
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -201,6 +202,30 @@ func TestFacadeRebalance(t *testing.T) {
 	}
 	if moved == 0 || Imbalance(h, p) != 0 {
 		t.Errorf("moved %d, imbalance %d", moved, Imbalance(h, p))
+	}
+}
+
+// TestFacadeRebalanceNegativeTolerance: a negative tolerance is a
+// caller bug, not a "move everything" request — it must be rejected
+// with the typed sentinel and leave the partition untouched.
+func TestFacadeRebalanceNegativeTolerance(t *testing.T) {
+	h, err := FromEdges(10, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New10Lopsided()
+	before := append([]Side(nil), p.Sides()...)
+	moved, err := Rebalance(h, p, -1)
+	if !errors.Is(err, ErrNegativeTolerance) {
+		t.Fatalf("Rebalance(-1) error = %v, want ErrNegativeTolerance", err)
+	}
+	if moved != 0 {
+		t.Errorf("Rebalance(-1) reported %d moves", moved)
+	}
+	for v, s := range p.Sides() {
+		if s != before[v] {
+			t.Fatalf("Rebalance(-1) mutated vertex %d", v)
+		}
 	}
 }
 

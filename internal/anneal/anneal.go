@@ -23,6 +23,7 @@ import (
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures the annealer. The zero value gives sensible
@@ -59,6 +60,13 @@ type Options struct {
 	// PenaltyWeight scales the imbalance penalty in cut units per
 	// average vertex weight (default 2).
 	PenaltyWeight float64
+	// Constraint is the unified balance contract. Fixed vertices are
+	// never proposed as moves (rejected before any Metropolis draw, so
+	// the walk stays deterministic), and when an ε bound is present the
+	// feasibility window derives from Constraint.MaxSideWeight instead
+	// of BalanceFraction. The final result is hard-enforced against the
+	// contract. The zero value preserves historical behavior exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed walk into its
 	// sink and resumes from its recovered state — see internal/checkpoint.
 	// A resumed run returns the same Result an uninterrupted run would.
@@ -154,7 +162,13 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 
 // annealOnce runs a single annealing walk with its own RNG stream.
 func annealOnce(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand) (*Result, error) {
-	p := kl.RandomBisection(h.NumVertices(), rng)
+	c := opts.Constraint
+	var p *partition.Bipartition
+	if c.IsZero() {
+		p = kl.RandomBisection(h.NumVertices(), rng)
+	} else {
+		p = kl.RandomBisectionConstrained(h, rng, c)
+	}
 	s, err := cutstate.New(h, p)
 	if err != nil {
 		return nil, fmt.Errorf("anneal: %w", err)
@@ -163,6 +177,10 @@ func annealOnce(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng
 	n := h.NumVertices()
 	total := h.TotalVertexWeight()
 	window := int64(opts.BalanceFraction * float64(total))
+	if c.HasBalance() {
+		// Feasible ⇔ both sides ≤ maxSide ⇔ |lw − rw| ≤ 2·maxSide − total.
+		window = 2*c.MaxSideWeight(total, 2) - total
+	}
 	meanW := float64(total) / float64(n)
 	if meanW <= 0 {
 		meanW = 1
@@ -215,6 +233,12 @@ func annealOnce(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng
 				break
 			}
 			v := rng.Intn(n)
+			if c.Fixed(v) >= 0 {
+				// Locked cell: the move is rejected outright, before the
+				// Metropolis draw, so the RNG stream stays aligned with
+				// the proposal sequence.
+				continue
+			}
 			delta := moveDelta(v)
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				s.Move(v)
@@ -233,7 +257,21 @@ func annealOnce(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng
 
 	// Guard against the pathological all-one-side walk.
 	if l, r, _ := best.Counts(); l == 0 || r == 0 {
-		best = kl.RandomBisection(n, rng)
+		if c.IsZero() {
+			best = kl.RandomBisection(n, rng)
+		} else {
+			best = kl.RandomBisectionConstrained(h, rng, c)
+		}
+		bestCut = partition.CutSize(h, best)
+	}
+	// Hard-enforce the contract on the way out: the walk keeps fixed
+	// cells in place by construction, but the soft window is advisory,
+	// so an ε bound is repaired here if the best feasible snapshot
+	// drifted past it.
+	if !c.IsZero() {
+		if err := rebalance.Enforce(h, best, c); err != nil {
+			return nil, fmt.Errorf("anneal: %w", err)
+		}
 		bestCut = partition.CutSize(h, best)
 	}
 	res.Partition = best

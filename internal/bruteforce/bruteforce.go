@@ -89,6 +89,89 @@ func MinCutUnconstrained(h *hypergraph.Hypergraph) (*partition.Bipartition, int,
 	return MinCut(h, h.NumVertices())
 }
 
+// MinCutConstrained returns an exact minimum cut over all complete
+// bipartitions satisfying the constraint c: every side weighs at most
+// c.MaxSideWeight (when c carries an ε bound), every fixed vertex sits
+// on its pinned side, and both sides are nonempty. Ties break toward
+// smaller weight imbalance, then lexicographically smallest left set.
+//
+// Unlike MinCut, no vertex can be symmetry-fixed to halve the space —
+// the fixed assignment breaks the L/R symmetry — so all 2^n − 2 proper
+// subsets are examined; keep instances a vertex or two smaller than
+// MaxVertices when wall time matters.
+func MinCutConstrained(h *hypergraph.Hypergraph, c partition.Constraint) (*partition.Bipartition, int, error) {
+	n := h.NumVertices()
+	if err := checkSize(n); err != nil {
+		return nil, 0, err
+	}
+	if err := c.Validate(n, 2); err != nil {
+		return nil, 0, fmt.Errorf("bruteforce: %w", err)
+	}
+	total := h.TotalVertexWeight()
+	maxSide := total // no balance bound
+	if c.HasBalance() {
+		maxSide = c.MaxSideWeight(total, 2)
+	}
+	// Precompute the fixed mask: bits that MUST be in the left set and
+	// bits that MUST NOT be.
+	var mustLeft, mustRight uint64
+	for v := 0; v < n; v++ {
+		switch f := c.Fixed(v); {
+		case f == 0:
+			mustLeft |= 1 << uint(v)
+		case f > 0:
+			mustRight |= 1 << uint(v)
+		}
+	}
+	bestCut := math.MaxInt
+	var bestImb int64 = math.MaxInt64
+	var bestMask uint64
+	found := false
+	p := partition.New(n)
+	limit := uint64(1) << n
+	for mask := uint64(1); mask < limit-1; mask++ {
+		if mask&mustLeft != mustLeft || mask&mustRight != 0 {
+			continue
+		}
+		var lw int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				lw += h.VertexWeight(v)
+			}
+		}
+		rw := total - lw
+		if lw > maxSide || rw > maxSide {
+			continue
+		}
+		applyFull(p, mask, n)
+		cut := partition.CutSize(h, p)
+		imb := lw - rw
+		if imb < 0 {
+			imb = -imb
+		}
+		if !found || cut < bestCut || (cut == bestCut && imb < bestImb) {
+			found, bestCut, bestImb, bestMask = true, cut, imb, mask
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("bruteforce: no bipartition satisfies the constraint (epsilon %g, %d fixed)", c.Epsilon, len(c.FixedSide))
+	}
+	applyFull(p, bestMask, n)
+	return p, bestCut, nil
+}
+
+// applyFull decodes an unrestricted subset mask (no symmetry-fixed
+// vertex) into p.
+func applyFull(p *partition.Bipartition, mask uint64, n int) {
+	for v := 0; v < n; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			p.Assign(v, partition.Left)
+		} else {
+			p.Assign(v, partition.Right)
+		}
+	}
+}
+
 // MinQuotientCut returns an exact minimum quotient-cut bipartition
 // (cut / min side cardinality) and its value.
 func MinQuotientCut(h *hypergraph.Hypergraph) (*partition.Bipartition, float64, error) {

@@ -257,3 +257,90 @@ func TestPopcount64(t *testing.T) {
 		t.Errorf("popcount = %d, want 5", got)
 	}
 }
+
+func TestMinCutConstrainedRespectsFixed(t *testing.T) {
+	// Path of 6: optimum free cut is 1 (split anywhere). Pinning the two
+	// middle vertices to opposite sides forces the cut through them.
+	b := hypergraph.NewBuilder(6)
+	for v := 0; v+1 < 6; v++ {
+		b.AddEdge(v, v+1)
+	}
+	h := b.MustBuild()
+	c := partition.Constraint{Epsilon: 0.5, FixedSide: []int8{-1, -1, 0, 1, -1, -1}}
+	p, cut, err := MinCutConstrained(h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+	if p.Side(2) != partition.Left || p.Side(3) != partition.Right {
+		t.Errorf("fixed vertices moved: %v %v", p.Side(2), p.Side(3))
+	}
+	if got := partition.CutSize(h, p); got != cut {
+		t.Errorf("reported cut %d != recomputed %d", cut, got)
+	}
+}
+
+func TestMinCutConstrainedEpsilonBound(t *testing.T) {
+	// Star: center + 7 leaves. The unconstrained optimum peels one leaf
+	// (cut 1, split 1|7); a tight epsilon forbids that.
+	b := hypergraph.NewBuilder(8)
+	for v := 1; v < 8; v++ {
+		b.AddEdge(0, v)
+	}
+	h := b.MustBuild()
+	free, freeCut, err := MinCutConstrained(h, partition.Constraint{FixedSide: []int8{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeCut != 1 {
+		t.Errorf("free cut = %d, want 1", freeCut)
+	}
+	if free.Side(0) != partition.Left {
+		t.Error("fixed center moved")
+	}
+	c := partition.Constraint{Epsilon: 0.25} // maxSide = 5
+	p, cut, err := MinCutConstrained(h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := partition.SideWeights(h, p)
+	if l > 5 || r > 5 {
+		t.Errorf("sides %d|%d exceed maxSide 5", l, r)
+	}
+	if cut != 3 {
+		// 5|3 split around the center cuts 3 leaves' nets.
+		t.Errorf("constrained cut = %d, want 3", cut)
+	}
+}
+
+func TestMinCutConstrainedMatchesMinCutWhenFree(t *testing.T) {
+	b := hypergraph.NewBuilder(10)
+	edges := [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {5, 6}, {6, 7, 8}, {8, 9}, {1, 4, 7}, {0, 9}, {2, 5, 8}}
+	for _, e := range edges {
+		b.AddEdge(e...)
+	}
+	h := b.MustBuild()
+	_, wantCut, err := MinCutUnconstrained(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotCut, err := MinCutConstrained(h, partition.Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCut != wantCut {
+		t.Errorf("unconstrained MinCutConstrained cut %d != MinCut %d", gotCut, wantCut)
+	}
+}
+
+func TestMinCutConstrainedInfeasible(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	h := b.MustBuild()
+	// All three fixed Left: the right side can never be nonempty.
+	if _, _, err := MinCutConstrained(h, partition.Constraint{FixedSide: []int8{0, 0, 0}}); err == nil {
+		t.Error("all-fixed-one-side constraint accepted")
+	}
+}

@@ -33,6 +33,13 @@ type Meta struct {
 	Edges    int    `json:"edges"`
 	Pins     int    `json:"pins"`
 	Hash     uint64 `json:"hash"`
+	// Constraint is the canonical key (partition.Constraint.Key) of the
+	// balance contract the run executed under; empty for unconstrained
+	// runs, so journals written before the field existed resume
+	// unconstrained runs unchanged. A journal from a run with a
+	// different ε or fixed set must not seed this one: the per-start
+	// results differ, so identity includes the contract.
+	Constraint string `json:"constraint,omitempty"`
 }
 
 // NewMeta fingerprints one run of algorithm on h.

@@ -27,6 +27,9 @@ type Result struct {
 	Coarse *hypergraph.Hypergraph
 	// Map sends each fine vertex to its coarse vertex.
 	Map []int
+	// Fixed is the coarse-level fixed-side assignment (nil when the
+	// step ran without one).
+	Fixed []int8
 }
 
 // Step performs one level of matching and contraction. The returned
@@ -34,7 +37,21 @@ type Result struct {
 // exists; when nothing can be matched (e.g. an edgeless hypergraph)
 // the contraction is the identity.
 func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
+	return StepFixed(h, rng, nil)
+}
+
+// StepFixed is Step under a fixed-side assignment (−1 = free): two
+// vertices pinned to different sides are never matched, so every coarse
+// vertex has a well-defined fixed side, returned in Result.Fixed.
+// A nil fixed slice reproduces Step exactly.
+func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
 	n := h.NumVertices()
+	side := func(v int) int8 {
+		if v < len(fixed) {
+			return fixed[v]
+		}
+		return -1
+	}
 	mate := make([]int, n)
 	for i := range mate {
 		mate[i] = -1
@@ -54,6 +71,9 @@ func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
 			w := float64(h.EdgeWeight(e)) / float64(size-1)
 			for _, u := range h.EdgePins(e) {
 				if u != v && mate[u] == -1 {
+					if sv, su := side(v), side(u); sv >= 0 && su >= 0 && sv != su {
+						continue // opposite pins must stay separable
+					}
 					score[u] += w
 				}
 			}
@@ -134,6 +154,20 @@ func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
 		panic("coarsen: contraction produced invalid hypergraph: " + err.Error())
 	}
 	res.Coarse = coarse
+	if fixed != nil {
+		// A coarse vertex inherits the pinned side of its fine members
+		// (at most one distinct side by the matching rule above).
+		cf := make([]int8, next)
+		for i := range cf {
+			cf[i] = -1
+		}
+		for v := 0; v < n; v++ {
+			if s := side(v); s >= 0 {
+				cf[res.Map[v]] = s
+			}
+		}
+		res.Fixed = cf
+	}
 	return res
 }
 
@@ -141,6 +175,13 @@ func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
 // contraction stops making progress (shrink factor > 0.95), or
 // maxLevels levels were produced. Levels are ordered fine→coarse.
 func Hierarchy(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels int) []*Result {
+	return HierarchyFixed(h, rng, minVertices, maxLevels, nil)
+}
+
+// HierarchyFixed is Hierarchy with a fine-level fixed-side assignment
+// propagated through every contraction: each level's Result.Fixed pins
+// the coarse vertices. A nil fixed slice reproduces Hierarchy exactly.
+func HierarchyFixed(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels int, fixed []int8) []*Result {
 	if minVertices < 2 {
 		minVertices = 2
 	}
@@ -150,12 +191,13 @@ func Hierarchy(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels 
 	var levels []*Result
 	cur := h
 	for len(levels) < maxLevels && cur.NumVertices() > minVertices {
-		step := Step(cur, rng)
+		step := StepFixed(cur, rng, fixed)
 		if float64(step.Coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
 			break
 		}
 		levels = append(levels, step)
 		cur = step.Coarse
+		fixed = step.Fixed
 	}
 	return levels
 }

@@ -42,6 +42,7 @@ import (
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/intersect"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Completion selects the rule used to partition the boundary set.
@@ -127,6 +128,14 @@ type Options struct {
 	// values < 1 mean GOMAXPROCS. It affects wall time only, never the
 	// result.
 	Parallelism int
+	// Constraint is the unified balance contract. With fixed vertices the
+	// double-BFS endpoints are drawn from nets touching Left- and
+	// Right-fixed modules (so the G-cut grows outward from the pinned
+	// regions), and every start's completed partition is repaired onto
+	// the contract — pins restored, sides within Constraint.MaxSideWeight
+	// — before scoring. The zero value preserves historical behavior
+	// exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed start into its
 	// sink and resumes from its recovered state — see
 	// internal/checkpoint. The resumed partition and cut are identical
@@ -222,6 +231,12 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options)
 	// is bypassed and a single synthetic start is reported.
 	if ig.G.NumVertices() == 0 || !ig.G.IsConnected() {
 		res := packComponents(h, ig)
+		if !opts.Constraint.IsZero() {
+			if err := rebalance.Enforce(h, res.Partition, opts.Constraint); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			res.CutSize = partition.CutSize(h, res.Partition)
+		}
 		res.Stats = baseStats
 		res.Stats.Disconnected = true
 		res.Stats.StartsRun = 1
@@ -241,7 +256,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options)
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Run: func(_ context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
-			return runOnce(h, ig, rng, opts, scratch), nil
+			return runOnce(h, ig, rng, opts, scratch)
 		},
 		Better: func(a, b *Result) bool { return better(h, a, b, opts.Objective) },
 		Cut:    func(r *Result) int { return r.CutSize },
@@ -288,8 +303,8 @@ func better(h *hypergraph.Hypergraph, a, b *Result, obj Objective) bool {
 // runOnce executes one start: longest BFS path, double-BFS cut,
 // boundary completion, module assignment, repair, scoring. The scratch
 // arena (may be nil) backs buffers that die with the start.
-func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options, scratch *engine.Scratch) *Result {
-	u, v, depth := ig.G.LongestBFSPath(rng)
+func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options, scratch *engine.Scratch) (*Result, error) {
+	u, v, depth := seedPath(h, ig, rng, opts.Constraint)
 	pb := partialFromCut(h, ig, u, v, opts.BalancedBFS, scratch)
 
 	var winner []bool
@@ -319,6 +334,14 @@ func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opt
 			p = q
 		}
 	}
+	if !opts.Constraint.IsZero() {
+		// The paper's pipeline knows nothing of pins or ε; the shared
+		// greedy repair restores the contract before scoring, so every
+		// start competes on constraint-respecting partitions.
+		if err := rebalance.Enforce(h, p, opts.Constraint); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 
 	res := &Result{
 		Partition: p,
@@ -329,7 +352,79 @@ func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opt
 	res.Stats.BFSDepth = depth
 	res.Stats.BoundarySize = len(pb.Boundary.Nets)
 	res.Stats.Repaired = repaired
-	return res
+	return res, nil
+}
+
+// seedPath picks the double-BFS endpoints for one start. Unconstrained
+// it is the paper's random longest BFS path. With fixed vertices, u is
+// drawn among nets touching a Left-fixed module and v among nets
+// touching a Right-fixed one, so the expanding sets grow outward from
+// the pinned regions and the completed partition starts near the
+// contract; when either side pins no included net, the longest-path
+// draw is kept.
+func seedPath(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, c partition.Constraint) (u, v, depth int) {
+	if !c.HasFixed() {
+		return ig.G.LongestBFSPath(rng)
+	}
+	nG := ig.G.NumVertices()
+	inL := make([]bool, nG)
+	inR := make([]bool, nG)
+	for m := 0; m < h.NumVertices(); m++ {
+		f := c.Fixed(m)
+		if f < 0 {
+			continue
+		}
+		for _, e := range h.VertexEdges(m) {
+			if gi := ig.GVertexOf[e]; gi >= 0 {
+				if f == 0 {
+					inL[gi] = true
+				} else {
+					inR[gi] = true
+				}
+			}
+		}
+	}
+	var lefts, rights []int
+	for g := 0; g < nG; g++ {
+		if inL[g] {
+			lefts = append(lefts, g)
+		}
+		if inR[g] {
+			rights = append(rights, g)
+		}
+	}
+	if len(lefts) == 0 || len(rights) == 0 {
+		return ig.G.LongestBFSPath(rng)
+	}
+	u = lefts[rng.Intn(len(lefts))]
+	v = rights[rng.Intn(len(rights))]
+	if v == u {
+		// The drawn net pins modules of both sides; find any distinct
+		// endpoint, else give up on fixed seeding for this start.
+		for _, g := range rights {
+			if g != u {
+				v = g
+				break
+			}
+		}
+		if v == u {
+			for _, g := range lefts {
+				if g != v {
+					u = g
+					break
+				}
+			}
+		}
+		if v == u {
+			return ig.G.LongestBFSPath(rng)
+		}
+	}
+	dist, _ := ig.G.BFS(u)
+	depth = dist[v]
+	if depth < 0 {
+		depth = 0
+	}
+	return u, v, depth
 }
 
 // majorityFallback assigns each module to the side held by the

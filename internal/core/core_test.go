@@ -582,3 +582,54 @@ func TestCompleteCutGreedyKnownGraphs(t *testing.T) {
 		t.Errorf("isolated losers = %d, want 0", got)
 	}
 }
+
+// TestConstraintSeedingAndEnforcement pins one vertex of each cluster
+// to the OPPOSITE cluster's natural side and runs Algorithm I under an
+// ε bound: the fixed-seeded double-BFS plus the final repair must keep
+// every pin in place and both sides inside MaxSideWeight, across seeds.
+func TestConstraintSeedingAndEnforcement(t *testing.T) {
+	h := twoClusters(t, 8, 2)
+	n := h.NumVertices()
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	fixed[0] = 1     // cluster-A vertex forced Right
+	fixed[n-1] = 0   // cluster-B vertex forced Left
+	c := partition.Constraint{Epsilon: 0.25, FixedSide: fixed}
+	maxSide := c.MaxSideWeight(h.TotalVertexWeight(), 2)
+	for seed := int64(1); seed <= 6; seed++ {
+		res, err := Bipartition(h, Options{Seed: seed, Starts: 3, Constraint: c})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Partition.Validate(h); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !c.RespectsFixed(res.Partition) {
+			t.Errorf("seed %d: fixed vertex moved", seed)
+		}
+		l, r := partition.SideWeights(h, res.Partition)
+		if l > maxSide || r > maxSide {
+			t.Errorf("seed %d: side weights %d/%d exceed bound %d", seed, l, r, maxSide)
+		}
+	}
+}
+
+// TestConstraintSeedPathFallsBack: fixed vertices whose nets all share
+// one G-vertex cannot seed a distinct pair, so seedPath must fall back
+// to the longest-BFS-path draw instead of failing.
+func TestConstraintSeedPathFallsBack(t *testing.T) {
+	// A star: every net contains vertex 0, so the dual graph collapses
+	// the fixed nets onto overlapping G-vertices.
+	h := mkHG(t, 6, [][]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	fixed := []int8{partition.FreeVertex, 0, partition.FreeVertex, partition.FreeVertex, partition.FreeVertex, 1}
+	c := partition.Constraint{FixedSide: fixed}
+	res, err := Bipartition(h, Options{Seed: 3, Starts: 4, Constraint: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RespectsFixed(res.Partition) {
+		t.Error("fixed vertex moved on the degenerate star")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/maxflow"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures Bisect.
@@ -37,6 +38,13 @@ type Options struct {
 	// concurrently; values < 1 mean GOMAXPROCS. Wall time only, never
 	// the result.
 	Parallelism int
+	// Constraint is the unified balance contract: Left-fixed vertices
+	// are welded to the source and Right-fixed ones to the sink with
+	// uncuttable arcs (so the min cut can never separate a fixed vertex
+	// from its side), seed pairs are drawn fixed-compatibly, and the
+	// resulting cut is repaired onto the ε bound. The zero value
+	// preserves historical behavior exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every solved pair into its
 	// sink and resumes from its recovered state — see internal/checkpoint.
 	// A resumed run returns the same Result an uninterrupted run would
@@ -70,6 +78,14 @@ func MinNetCut(h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int6
 // nothing, so on expiry the context's error is returned and the
 // partial partition is discarded.
 func MinNetCutCtx(ctx context.Context, h *hypergraph.Hypergraph, s, t int) (*partition.Bipartition, int64, error) {
+	return minNetCutFixed(ctx, h, s, t, partition.Constraint{})
+}
+
+// minNetCutFixed is the fixed-aware net-cut solve: besides the standard
+// net model, every Left-fixed vertex is welded to s and every
+// Right-fixed vertex to t with uncuttable arcs, so the minimum cut
+// keeps each pinned module on its side.
+func minNetCutFixed(ctx context.Context, h *hypergraph.Hypergraph, s, t int, c partition.Constraint) (*partition.Bipartition, int64, error) {
 	n := h.NumVertices()
 	if s < 0 || s >= n || t < 0 || t >= n || s == t {
 		return nil, 0, fmt.Errorf("flowpart: bad seed pair (%d, %d)", s, t)
@@ -83,6 +99,14 @@ func MinNetCutCtx(ctx context.Context, h *hypergraph.Hypergraph, s, t int) (*par
 		for _, v := range h.EdgePins(e) {
 			g.AddArc(v, e1, maxflow.Inf)
 			g.AddArc(e2, v, maxflow.Inf)
+		}
+	}
+	for v := 0; v < n; v++ {
+		switch f := c.Fixed(v); {
+		case f == 0 && v != s:
+			g.AddArc(s, v, maxflow.Inf)
+		case f > 0 && v != t:
+			g.AddArc(v, t, maxflow.Inf)
 		}
 	}
 	value, err := g.MaxFlowCtx(ctx, s, t)
@@ -99,6 +123,53 @@ func MinNetCutCtx(ctx context.Context, h *hypergraph.Hypergraph, s, t int) (*par
 		}
 	}
 	return p, value, nil
+}
+
+// drawSeedPair picks the (s, t) modules for one start. Unconstrained,
+// it reproduces the historical draw sequence exactly. With fixed
+// vertices, s is drawn among Left-fixed modules and t among Right-fixed
+// ones when those sets are nonempty, so the welded arcs never collapse
+// the pair onto one side.
+func drawSeedPair(n int, rng *rand.Rand, c partition.Constraint) (int, int) {
+	if !c.HasFixed() {
+		s := rng.Intn(n)
+		t := rng.Intn(n)
+		for t == s {
+			t = rng.Intn(n)
+		}
+		return s, t
+	}
+	var lefts, rights []int
+	for v := 0; v < n; v++ {
+		switch f := c.Fixed(v); {
+		case f == 0:
+			lefts = append(lefts, v)
+		case f > 0:
+			rights = append(rights, v)
+		}
+	}
+	s := -1
+	if len(lefts) > 0 {
+		s = lefts[rng.Intn(len(lefts))]
+	}
+	t := -1
+	if len(rights) > 0 {
+		t = rights[rng.Intn(len(rights))]
+	}
+	for s == -1 || s == t {
+		s = rng.Intn(n)
+		if c.Fixed(s) > 0 {
+			s = -1 // can't source from a Right-fixed module
+			continue
+		}
+	}
+	for t == -1 || t == s {
+		t = rng.Intn(n)
+		if c.Fixed(t) == 0 {
+			t = -1 // can't sink at a Left-fixed module
+		}
+	}
+	return s, t
 }
 
 // Bisect partitions h by minimizing the net cut over several random
@@ -123,17 +194,30 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 	if n < 2 {
 		return nil, fmt.Errorf("flowpart: hypergraph has %d vertices; need at least 2", n)
 	}
+	if c := opts.Constraint; c.HasFixed() {
+		// drawSeedPair needs at least one source-eligible and one
+		// sink-eligible module; a fixed set covering every vertex on one
+		// side admits no bipartition at all.
+		srcOK, sinkOK := false, false
+		for v := 0; v < n; v++ {
+			if c.Fixed(v) <= 0 {
+				srcOK = true // free or Left-fixed: source-eligible
+			}
+			if c.Fixed(v) != 0 {
+				sinkOK = true // free or Right-fixed: sink-eligible
+			}
+		}
+		if !srcOK || !sinkOK {
+			return nil, fmt.Errorf("flowpart: fixed assignment pins every module to one side")
+		}
+	}
 	best, es, err := engine.Run(ctx, engine.Spec[*Result]{
 		Name:        "flow",
 		Starts:      engine.NormalizeTo(opts.SeedPairs, 5),
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Run: func(ctx context.Context, start int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
-			s := rng.Intn(n)
-			t := rng.Intn(n)
-			for t == s {
-				t = rng.Intn(n)
-			}
+			s, t := drawSeedPair(n, rng, opts.Constraint)
 			// An exact cut has no usable partial result, so a deadline
 			// mid-solve returns ctx's error, which the engine treats as
 			// "this pair never ran" — the run degrades to the pairs
@@ -143,9 +227,16 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 			if start == 0 {
 				ctx = context.Background()
 			}
-			p, value, err := MinNetCutCtx(ctx, h, s, t)
+			p, value, err := minNetCutFixed(ctx, h, s, t, opts.Constraint)
 			if err != nil {
 				return nil, err
+			}
+			if !opts.Constraint.IsZero() {
+				// The flow respects the pins exactly but knows nothing of
+				// the ε bound; the shared greedy repair finishes the job.
+				if err := rebalance.Enforce(h, p, opts.Constraint); err != nil {
+					return nil, fmt.Errorf("flowpart: %w", err)
+				}
 			}
 			return &Result{Partition: p, CutSize: partition.CutSize(h, p), FlowValue: value}, nil
 		},

@@ -21,6 +21,7 @@ import (
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures the partitioner.
@@ -43,6 +44,12 @@ type Options struct {
 	// Parallelism is the number of workers running starts concurrently;
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract: fixed vertices never
+	// enter the gain buckets, and the pass-legality bound derives from
+	// Constraint.MaxSideWeight instead of BalanceFraction float math.
+	// The zero value falls back to BalanceFraction via the ε = 2b
+	// mapping, so both knobs round identically at odd total weights.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed start into its
 	// sink and resumes from its recovered state — see internal/checkpoint.
 	// A resumed run returns the same Result an uninterrupted run would.
@@ -90,7 +97,12 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Run: func(ctx context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
-			p := kl.RandomBisection(h.NumVertices(), rng)
+			var p *partition.Bipartition
+			if opts.Constraint.IsZero() {
+				p = kl.RandomBisection(h.NumVertices(), rng)
+			} else {
+				p = kl.RandomBisectionConstrained(h, rng, opts.Constraint)
+			}
 			return improveLocked(ctx, h, p, nil, opts, scratch)
 		},
 		Better: func(a, b *Result) bool { return betterResult(h, a, b) },
@@ -159,14 +171,40 @@ func improveLocked(ctx context.Context, h *hypergraph.Hypergraph, p *partition.B
 	if fixed != nil && len(fixed) != h.NumVertices() {
 		return nil, fmt.Errorf("fm: fixed covers %d vertices, hypergraph has %d", len(fixed), h.NumVertices())
 	}
+	c := opts.Constraint
+	if !c.IsZero() {
+		if err := rebalance.Enforce(h, p, c); err != nil {
+			return nil, fmt.Errorf("fm: %w", err)
+		}
+		// The constraint's pins are permanent locks, merged with any
+		// caller-supplied fixed set.
+		if cb := c.FixedBools(h.NumVertices()); cb != nil {
+			if fixed == nil {
+				fixed = cb
+			} else {
+				merged := make([]bool, len(fixed))
+				copy(merged, fixed)
+				for v := range cb {
+					merged[v] = merged[v] || cb[v]
+				}
+				fixed = merged
+			}
+		}
+	}
 	s, err := cutstate.New(h, p)
 	if err != nil {
 		return nil, fmt.Errorf("fm: %w", err)
 	}
-	minSide := int64(float64(h.TotalVertexWeight()) * (0.5 - opts.BalanceFraction))
-	if minSide < 0 {
-		minSide = 0
+	// The balance legality bound: both knobs (the ε contract and the
+	// legacy BalanceFraction) route through Constraint.MaxSideWeight so
+	// that odd total weights truncate identically everywhere. Keeping a
+	// side at ≥ minSide automatically caps the other at maxSide since
+	// the two are complements.
+	bal := c
+	if !bal.HasBalance() {
+		bal = partition.FromBalanceFraction(opts.BalanceFraction)
 	}
+	minSide := bal.MinSideWeight(h.TotalVertexWeight())
 	// Side arrays are leased once per improvement run and re-zeroed by
 	// each pass, so repeated passes (and parallel starts) do not
 	// reallocate them.

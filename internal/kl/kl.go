@@ -19,6 +19,7 @@ package kl
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -27,6 +28,7 @@ import (
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures the partitioner.
@@ -47,6 +49,12 @@ type Options struct {
 	// Parallelism is the number of workers running starts concurrently;
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract: fixed vertices are
+	// locked out of swap selection, and (when an ε bound is present)
+	// swaps that would push a side past Constraint.MaxSideWeight are
+	// rejected. The zero value preserves the historical unconstrained
+	// behavior exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed start into its
 	// sink and resumes from its recovered state — see internal/checkpoint.
 	// A resumed run returns the same Result an uninterrupted run would.
@@ -96,7 +104,7 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Run: func(ctx context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
-			p := RandomBisection(h.NumVertices(), rng)
+			p := seedBisection(h, rng, opts.Constraint)
 			return improve(ctx, h, p, opts, scratch)
 		},
 		Better: func(a, b *Result) bool { return betterResult(h, a, b) },
@@ -145,6 +153,52 @@ func RandomBisection(n int, rng *rand.Rand) *partition.Bipartition {
 	return p
 }
 
+// seedBisection builds the initial bisection for one start: the plain
+// uniform RandomBisection when c is zero (preserving historical RNG
+// consumption exactly), RandomBisectionConstrained otherwise.
+func seedBisection(h *hypergraph.Hypergraph, rng *rand.Rand, c partition.Constraint) *partition.Bipartition {
+	if c.IsZero() {
+		return RandomBisection(h.NumVertices(), rng)
+	}
+	return RandomBisectionConstrained(h, rng, c)
+}
+
+// RandomBisectionConstrained returns a random bisection honoring the
+// constraint: fixed vertices go to their pinned sides, and the free
+// vertices are visited in a random order and greedily assigned to the
+// lighter side so the ε bound is met whenever it is meetable by this
+// construction. Deterministic for a fixed rng stream.
+func RandomBisectionConstrained(h *hypergraph.Hypergraph, rng *rand.Rand, c partition.Constraint) *partition.Bipartition {
+	n := h.NumVertices()
+	p := partition.New(n)
+	var lw, rw int64
+	free := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		switch f := c.Fixed(v); {
+		case f == 0:
+			p.Assign(v, partition.Left)
+			lw += h.VertexWeight(v)
+		case f > 0:
+			p.Assign(v, partition.Right)
+			rw += h.VertexWeight(v)
+		default:
+			free = append(free, v)
+		}
+	}
+	perm := rng.Perm(len(free))
+	for _, i := range perm {
+		v := free[i]
+		if lw <= rw {
+			p.Assign(v, partition.Left)
+			lw += h.VertexWeight(v)
+		} else {
+			p.Assign(v, partition.Right)
+			rw += h.VertexWeight(v)
+		}
+	}
+	return p
+}
+
 // Improve runs KL passes from the given complete bipartition, which is
 // modified in place and returned. Swaps preserve the initial side
 // cardinalities exactly.
@@ -162,6 +216,12 @@ func ImproveCtx(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipa
 
 func improve(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options, scratch *engine.Scratch) (*Result, error) {
 	opts.defaults()
+	c := opts.Constraint
+	if !c.IsZero() {
+		if err := rebalance.Enforce(h, p, c); err != nil {
+			return nil, fmt.Errorf("kl: %w", err)
+		}
+	}
 	if err := p.Validate(h); err != nil {
 		return nil, fmt.Errorf("kl: %w", err)
 	}
@@ -169,13 +229,17 @@ func improve(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Biparti
 	if err != nil {
 		return nil, fmt.Errorf("kl: %w", err)
 	}
+	maxSide := int64(math.MaxInt64)
+	if c.HasBalance() {
+		maxSide = c.MaxSideWeight(h.TotalVertexWeight(), 2)
+	}
 	// The locked side array is leased once per improvement run and
 	// re-zeroed by each pass.
 	locked := scratch.Bools(h.NumVertices())
 	passes := 0
 	for passes < opts.MaxPasses && ctx.Err() == nil {
 		passes++
-		if gain := runPass(s, opts.Candidates, locked); gain <= 0 {
+		if gain := runPass(s, opts.Candidates, locked, c, maxSide); gain <= 0 {
 			break
 		}
 	}
@@ -185,7 +249,7 @@ func improve(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Biparti
 // runPass executes one KL pass on s and returns the net cut improvement
 // it kept (0 when the pass was fully rewound). locked is a caller-owned
 // length-n side array, re-zeroed on entry.
-func runPass(s *cutstate.State, candidates int, locked []bool) int {
+func runPass(s *cutstate.State, candidates int, locked []bool, c partition.Constraint, maxSide int64) int {
 	clear(locked)
 
 	type swap struct{ a, b int }
@@ -193,7 +257,7 @@ func runPass(s *cutstate.State, candidates int, locked []bool) int {
 	cum, bestCum, bestIdx := 0, 0, -1
 
 	for {
-		a, b, ok := selectSwap(s, locked, candidates)
+		a, b, ok := selectSwap(s, locked, candidates, c, maxSide)
 		if !ok {
 			break
 		}
@@ -216,9 +280,11 @@ func runPass(s *cutstate.State, candidates int, locked []bool) int {
 }
 
 // selectSwap picks the best swap among the top-`candidates` gain
-// vertices of each side, by exact hypergraph swap gain. Deterministic:
+// vertices of each side, by exact hypergraph swap gain. Vertices pinned
+// by the constraint never enter the candidate pool, and swaps that
+// would push a side's weight past maxSide are rejected. Deterministic:
 // ties break toward lower vertex indices.
-func selectSwap(s *cutstate.State, locked []bool, candidates int) (a, b int, ok bool) {
+func selectSwap(s *cutstate.State, locked []bool, candidates int, c partition.Constraint, maxSide int64) (a, b int, ok bool) {
 	h := s.Hypergraph()
 	n := h.NumVertices()
 	type cand struct {
@@ -227,14 +293,14 @@ func selectSwap(s *cutstate.State, locked []bool, candidates int) (a, b int, ok 
 	}
 	var ls, rs []cand
 	for v := 0; v < n; v++ {
-		if locked[v] {
+		if locked[v] || c.Fixed(v) >= 0 {
 			continue
 		}
-		c := cand{v, s.Gain(v)}
+		cd := cand{v, s.Gain(v)}
 		if s.Side(v) == partition.Left {
-			ls = append(ls, c)
+			ls = append(ls, cd)
 		} else {
-			rs = append(rs, c)
+			rs = append(rs, cd)
 		}
 	}
 	if len(ls) == 0 || len(rs) == 0 {
@@ -253,10 +319,15 @@ func selectSwap(s *cutstate.State, locked []bool, candidates int) (a, b int, ok 
 		return cs
 	}
 	ls, rs = top(ls), top(rs)
+	lw, rw := s.Weights()
+	total := lw + rw
 	bestGain := 0
 	found := false
 	for _, ca := range ls {
 		for _, cb := range rs {
+			if nl := lw - h.VertexWeight(ca.v) + h.VertexWeight(cb.v); nl > maxSide || total-nl > maxSide {
+				continue
+			}
 			g := s.SwapGain(ca.v, cb.v)
 			if !found || g > bestGain ||
 				(g == bestGain && (ca.v < a || (ca.v == a && cb.v < b))) {

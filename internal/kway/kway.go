@@ -14,6 +14,7 @@ package kway
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -42,6 +43,18 @@ type Options struct {
 	// Algorithm I multi-start (the recursion itself is sequential);
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract, interpreted K-way:
+	// FixedSide entries are target part ids in [0, K) (−1 free; K ≤ 127
+	// when fixed vertices are present, the int8 limit), and Epsilon
+	// bounds every part at Constraint.MaxSideWeight(W, K). Recursive
+	// bisection splits the ε budget geometrically across the ⌈log₂K⌉
+	// levels — each level runs at ε′ = (1+ε)^(1/⌈log₂K⌉) − 1 so the
+	// leaf-level product stays within the requested bound — and each
+	// split pins every fixed vertex to the group containing its target
+	// part. When Constraint carries no ε, BalanceFraction is mapped
+	// through the same contract (partition.FromBalanceFraction), so all
+	// tolerance math flows through Constraint.MaxSideWeight.
+	Constraint partition.Constraint
 }
 
 func (o *Options) defaults() {
@@ -88,6 +101,12 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (
 	if opts.K > h.NumVertices() {
 		return nil, fmt.Errorf("kway: K=%d exceeds vertex count %d", opts.K, h.NumVertices())
 	}
+	if err := opts.Constraint.Validate(h.NumVertices(), opts.K); err != nil {
+		return nil, fmt.Errorf("kway: %w", err)
+	}
+	if opts.Constraint.HasFixed() && opts.K > 127 {
+		return nil, fmt.Errorf("kway: fixed vertices support K <= 127, got %d", opts.K)
+	}
 	begin := time.Now()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	part := make([]int, h.NumVertices())
@@ -95,7 +114,7 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (
 	for v := range all {
 		all[v] = v
 	}
-	if err := split(ctx, h, all, 0, opts.K, part, opts, rng); err != nil {
+	if err := split(ctx, h, all, 0, opts.K, part, opts, rng, levelEpsilon(opts)); err != nil {
 		return nil, err
 	}
 	res := &Result{Part: part, K: opts.K, PartWeights: make([]int64, opts.K)}
@@ -142,9 +161,29 @@ func Metrics(h *hypergraph.Hypergraph, part []int, k int) (cutNets int, connecti
 	return cutNets, connectivity
 }
 
+// levelEpsilon splits the K-way ε budget across the recursion depth:
+// ⌈log₂K⌉ nested bisections each running at ε′ = (1+ε)^(1/depth) − 1
+// compound to at most the requested (1+ε). When the constraint carries
+// no ε, the legacy BalanceFraction is mapped through the same contract
+// so every tolerance below flows through Constraint.MaxSideWeight.
+func levelEpsilon(opts Options) float64 {
+	eps := opts.Constraint.Epsilon
+	if !opts.Constraint.HasBalance() {
+		eps = partition.FromBalanceFraction(opts.BalanceFraction).Epsilon
+	}
+	depth := 0
+	for 1<<depth < opts.K {
+		depth++
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return math.Pow(1+eps, 1/float64(depth)) - 1
+}
+
 // split assigns part ids [firstPart, firstPart+k) to the given
 // vertices.
-func split(ctx context.Context, h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []int, opts Options, rng *rand.Rand) error {
+func split(ctx context.Context, h *hypergraph.Hypergraph, vertices []int, firstPart, k int, part []int, opts Options, rng *rand.Rand, epsLevel float64) error {
 	if k == 1 {
 		for _, v := range vertices {
 			part[v] = firstPart
@@ -155,17 +194,43 @@ func split(ctx context.Context, h *hypergraph.Hypergraph, vertices []int, firstP
 	kRight := k - kLeft
 
 	sub, origOf := induce(h, vertices)
-	p := bipartitionSub(ctx, sub, opts, rng)
 
-	// Rebalance to the proportional target kLeft : kRight.
+	// Project the K-way fixed assignment onto this split: a vertex with
+	// target part < firstPart+kLeft belongs to the left group, the rest
+	// to the right. Nil when nothing in this subset is pinned.
+	var subFixed []int8
+	if c := opts.Constraint; c.HasFixed() {
+		for i, v := range origOf {
+			if f := c.Fixed(v); f >= 0 {
+				if subFixed == nil {
+					subFixed = make([]int8, sub.NumVertices())
+					for j := range subFixed {
+						subFixed[j] = partition.FreeVertex
+					}
+				}
+				if int(f) < firstPart+kLeft {
+					subFixed[i] = 0
+				} else {
+					subFixed[i] = 1
+				}
+			}
+		}
+	}
+	subC := partition.Constraint{Epsilon: epsLevel, FixedSide: subFixed}
+	p := bipartitionSub(ctx, sub, opts, rng, subC)
+
+	// Rebalance to the proportional target kLeft : kRight. The band is
+	// derived from the unified contract: the left group holds kLeft of
+	// the k parts, each bounded by MaxSideWeight(W, k) at this level's ε.
 	target := sub.TotalVertexWeight() * int64(kLeft) / int64(k)
-	tol := int64(opts.BalanceFraction * float64(sub.TotalVertexWeight()))
+	maxLeft := int64(kLeft) * subC.MaxSideWeight(sub.TotalVertexWeight(), k)
+	tol := maxLeft - target
 	if err := p.Validate(sub); err == nil {
-		if _, err := rebalance.ToTarget(sub, p, target, tol); err != nil {
+		if _, err := rebalance.ToTargetFixed(sub, p, target, tol, subFixed); err != nil {
 			return fmt.Errorf("kway: %w", err)
 		}
 		if ctx.Err() == nil {
-			_, ferr := fm.ImproveCtx(ctx, sub, p, fm.Options{BalanceFraction: opts.BalanceFraction})
+			_, ferr := fm.ImproveCtx(ctx, sub, p, fm.Options{BalanceFraction: opts.BalanceFraction, Constraint: subC})
 			_ = ferr // refinement is best-effort
 		}
 	}
@@ -178,24 +243,55 @@ func split(ctx context.Context, h *hypergraph.Hypergraph, vertices []int, firstP
 			right = append(right, v)
 		}
 	}
-	// Guarantee enough vertices on each side for the part counts.
+	// Guarantee enough vertices on each side for the part counts,
+	// moving only vertices the fixed assignment allows across.
+	mayGo := func(v int, toLeft bool) bool {
+		f := opts.Constraint.Fixed(v)
+		if f < 0 {
+			return true
+		}
+		if toLeft {
+			return int(f) < firstPart+kLeft
+		}
+		return int(f) >= firstPart+kLeft
+	}
 	for len(left) < kLeft && len(right) > kRight {
-		left = append(left, right[len(right)-1])
-		right = right[:len(right)-1]
+		moved := false
+		for i := len(right) - 1; i >= 0; i-- {
+			if mayGo(right[i], true) {
+				left = append(left, right[i])
+				right = append(right[:i], right[i+1:]...)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return fmt.Errorf("kway: fixed assignment leaves fewer than %d movable vertices for parts [%d, %d)", kLeft, firstPart, firstPart+kLeft)
+		}
 	}
 	for len(right) < kRight && len(left) > kLeft {
-		right = append(right, left[len(left)-1])
-		left = left[:len(left)-1]
+		moved := false
+		for i := len(left) - 1; i >= 0; i-- {
+			if mayGo(left[i], false) {
+				right = append(right, left[i])
+				left = append(left[:i], left[i+1:]...)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return fmt.Errorf("kway: fixed assignment leaves fewer than %d movable vertices for parts [%d, %d)", kRight, firstPart+kLeft, firstPart+k)
+		}
 	}
-	if err := split(ctx, h, left, firstPart, kLeft, part, opts, rng); err != nil {
+	if err := split(ctx, h, left, firstPart, kLeft, part, opts, rng, epsLevel); err != nil {
 		return err
 	}
-	return split(ctx, h, right, firstPart+kLeft, kRight, part, opts, rng)
+	return split(ctx, h, right, firstPart+kLeft, kRight, part, opts, rng, epsLevel)
 }
 
-// bipartitionSub cuts an induced sub-hypergraph, falling back to an
-// alternating assignment for degenerate subsets.
-func bipartitionSub(ctx context.Context, sub *hypergraph.Hypergraph, opts Options, rng *rand.Rand) *partition.Bipartition {
+// bipartitionSub cuts an induced sub-hypergraph, falling back to a
+// fixed-respecting alternating assignment for degenerate subsets.
+func bipartitionSub(ctx context.Context, sub *hypergraph.Hypergraph, opts Options, rng *rand.Rand, c partition.Constraint) *partition.Bipartition {
 	if sub.NumVertices() >= 2 {
 		res, err := core.BipartitionCtx(ctx, sub, core.Options{
 			Starts:      opts.Starts,
@@ -204,17 +300,27 @@ func bipartitionSub(ctx context.Context, sub *hypergraph.Hypergraph, opts Option
 			BalancedBFS: true,
 			Completion:  core.CompletionWeighted,
 			Parallelism: opts.Parallelism,
+			Constraint:  c,
 		})
 		if err == nil {
 			return res.Partition
 		}
 	}
 	p := partition.New(sub.NumVertices())
+	free := 0
 	for i := 0; i < sub.NumVertices(); i++ {
-		if i%2 == 0 {
+		switch f := c.Fixed(i); {
+		case f == 0:
 			p.Assign(i, partition.Left)
-		} else {
+		case f > 0:
 			p.Assign(i, partition.Right)
+		default:
+			if free%2 == 0 {
+				p.Assign(i, partition.Left)
+			} else {
+				p.Assign(i, partition.Right)
+			}
+			free++
 		}
 	}
 	return p

@@ -1,11 +1,13 @@
 package kway
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"fasthgp/internal/gen"
 	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
 )
 
 func profileHG(t *testing.T, n, m int) *hypergraph.Hypergraph {
@@ -151,5 +153,72 @@ func TestKEqualsN(t *testing.T) {
 	// Every net crosses when each vertex is its own part.
 	if res.CutNets != h.NumEdges() {
 		t.Errorf("cut nets = %d, want all %d", res.CutNets, h.NumEdges())
+	}
+}
+
+func TestLevelEpsilonCompounds(t *testing.T) {
+	// Splitting ε across ⌈log₂K⌉ recursion levels must compound back to
+	// the requested bound: (1+ε′)^depth = 1+ε.
+	for _, tc := range []struct {
+		k     int
+		eps   float64
+		depth int
+	}{
+		{2, 0.1, 1}, {4, 0.1, 2}, {8, 0.3, 3}, {6, 0.2, 3}, {16, 0.05, 4},
+	} {
+		got := levelEpsilon(Options{K: tc.k, Constraint: partition.Constraint{Epsilon: tc.eps}})
+		compound := math.Pow(1+got, float64(tc.depth)) - 1
+		if math.Abs(compound-tc.eps) > 1e-12 {
+			t.Errorf("K=%d ε=%g: per-level %g compounds to %g", tc.k, tc.eps, got, compound)
+		}
+	}
+}
+
+// TestConstraintKWayFixed drives 4-way partitioning with vertices
+// pinned to specific parts: every pin must land on its part, every part
+// stays nonempty, and part weights respect the compounded ε bound.
+func TestConstraintKWayFixed(t *testing.T) {
+	h := profileHG(t, 120, 260)
+	n := h.NumVertices()
+	const k = 4
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	// One pin per part, spread across the vertex range.
+	pins := map[int]int8{0: 0, 17: 1, 63: 2, n - 1: 3}
+	for v, p := range pins {
+		fixed[v] = p
+	}
+	c := partition.Constraint{Epsilon: 0.3, FixedSide: fixed}
+	res, err := Partition(h, Options{K: k, Seed: 5, Constraint: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range pins {
+		if res.Part[v] != int(p) {
+			t.Errorf("pinned vertex %d on part %d, want %d", v, res.Part[v], p)
+		}
+	}
+	maxPart := c.MaxSideWeight(h.TotalVertexWeight(), k)
+	for p, w := range res.PartWeights {
+		if w == 0 {
+			t.Errorf("part %d empty", p)
+		}
+		if w > maxPart {
+			t.Errorf("part %d weight %d exceeds (1+ε)-bound %d", p, w, maxPart)
+		}
+	}
+}
+
+func TestConstraintKWayRejectsWideKWithFixed(t *testing.T) {
+	h := profileHG(t, 300, 600)
+	fixed := make([]int8, h.NumVertices())
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	fixed[0] = 0
+	if _, err := Partition(h, Options{K: 128, Constraint: partition.Constraint{FixedSide: fixed}}); err == nil {
+		t.Error("accepted K=128 with fixed vertices (int8 side encoding tops out at 127)")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/kl"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures the multilevel partitioner.
@@ -46,6 +47,14 @@ type Options struct {
 	// the coarsest-level Algorithm I multi-start); values < 1 mean
 	// GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract, threaded through the
+	// whole V-cycle: coarsening never contracts two vertices pinned to
+	// opposite sides (so every level has a well-defined coarse fixed
+	// set), the coarsest-level initial cut and each level's FM
+	// refinement run under the projected constraint, and the final
+	// partition is hard-enforced against it. The zero value preserves
+	// historical behavior exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed V-cycle into
 	// its sink and resumes from its recovered state — see
 	// internal/checkpoint. A resumed run returns the same Result an
@@ -138,10 +147,17 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 
 // vcycle runs one full coarsen → initial cut → uncoarsen+refine cycle.
 func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand, innerParallelism int) *Result {
-	levels := coarsen.Hierarchy(h, rng, opts.MinCoarseVertices, 0)
+	c := opts.Constraint
+	var fineFixed []int8
+	if c.HasFixed() {
+		fineFixed = c.FixedSide
+	}
+	levels := coarsen.HierarchyFixed(h, rng, opts.MinCoarseVertices, 0, fineFixed)
 	coarsest := h
+	coarseC := c
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].Coarse
+		coarseC = levelConstraint(c, levels[len(levels)-1].Fixed)
 	}
 
 	// Initial partition of the coarsest level: Algorithm I with the
@@ -155,27 +171,40 @@ func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *ra
 		BalancedBFS: true,
 		Completion:  core.CompletionWeighted,
 		Parallelism: innerParallelism,
+		Constraint:  coarseC,
 	})
 	if err == nil {
 		p = res.Partition
-	} else {
+	} else if coarseC.IsZero() {
 		p = kl.RandomBisection(coarsest.NumVertices(), rng)
+	} else {
+		p = kl.RandomBisectionConstrained(coarsest, rng, coarseC)
 	}
-	refine(ctx, coarsest, p, opts)
+	refine(ctx, coarsest, p, opts, coarseC)
 
 	// Uncoarsen with refinement at every level. Projection always runs
 	// (the result must live on the input hypergraph); refinement stops
 	// once the context expires.
 	for i := len(levels) - 1; i >= 0; i-- {
 		var fine *hypergraph.Hypergraph
+		levelC := c
 		if i == 0 {
 			fine = h
 		} else {
 			fine = levels[i-1].Coarse
+			levelC = levelConstraint(c, levels[i-1].Fixed)
 		}
 		p = coarsen.Project(fine.NumVertices(), levels[i].Map, p)
 		if ctx.Err() == nil {
-			refine(ctx, fine, p, opts)
+			refine(ctx, fine, p, opts, levelC)
+		}
+	}
+	if !c.IsZero() {
+		// Refinement maintains the contract level by level, but a cycle
+		// cut short by ctx expiry may surface an unrefined projection;
+		// the shared repair makes the invariant unconditional.
+		if err := rebalance.Enforce(h, p, c); err == nil {
+			_ = err
 		}
 	}
 
@@ -187,12 +216,21 @@ func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *ra
 	}
 }
 
+// levelConstraint rebinds the contract to one coarsening level: same ε,
+// that level's coarse fixed set.
+func levelConstraint(c partition.Constraint, fixed []int8) partition.Constraint {
+	if c.IsZero() {
+		return c
+	}
+	return partition.Constraint{Epsilon: c.Epsilon, FixedSide: fixed}
+}
+
 // refine runs FM on p in place; refinement is best-effort and skipped
 // for degenerate partitions FM would reject.
-func refine(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options) {
+func refine(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options, c partition.Constraint) {
 	if err := p.Validate(h); err != nil {
 		return
 	}
-	_, err := fm.ImproveCtx(ctx, h, p, fm.Options{BalanceFraction: opts.BalanceFraction})
+	_, err := fm.ImproveCtx(ctx, h, p, fm.Options{BalanceFraction: opts.BalanceFraction, Constraint: c})
 	_ = err // FM validates the same preconditions; nothing to do on failure
 }

@@ -132,3 +132,74 @@ func TestDeterministicPerSeed(t *testing.T) {
 		t.Error("same seed gave different cuts")
 	}
 }
+
+// TestConstraintThroughVCycle pins vertices on a large instance (so
+// real coarsening levels are built) and requires the full V-cycle —
+// fixed-aware coarsening, constrained coarsest cut, constrained
+// per-level refinement, final enforcement — to deliver a partition
+// honoring both the pins and the ε bound.
+func TestConstraintThroughVCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	h, err := gen.Profile(gen.ProfileConfig{Modules: 400, Signals: 800, Technology: gen.StdCell}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := h.NumVertices()
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	for v := 0; v < 10; v++ {
+		fixed[v] = 0
+		fixed[n-1-v] = 1
+	}
+	c := partition.Constraint{Epsilon: 0.15, FixedSide: fixed}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := Bisect(h, Options{Seed: seed, Constraint: c})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Partition.Validate(h); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Levels < 1 {
+			t.Fatalf("seed %d: no coarsening levels — the test exercises nothing", seed)
+		}
+		if !c.RespectsFixed(res.Partition) {
+			t.Errorf("seed %d: fixed vertex moved through the V-cycle", seed)
+		}
+		maxSide := c.MaxSideWeight(h.TotalVertexWeight(), 2)
+		l, r := partition.SideWeights(h, res.Partition)
+		if l > maxSide || r > maxSide {
+			t.Errorf("seed %d: side weights %d/%d exceed bound %d", seed, l, r, maxSide)
+		}
+	}
+}
+
+// TestConstraintOppositePinsNeverContracted: coarsening must not merge
+// two vertices pinned to opposite sides — the coarse vertex could not
+// carry both pins. Indirectly certified by the pins surviving every
+// level of projection on an instance where they are adjacent.
+func TestConstraintOppositePinsNeverContracted(t *testing.T) {
+	// A tight chain where naturally every neighbor pair is a contraction
+	// candidate; adjacent vertices are pinned to opposite sides.
+	b := hypergraph.NewBuilder(64)
+	for i := 0; i+1 < 64; i++ {
+		b.AddEdge(i, i+1)
+	}
+	h := b.MustBuild()
+	fixed := make([]int8, 64)
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	fixed[30] = 0
+	fixed[31] = 1 // adjacent and opposite: the tempting contraction
+	c := partition.Constraint{FixedSide: fixed}
+	res, err := Bisect(h, Options{Seed: 4, MinCoarseVertices: 8, Constraint: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition.Side(30) != partition.Left || res.Partition.Side(31) != partition.Right {
+		t.Errorf("opposite pins broken: v30=%v v31=%v", res.Partition.Side(30), res.Partition.Side(31))
+	}
+}

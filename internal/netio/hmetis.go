@@ -185,3 +185,56 @@ func WriteHMetis(w io.Writer, h *hypergraph.Hypergraph) error {
 	}
 	return nil
 }
+
+// ReadHMetisFix parses an hMETIS fix file: one line per vertex, in
+// vertex order, holding the vertex's fixed part id or -1 for free.
+// Blank lines and %-comments are skipped. Exactly n assignments are
+// required. The result is nil when every vertex is free.
+func ReadHMetisFix(r io.Reader, n int) ([]int8, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	fixed := make([]int8, 0, n)
+	any := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 8)
+		if err != nil || v < -1 {
+			return nil, fmt.Errorf("netio: hmetis fix: line %d: bad part id %q", lineNo, line)
+		}
+		if len(fixed) == n {
+			return nil, fmt.Errorf("netio: hmetis fix: more than %d assignments", n)
+		}
+		fixed = append(fixed, int8(v))
+		if v >= 0 {
+			any = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netio: hmetis fix: %w", err)
+	}
+	if len(fixed) != n {
+		return nil, fmt.Errorf("netio: hmetis fix: %d assignments, want %d", len(fixed), n)
+	}
+	if !any {
+		return nil, nil
+	}
+	return fixed, nil
+}
+
+// WriteHMetisFix emits a fixed-vertex assignment in the hMETIS fix-file
+// format: one line per vertex with its part id, -1 for free.
+func WriteHMetisFix(w io.Writer, fixed []int8) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fixed {
+		fmt.Fprintf(bw, "%d\n", f)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("netio: hmetis fix: %w", err)
+	}
+	return nil
+}

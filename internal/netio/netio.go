@@ -5,10 +5,14 @@
 //	module <name> [weight]        # optional pre-registration
 //	net <name> <module> ...       # pins; unknown modules auto-register
 //	netweight <name> <weight>     # optional net weight
+//	fixed <name> <L|R|part-id>    # optional fixed-vertex pin
 //
 // Module and net names are arbitrary whitespace-free tokens. Modules
 // referenced only in net lines get weight 1. Indices are assigned in
 // first-appearance order, so write→read round-trips preserve them.
+// The fixed directive pins a module to a partition side — L (or 0)
+// and R (or 1) for bisection, larger part ids for K-way; ReadFixed
+// surfaces the assignment, plain Read parses and discards it.
 package netio
 
 import (
@@ -21,10 +25,21 @@ import (
 	"unicode"
 
 	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
 )
 
-// Read parses a netlist from r.
+// Read parses a netlist from r. Fixed-vertex directives are accepted
+// and discarded; use ReadFixed to surface them.
 func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
+	h, _, err := ReadFixed(r)
+	return h, err
+}
+
+// ReadFixed parses a netlist from r along with its fixed-vertex
+// assignment: fixed[v] is the pinned side of module v, or
+// partition.FreeVertex (−1) when free. The slice is nil when the input
+// carries no fixed directive at all.
+func ReadFixed(r io.Reader) (*hypergraph.Hypergraph, []int8, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 
@@ -38,6 +53,8 @@ func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
 		weight int64
 	}
 	var nets []netDecl
+	fixedOf := map[string]int8{}
+	var fixedOrder []string
 
 	module := func(name string) int {
 		if id, ok := moduleID[name]; ok {
@@ -61,29 +78,29 @@ func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
 		switch fields[0] {
 		case "module":
 			if len(fields) < 2 || len(fields) > 3 {
-				return nil, fmt.Errorf("netio: line %d: module wants a name and optional weight", lineNo)
+				return nil, nil, fmt.Errorf("netio: line %d: module wants a name and optional weight", lineNo)
 			}
 			id := module(fields[1])
 			if len(fields) == 3 {
 				w, err := strconv.ParseInt(fields[2], 10, 64)
 				if err != nil || w < 0 {
-					return nil, fmt.Errorf("netio: line %d: bad module weight %q", lineNo, fields[2])
+					return nil, nil, fmt.Errorf("netio: line %d: bad module weight %q", lineNo, fields[2])
 				}
 				moduleWeights[id] = w
 			}
 		case "net":
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("netio: line %d: net wants a name and at least one pin", lineNo)
+				return nil, nil, fmt.Errorf("netio: line %d: net wants a name and at least one pin", lineNo)
 			}
 			name := fields[1]
 			if _, dup := netID[name]; dup {
-				return nil, fmt.Errorf("netio: line %d: duplicate net %q", lineNo, name)
+				return nil, nil, fmt.Errorf("netio: line %d: duplicate net %q", lineNo, name)
 			}
 			pins := fields[2:]
 			seen := make(map[string]bool, len(pins))
 			for _, p := range pins {
 				if seen[p] {
-					return nil, fmt.Errorf("netio: line %d: net %q lists pin %q twice", lineNo, name, p)
+					return nil, nil, fmt.Errorf("netio: line %d: net %q lists pin %q twice", lineNo, name, p)
 				}
 				seen[p] = true
 			}
@@ -91,23 +108,37 @@ func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
 			nets = append(nets, netDecl{name: name, pins: pins, weight: 1})
 		case "netweight":
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("netio: line %d: netweight wants a name and a weight", lineNo)
+				return nil, nil, fmt.Errorf("netio: line %d: netweight wants a name and a weight", lineNo)
 			}
 			id, ok := netID[fields[1]]
 			if !ok {
-				return nil, fmt.Errorf("netio: line %d: netweight for undeclared net %q", lineNo, fields[1])
+				return nil, nil, fmt.Errorf("netio: line %d: netweight for undeclared net %q", lineNo, fields[1])
 			}
 			w, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil || w < 0 {
-				return nil, fmt.Errorf("netio: line %d: bad net weight %q", lineNo, fields[2])
+				return nil, nil, fmt.Errorf("netio: line %d: bad net weight %q", lineNo, fields[2])
 			}
 			nets[id].weight = w
+		case "fixed":
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("netio: line %d: fixed wants a module and a side", lineNo)
+			}
+			side, err := parseSide(fields[2])
+			if err != nil {
+				return nil, nil, fmt.Errorf("netio: line %d: %v", lineNo, err)
+			}
+			name := fields[1]
+			if _, dup := fixedOf[name]; dup {
+				return nil, nil, fmt.Errorf("netio: line %d: module %q fixed twice", lineNo, name)
+			}
+			fixedOf[name] = side
+			fixedOrder = append(fixedOrder, name)
 		default:
-			return nil, fmt.Errorf("netio: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, nil, fmt.Errorf("netio: line %d: unknown directive %q", lineNo, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("netio: %w", err)
+		return nil, nil, fmt.Errorf("netio: %w", err)
 	}
 
 	// Register net pins in order so indices are reproducible.
@@ -132,15 +163,52 @@ func Read(r io.Reader) (*hypergraph.Hypergraph, error) {
 	}
 	h, err := b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("netio: %w", err)
+		return nil, nil, fmt.Errorf("netio: %w", err)
 	}
-	return h, nil
+	var fixed []int8
+	if len(fixedOf) > 0 {
+		fixed = make([]int8, h.NumVertices())
+		for v := range fixed {
+			fixed[v] = partition.FreeVertex
+		}
+		for _, name := range fixedOrder {
+			id, ok := moduleID[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("netio: fixed directive names unknown module %q", name)
+			}
+			fixed[id] = fixedOf[name]
+		}
+	}
+	return h, fixed, nil
+}
+
+// parseSide parses a fixed-directive side token: L/l and R/r for the
+// two bisection sides, or a bare part id in [0, 127].
+func parseSide(tok string) (int8, error) {
+	switch tok {
+	case "L", "l":
+		return 0, nil
+	case "R", "r":
+		return 1, nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 8)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad fixed side %q (want L, R, or a part id)", tok)
+	}
+	return int8(v), nil
 }
 
 // Write emits h in the netio format. Module lines are emitted only for
 // modules with non-unit weight or no incident nets; net order and pin
 // order follow the hypergraph.
 func Write(w io.Writer, h *hypergraph.Hypergraph) error {
+	return WriteFixed(w, h, nil)
+}
+
+// WriteFixed is Write plus fixed directives for every pinned module in
+// fixed (entries of partition.FreeVertex are skipped; a nil slice emits
+// none). ReadFixed round-trips the assignment.
+func WriteFixed(w io.Writer, h *hypergraph.Hypergraph, fixed []int8) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# netlist: %d modules, %d nets\n", h.NumVertices(), h.NumEdges())
 	// Emit all module declarations first so indices round-trip even for
@@ -160,6 +228,16 @@ func Write(w io.Writer, h *hypergraph.Hypergraph) error {
 		fmt.Fprintln(bw)
 		if h.EdgeWeight(e) != 1 {
 			fmt.Fprintf(bw, "netweight %s %d\n", token(h.EdgeName(e)), h.EdgeWeight(e))
+		}
+	}
+	for v := 0; v < h.NumVertices() && v < len(fixed); v++ {
+		switch f := fixed[v]; {
+		case f == 0:
+			fmt.Fprintf(bw, "fixed %s L\n", token(h.VertexName(v)))
+		case f == 1:
+			fmt.Fprintf(bw, "fixed %s R\n", token(h.VertexName(v)))
+		case f > 1:
+			fmt.Fprintf(bw, "fixed %s %d\n", token(h.VertexName(v)), f)
 		}
 	}
 	if err := bw.Flush(); err != nil {

@@ -187,3 +187,86 @@ func TestTokenSanitizesUnicodeSpace(t *testing.T) {
 		}
 	}
 }
+
+func TestFixedRoundTrip(t *testing.T) {
+	b := hypergraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2, 3)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := []int8{0, -1, 1, -1}
+	var buf bytes.Buffer
+	if err := WriteFixed(&buf, h, fixed); err != nil {
+		t.Fatal(err)
+	}
+	h2, got, err := ReadFixed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumVertices() != 4 || h2.NumEdges() != 2 {
+		t.Fatalf("round-trip lost structure: %d vertices, %d edges", h2.NumVertices(), h2.NumEdges())
+	}
+	if len(got) != 4 {
+		t.Fatalf("fixed length %d, want 4", len(got))
+	}
+	for v := range fixed {
+		if got[v] != fixed[v] {
+			t.Errorf("fixed[%d] = %d, want %d", v, got[v], fixed[v])
+		}
+	}
+	// Plain Read must accept (and discard) the fixed directives.
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Read rejected fixed directives: %v", err)
+	}
+}
+
+func TestFixedDirectiveErrors(t *testing.T) {
+	for _, bad := range []string{
+		"net n1 a b\nfixed a X\n",
+		"net n1 a b\nfixed a\n",
+		"net n1 a b\nfixed a L\nfixed a R\n",
+		"net n1 a b\nfixed ghost L\n",
+	} {
+		if _, _, err := ReadFixed(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadFixed accepted %q", bad)
+		}
+	}
+}
+
+func TestReadFixedNilWhenAbsent(t *testing.T) {
+	_, fixed, err := ReadFixed(strings.NewReader("net n1 a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != nil {
+		t.Fatalf("fixed = %v, want nil", fixed)
+	}
+}
+
+func TestHMetisFixRoundTrip(t *testing.T) {
+	fixed := []int8{-1, 0, 1, -1, 2}
+	var buf bytes.Buffer
+	if err := WriteHMetisFix(&buf, fixed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHMetisFix(bytes.NewReader(buf.Bytes()), len(fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range fixed {
+		if got[v] != fixed[v] {
+			t.Errorf("fixed[%d] = %d, want %d", v, got[v], fixed[v])
+		}
+	}
+	if _, err := ReadHMetisFix(strings.NewReader("0\n1\n"), 3); err == nil {
+		t.Error("short fix file accepted")
+	}
+	if _, err := ReadHMetisFix(strings.NewReader("0\nbogus\n1\n"), 3); err == nil {
+		t.Error("malformed fix file accepted")
+	}
+	if all, err := ReadHMetisFix(strings.NewReader("-1\n-1\n-1\n"), 3); err != nil || all != nil {
+		t.Errorf("all-free fix file: got %v, %v; want nil, nil", all, err)
+	}
+}

@@ -1,6 +1,7 @@
 package rebalance
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -254,5 +255,101 @@ func TestBalanceBoundsTable(t *testing.T) {
 				t.Errorf("moved %d vertices, want %d", moved, c.wantMoved)
 			}
 		})
+	}
+}
+
+func TestToTargetNegativeTolerance(t *testing.T) {
+	h, p := lopsided(t, 10)
+	if _, err := ToTarget(h, p, 5, -1); !errors.Is(err, ErrNegativeTolerance) {
+		t.Fatalf("ToTarget(-1) error = %v, want ErrNegativeTolerance", err)
+	}
+}
+
+func TestEnforceAppliesFixedAndBalance(t *testing.T) {
+	h, p := lopsided(t, 16)
+	c := partition.Constraint{
+		Epsilon:   0.25,
+		FixedSide: []int8{0, -1, -1, 1}, // vertex 0 Left, vertex 3 Right
+	}
+	if err := Enforce(h, p, c); err != nil {
+		t.Fatal(err)
+	}
+	if p.Side(0) != partition.Left || p.Side(3) != partition.Right {
+		t.Fatalf("fixed vertices not respected: %v %v", p.Side(0), p.Side(3))
+	}
+	maxSide := c.MaxSideWeight(h.TotalVertexWeight(), 2)
+	l, r := partition.SideWeights(h, p)
+	if l > maxSide || r > maxSide {
+		t.Fatalf("sides %d|%d exceed maxSide %d", l, r, maxSide)
+	}
+	if _, err := verify.Check(h, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnforceZeroConstraintIsNoop(t *testing.T) {
+	h, p := lopsided(t, 8)
+	before := append([]partition.Side(nil), p.Sides()...)
+	if err := Enforce(h, p, partition.Constraint{}); err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range before {
+		if p.Side(v) != s {
+			t.Fatalf("zero constraint moved vertex %d", v)
+		}
+	}
+}
+
+func TestEnforceInfeasibleFixedWeight(t *testing.T) {
+	b := hypergraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.SetVertexWeight(0, 10) // total 13, maxSide(eps=0.1) = 7
+	h := b.MustBuild()
+	p := partition.New(4)
+	p.Assign(0, partition.Left)
+	for v := 1; v < 4; v++ {
+		p.Assign(v, partition.Right)
+	}
+	c := partition.Constraint{Epsilon: 0.1, FixedSide: []int8{0, -1, -1, -1}}
+	if err := Enforce(h, p, c); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Enforce error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEnforceRepairsEmptySide(t *testing.T) {
+	b := hypergraph.NewBuilder(5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(2, 3, 4)
+	h := b.MustBuild()
+	p := partition.New(5)
+	// All vertices Right; vertex 0 is the only Left-fixed one... but fix
+	// nothing Left so ApplyFixed leaves Left empty.
+	for v := 0; v < 5; v++ {
+		p.Assign(v, partition.Left)
+	}
+	c := partition.Constraint{FixedSide: []int8{1, 1, -1, -1, -1}}
+	if err := Enforce(h, p, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(h); err != nil {
+		t.Fatalf("Enforce left an invalid partition: %v", err)
+	}
+	if p.Side(0) != partition.Right || p.Side(1) != partition.Right {
+		t.Fatal("fixed vertices not applied")
+	}
+}
+
+func TestEnforceAllFixedOneSide(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	h := b.MustBuild()
+	p := partition.New(3)
+	for v := 0; v < 3; v++ {
+		p.Assign(v, partition.Left)
+	}
+	c := partition.Constraint{FixedSide: []int8{0, 0, 0}}
+	if err := Enforce(h, p, c); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Enforce error = %v, want ErrInfeasible", err)
 	}
 }

@@ -65,6 +65,12 @@ type Options struct {
 	// Meant for long-lived callers (hgpartd) that share the set across
 	// requests; one-shot runs can leave it nil.
 	Breakers *BreakerSet
+	// Constraint is the unified balance contract the tiers ran under.
+	// When non-zero, the oracle gate certifies each candidate against it
+	// (verify.CheckConstraint) in addition to the claimed cut, so a tier
+	// that dropped a fixed vertex or overshot the ε bound is treated as
+	// having produced no result at all.
+	Constraint partition.Constraint
 }
 
 // TierReport is the portfolio's account of one attempted tier.
@@ -199,6 +205,11 @@ func RunPortfolio(ctx context.Context, h *hypergraph.Hypergraph, tiers []Tier, o
 				if _, verr := verify.CheckCut(h, p, claimed); verr != nil {
 					err = errors.Join(fmt.Errorf("%w (tier %s): %v", ErrInvalidResult, tier.Name, verr), err)
 					p = nil
+				} else if !opts.Constraint.IsZero() {
+					if _, verr := verify.CheckConstraint(h, p, opts.Constraint); verr != nil {
+						err = errors.Join(fmt.Errorf("%w (tier %s): %v", ErrInvalidResult, tier.Name, verr), err)
+						p = nil
+					}
 				}
 			}
 			if breaker != nil {

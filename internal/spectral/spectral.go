@@ -24,6 +24,7 @@ import (
 	"fasthgp/internal/engine"
 	"fasthgp/internal/hypergraph"
 	"fasthgp/internal/partition"
+	"fasthgp/internal/rebalance"
 )
 
 // Options configures Bisect.
@@ -51,6 +52,12 @@ type Options struct {
 	// Parallelism is the number of workers running starts concurrently;
 	// values < 1 mean GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// Constraint is the unified balance contract: fixed vertices are
+	// pre-assigned and the sweep only moves free vertices along the
+	// Fiedler order; when an ε bound is present the admissible window
+	// derives from Constraint.MaxSideWeight. The zero value preserves
+	// historical behavior exactly.
+	Constraint partition.Constraint
 	// Checkpoint, when non-nil, journals every completed start into its
 	// sink and resumes from its recovered state — see internal/checkpoint.
 	// The resumed partition and cut are identical to an uninterrupted
@@ -237,8 +244,93 @@ func bisectOnce(ctx context.Context, h *hypergraph.Hypergraph, adj [][]arc, deg 
 		}
 	}
 
-	p, cut := sweepCut(h, x, opts.BalanceFraction)
+	var p *partition.Bipartition
+	var cut int
+	if opts.Constraint.IsZero() {
+		p, cut = sweepCut(h, x, opts.BalanceFraction)
+	} else {
+		p, cut = sweepCutConstrained(h, x, opts.Constraint)
+	}
 	return &Result{Partition: p, CutSize: cut, Fiedler: x, Iterations: iters}
+}
+
+// sweepCutConstrained is sweepCut projected around the constraint's
+// locked cells: fixed vertices start (and stay) on their pinned sides,
+// only free vertices travel Left along the Fiedler order, and a prefix
+// is admissible when both side weights respect the ε bound (or, absent
+// one, when both sides are nonempty). The result is hard-enforced
+// against the contract before returning.
+func sweepCutConstrained(h *hypergraph.Hypergraph, fiedler []float64, c partition.Constraint) (*partition.Bipartition, int) {
+	n := h.NumVertices()
+	free := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if c.Fixed(v) < 0 {
+			free = append(free, v)
+		}
+	}
+	sort.Slice(free, func(a, b int) bool {
+		if fiedler[free[a]] != fiedler[free[b]] {
+			return fiedler[free[a]] < fiedler[free[b]]
+		}
+		return free[a] < free[b]
+	})
+	// Fixed cells on their sides, free cells all Right; free cells then
+	// move Left along the order, tracking the cut incrementally.
+	p := partition.New(n)
+	for v := 0; v < n; v++ {
+		p.Assign(v, partition.Right)
+	}
+	c.ApplyFixed(p)
+	s, err := cutstate.New(h, p)
+	if err != nil {
+		panic("spectral: " + err.Error())
+	}
+	total := h.TotalVertexWeight()
+	maxSide := total
+	if c.HasBalance() {
+		maxSide = c.MaxSideWeight(total, 2)
+	}
+	lw, _ := s.Weights()
+	bestCut, bestPrefix := -1, -1
+	leftCount := 0
+	for v := 0; v < n; v++ {
+		if c.Fixed(v) == 0 {
+			leftCount++
+		}
+	}
+	for i := 0; i < len(free); i++ {
+		s.Move(free[i])
+		lw += h.VertexWeight(free[i])
+		if lw > maxSide || total-lw > maxSide {
+			continue
+		}
+		// Both sides must stay nonempty: Left holds leftCount fixed
+		// cells plus i+1 free ones.
+		if leftCount+i+1 == n {
+			break // everything Left — not a bipartition
+		}
+		if bestCut == -1 || s.Cut() < bestCut {
+			bestCut, bestPrefix = s.Cut(), i
+		}
+	}
+	out := partition.New(n)
+	for v := 0; v < n; v++ {
+		out.Assign(v, partition.Right)
+	}
+	c.ApplyFixed(out)
+	for i := 0; i <= bestPrefix; i++ {
+		out.Assign(free[i], partition.Left)
+	}
+	// The window may have admitted nothing, or the pinned start itself
+	// may violate the bound; Enforce repairs both (and is a no-op on an
+	// already-feasible sweep result).
+	if err := rebalance.Enforce(h, out, c); err != nil {
+		// Infeasible constraint: fall back to the raw sweep result with
+		// fixed sides applied so the engine's oracle rejects it loudly
+		// rather than silently dropping the start.
+		_ = err
+	}
+	return out, partition.CutSize(h, out)
 }
 
 // sweepCut orders vertices by Fiedler coordinate and picks the best

@@ -126,6 +126,77 @@ func CheckTolerance(h *hypergraph.Hypergraph, p *partition.Bipartition, tol int6
 	return rep, nil
 }
 
+// CheckEpsilon is Check plus the (1+ε)·⌈w(V)/2⌉ balance contract:
+// neither side's weight may exceed Constraint{Epsilon: eps}'s
+// MaxSideWeight. An eps of 0 enforces the tightest admissible bound
+// (the ceil itself).
+func CheckEpsilon(h *hypergraph.Hypergraph, p *partition.Bipartition, eps float64) (*Report, error) {
+	rep, err := Check(h, p)
+	if err != nil {
+		return nil, err
+	}
+	c := partition.Constraint{Epsilon: eps}
+	if err := c.Validate(h.NumVertices(), 2); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	maxSide := c.MaxSideWeight(h.TotalVertexWeight(), 2)
+	if rep.LeftWeight > maxSide || rep.RightWeight > maxSide {
+		return nil, fmt.Errorf("verify: side weights %d|%d exceed max side weight %d (epsilon %g)",
+			rep.LeftWeight, rep.RightWeight, maxSide, eps)
+	}
+	return rep, nil
+}
+
+// CheckFixed is Check plus the fixed-vertex contract: every vertex
+// pinned by fixed (part 0 = Left, any other id = Right, −1 = free)
+// must sit on its pinned side. The fixed slice may be shorter than the
+// vertex set; the tail is free.
+func CheckFixed(h *hypergraph.Hypergraph, p *partition.Bipartition, fixed []int8) (*Report, error) {
+	rep, err := Check(h, p)
+	if err != nil {
+		return nil, err
+	}
+	for v, s := range fixed {
+		if s < 0 {
+			continue
+		}
+		want := partition.Left
+		if s != 0 {
+			want = partition.Right
+		}
+		if p.Side(v) != want {
+			return nil, fmt.Errorf("verify: fixed vertex %d on side %v, pinned to %v", v, p.Side(v), want)
+		}
+	}
+	return rep, nil
+}
+
+// CheckConstraint is the combined oracle gate for a full
+// partition.Constraint: Check plus the ε bound (when the constraint
+// carries one) plus the fixed-vertex assignment. A zero constraint
+// degrades to plain Check.
+func CheckConstraint(h *hypergraph.Hypergraph, p *partition.Bipartition, c partition.Constraint) (*Report, error) {
+	if err := c.Validate(h.NumVertices(), 2); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	var rep *Report
+	var err error
+	if c.HasBalance() {
+		rep, err = CheckEpsilon(h, p, c.Epsilon)
+	} else {
+		rep, err = Check(h, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.HasFixed() {
+		if _, err := CheckFixed(h, p, c.FixedSide); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
 // recompute derives the Report with verify's own full edge walk: each
 // net's pins are counted per side exhaustively (no early exit), so the
 // result does not share code paths with partition.Crosses.

@@ -202,3 +202,117 @@ func TestPlantedInstancesAreOptimal(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckEpsilon(t *testing.T) {
+	// Weighted 4-vertex instance: total 10, ceil 5.
+	b := hypergraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.SetVertexWeight(0, 4)
+	b.SetVertexWeight(1, 3)
+	b.SetVertexWeight(2, 2)
+	b.SetVertexWeight(3, 1)
+	h := b.MustBuild()
+
+	// 7|3 split: admissible at eps 0.4 (max 7), rejected at 0.2 (max 6).
+	p := mkPart(L, L, R, R)
+	if _, err := CheckEpsilon(h, p, 0.4); err != nil {
+		t.Errorf("CheckEpsilon(0.4) rejected a 7|3 split: %v", err)
+	}
+	if _, err := CheckEpsilon(h, p, 0.2); err == nil {
+		t.Error("CheckEpsilon(0.2) accepted a 7|3 split (max side 6)")
+	}
+	if _, err := CheckEpsilon(h, p, -1); err == nil {
+		t.Error("CheckEpsilon accepted a negative epsilon")
+	}
+	// 6|4 split passes at 0.2.
+	if _, err := CheckEpsilon(h, mkPart(L, R, L, R), 0.2); err != nil {
+		t.Errorf("CheckEpsilon(0.2) rejected a 6|4 split: %v", err)
+	}
+}
+
+func TestCheckFixed(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	p := mkPart(L, L, R, R)
+	if _, err := CheckFixed(h, p, []int8{0, -1, -1, 1}); err != nil {
+		t.Errorf("CheckFixed rejected a respected assignment: %v", err)
+	}
+	if _, err := CheckFixed(h, p, []int8{1, -1, -1, -1}); err == nil {
+		t.Error("CheckFixed accepted a violated pin (vertex 0 fixed Right, sits Left)")
+	}
+	// Short slice: only the covered prefix is checked.
+	if _, err := CheckFixed(h, p, []int8{0}); err != nil {
+		t.Errorf("CheckFixed with short slice: %v", err)
+	}
+	if _, err := CheckFixed(h, p, nil); err != nil {
+		t.Errorf("CheckFixed with nil slice: %v", err)
+	}
+}
+
+func TestCheckConstraint(t *testing.T) {
+	h := mkHG(t, 4, [][]int{{0, 1}, {1, 2}, {2, 3}})
+	p := mkPart(L, L, R, R)
+	if _, err := CheckConstraint(h, p, partition.Constraint{}); err != nil {
+		t.Errorf("zero constraint: %v", err)
+	}
+	ok := partition.Constraint{Epsilon: 0.1, FixedSide: []int8{0, -1, -1, 1}}
+	if _, err := CheckConstraint(h, p, ok); err != nil {
+		t.Errorf("satisfied constraint rejected: %v", err)
+	}
+	bad := partition.Constraint{Epsilon: 0.1, FixedSide: []int8{1, -1, -1, -1}}
+	if _, err := CheckConstraint(h, p, bad); err == nil {
+		t.Error("violated fixed pin accepted")
+	}
+	if _, err := CheckConstraint(h, p, partition.Constraint{FixedSide: []int8{3}}); err == nil {
+		t.Error("out-of-range part id accepted")
+	}
+}
+
+func TestCheckBalanceZeroWeightVertices(t *testing.T) {
+	// Zero-weight vertices count toward the FM r-bound (it is a COUNT
+	// bound) even though they carry no weight.
+	b := hypergraph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	for v := 1; v < 5; v++ {
+		b.SetVertexWeight(v, 0)
+	}
+	h := b.MustBuild()
+	p := mkPart(L, R, R, R, R)
+	rep, err := CheckBalance(h, p, 3)
+	if err != nil {
+		t.Fatalf("CheckBalance(r=3) on a 1|4 count split: %v", err)
+	}
+	if rep.LeftWeight != 1 || rep.RightWeight != 0 {
+		t.Errorf("weights %d|%d, want 1|0", rep.LeftWeight, rep.RightWeight)
+	}
+	if _, err := CheckBalance(h, p, 2); err == nil {
+		t.Error("CheckBalance(r=2) accepted count imbalance 3")
+	}
+	// All weights zero: the weight-based tolerance check still passes at 0.
+	if _, err := CheckTolerance(h, mkPart(L, R, L, R, L), 0); err != nil {
+		// Left weight 1 vs right 0 — tolerance 0 must reject.
+		_ = err
+	} else {
+		t.Error("CheckTolerance(0) accepted imbalance 1")
+	}
+}
+
+func TestCheckBalanceSingleVertex(t *testing.T) {
+	// A single-vertex hypergraph has no bipartition at all: one side is
+	// always empty, so every balance check must fail with the side-empty
+	// diagnosis rather than a panic or a false pass.
+	b := hypergraph.NewBuilder(1)
+	h := b.MustBuild()
+	p := partition.New(1)
+	p.Assign(0, partition.Left)
+	if _, err := CheckBalance(h, p, 1); err == nil {
+		t.Fatal("CheckBalance accepted a single-vertex 'bipartition'")
+	} else if !strings.Contains(err.Error(), "side empty") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+	if _, err := CheckEpsilon(h, p, 1); err == nil {
+		t.Fatal("CheckEpsilon accepted a single-vertex 'bipartition'")
+	}
+}

@@ -27,7 +27,7 @@ func main() {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	emit := func(name string, h *hypergraph.Hypergraph, err error) {
+	emitFixed := func(name string, h *hypergraph.Hypergraph, fixed []int8, err error) {
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
@@ -35,13 +35,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := netio.Write(f, h); err != nil {
+		if err := netio.WriteFixed(f, h, fixed); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s.nets: %v\n", name, h)
+	}
+	emit := func(name string, h *hypergraph.Hypergraph, err error) {
+		emitFixed(name, h, nil, err)
 	}
 
 	// Hand-built structures: known optimal cuts, degenerate shapes.
@@ -133,5 +136,53 @@ func main() {
 		h, err := gen.Profile(gen.ProfileConfig{Modules: 30, Signals: 36, Technology: tc.tech},
 			rand.New(rand.NewSource(tc.seed)))
 		emit(tc.name, h, err)
+	}
+
+	// Fixed-vertex family: the constrained rows of the golden matrix.
+	// The golden test runs these under {ε=0.25, inline pins}; pins are
+	// chosen to be jointly feasible under that bound.
+	freeSlate := func(n int) []int8 {
+		fx := make([]int8, n)
+		for i := range fx {
+			fx[i] = -1
+		}
+		return fx
+	}
+
+	// A path with its endpoints pinned apart: the optimum is unchanged,
+	// so this row isolates the pin machinery from cut quality.
+	fixPath := hypergraph.NewBuilder(22)
+	for v := 0; v+1 < 22; v++ {
+		fixPath.AddEdge(v, v+1)
+	}
+	fpx := freeSlate(22)
+	fpx[0], fpx[21] = 0, 1
+	emitFixed("fixed-path-22", fixPath.MustBuild(), fpx, nil)
+
+	// A planted bisection with two pins per planted half — pins agree
+	// with the planted optimum ([0,n/2) vs [n/2,n)).
+	ph, _, err := gen.PlantedCut(20, gen.PlantedConfig{CutSize: 3, IntraEdges: 26},
+		rand.New(rand.NewSource(205)))
+	if err == nil {
+		ppx := freeSlate(20)
+		ppx[0], ppx[3] = 0, 0
+		ppx[19], ppx[16] = 1, 1
+		emitFixed("fixed-planted-20-c3", ph, ppx, nil)
+	} else {
+		log.Fatalf("fixed-planted-20-c3: %v", err)
+	}
+
+	// An adversarial random instance: pins scattered across the vertex
+	// range, including neighbors pinned to opposite sides.
+	rh, err := gen.Random(24, gen.RandomConfig{NumEdges: 36, MaxEdgeSize: 4},
+		rand.New(rand.NewSource(107)))
+	if err == nil {
+		rpx := freeSlate(24)
+		rpx[0], rpx[1] = 0, 1
+		rpx[11], rpx[12] = 1, 0
+		rpx[23] = 1
+		emitFixed("fixed-rand-24", rh, rpx, nil)
+	} else {
+		log.Fatalf("fixed-rand-24: %v", err)
 	}
 }

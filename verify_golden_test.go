@@ -58,25 +58,41 @@ type timingEntry struct {
 	WallMS    float64 `json:"wall_ms"`
 }
 
-func corpusInstances(t *testing.T) map[string]*Hypergraph {
+// goldenEpsilon is the ε bound the fixed-vertex corpus rows run under;
+// frozen together with goldenConfig (pins alone don't bound balance, so
+// the constrained rows exercise both halves of the contract).
+const goldenEpsilon = 0.25
+
+// corpusInstance is one frozen netlist plus the balance contract its
+// golden row is recorded under (zero for the unconstrained rows).
+type corpusInstance struct {
+	H          *Hypergraph
+	Constraint Constraint
+}
+
+func corpusInstances(t *testing.T) map[string]corpusInstance {
 	t.Helper()
 	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.nets"))
 	if err != nil || len(paths) == 0 {
 		t.Fatalf("no corpus netlists found: %v", err)
 	}
-	insts := make(map[string]*Hypergraph, len(paths))
+	insts := make(map[string]corpusInstance, len(paths))
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, err := ReadNetlist(f)
+		h, fixed, err := ReadNetlistFixed(f)
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
+		var c Constraint
+		if fixed != nil {
+			c = Constraint{Epsilon: goldenEpsilon, FixedSide: fixed}
+		}
 		name := filepath.Base(p)
-		insts[name[:len(name)-len(".nets")]] = h
+		insts[name[:len(name)-len(".nets")]] = corpusInstance{H: h, Constraint: c}
 	}
 	return insts
 }
@@ -101,7 +117,15 @@ func TestGoldenCorpus(t *testing.T) {
 		entry := benchEntry{Algorithm: a.Name, Cuts: make(map[string]int, len(insts))}
 		begin := time.Now()
 		for _, name := range names {
-			cut := runAndCheck(t, a, insts[name], goldenConfig)
+			inst := insts[name]
+			cfg := goldenConfig
+			cfg.Constraint = inst.Constraint
+			var cut int
+			if inst.Constraint.IsZero() {
+				cut = runAndCheck(t, a, inst.H, cfg)
+			} else {
+				cut = runAndCheckConstrained(t, a, inst.H, cfg)
+			}
 			got[name][a.Name] = cut
 			entry.Cuts[name] = cut
 			entry.TotalCut += cut
