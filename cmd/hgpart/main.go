@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		epsilon    = fs.Float64("epsilon", 0, "balance bound: each side at most (1+epsilon)*ceil(total/k) weight (0 = unconstrained)")
 		fixedPath  = fs.String("fixed", "", "hMETIS-style fix file pinning vertices to sides (one part id per line, -1 = free); overrides inline fixed directives")
 		parallel   = fs.Int("parallel", 0, "engine workers fanning the starts (0 = GOMAXPROCS); affects wall time only, never the result")
+		workers    = fs.Int("workers", 0, "intra-start kernel workers (dual-graph build, double BFS) per start (0 = serial); affects wall time only, never the result")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms; on expiry the best cut found so far is reported (0 = none)")
 		fallback   = fs.String("fallback", "", "comma-separated fallback chain after -algo (e.g. fm,core); runs the resilience portfolio")
 		budget     = fs.Duration("budget", 0, "portfolio wall budget across the whole -fallback chain, e.g. 2s (0 = -timeout)")
@@ -153,23 +154,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer faultinject.Install(plan)()
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return fail(err)
-	}
 	var h *fasthgp.Hypergraph
 	var inlineFixed []int8
 	switch *format {
 	case "nets":
+		f, err := os.Open(*in)
+		if err != nil {
+			return fail(err)
+		}
 		h, inlineFixed, err = fasthgp.ReadNetlistFixed(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
 	case "hgr":
-		h, err = fasthgp.ReadHMetis(f)
+		// Zero-copy path: mmap the file where the platform allows, so
+		// even gigabyte benchmarks never materialize token slices.
+		var err error
+		h, err = fasthgp.ReadHMetisFile(*in)
+		if err != nil {
+			return fail(err)
+		}
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	f.Close()
-	if err != nil {
-		return fail(err)
+		return fail(fmt.Errorf("unknown format %q", *format))
 	}
 	constraint := fasthgp.Constraint{Epsilon: *epsilon, FixedSide: inlineFixed}
 	if *fixedPath != "" {
@@ -211,7 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *ckptPath != "" {
 			return fail(fmt.Errorf("-checkpoint cannot be combined with -fallback/-budget"))
 		}
-		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, constraint, *doVerify, *verbose, stdout, stderr)
+		return runPortfolio(ctx, h, *algo, *fallback, *budget, *starts, *seed, *parallel, *workers, constraint, *doVerify, *verbose, stdout, stderr)
 	}
 
 	if *resume && *ckptPath == "" {
@@ -222,13 +229,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("-checkpoint supports bipartitioning only (got -k %d)", *k))
 		}
 		return runCheckpointed(ctx, h, *algo, *ckptPath, *resume,
-			fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint},
+			fasthgp.AlgoConfig{Starts: *starts, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers, Constraint: constraint},
 			*stats, *doVerify, *verbose, stdout, stderr)
 	}
 
 	if *k > 2 {
 		start := time.Now()
-		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
+		res, err := fasthgp.KWayCtx(ctx, h, fasthgp.KWayOptions{K: *k, Starts: *starts, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
@@ -265,7 +272,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	switch *algo {
 	case "algI":
-		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed, Parallelism: *parallel, Constraint: constraint}
+		opts := fasthgp.Options{Starts: *starts, Threshold: *threshold, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers, Constraint: constraint}
 		switch *completion {
 		case "greedy":
 			opts.Completion = fasthgp.CompletionGreedy
@@ -296,7 +303,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	case "multilevel":
-		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
+		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers, Constraint: constraint})
 		if err != nil {
 			return fail(err)
 		}
@@ -406,7 +413,7 @@ func runCheckpointed(ctx context.Context, h *fasthgp.Hypergraph, algo, path stri
 // runPortfolio executes the deadline-aware fallback chain and reports
 // the winning tier.
 func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback string, budget time.Duration,
-	starts int, seed int64, parallel int, constraint fasthgp.Constraint, doVerify, verbose bool, stdout, stderr io.Writer) int {
+	starts int, seed int64, parallel, workers int, constraint fasthgp.Constraint, doVerify, verbose bool, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hgpart:", err)
 		return 1
@@ -422,7 +429,7 @@ func runPortfolio(ctx context.Context, h *fasthgp.Hypergraph, algo, fallback str
 	res, err := fasthgp.PartitionPortfolio(ctx, h,
 		fasthgp.WithChain(chain...), fasthgp.WithBudget(budget),
 		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithParallelism(parallel),
-		fasthgp.WithConstraint(constraint))
+		fasthgp.WithKernelWorkers(workers), fasthgp.WithConstraint(constraint))
 	if err != nil {
 		return fail(err)
 	}

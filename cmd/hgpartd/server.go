@@ -30,6 +30,7 @@ type serverConfig struct {
 	seed             int64         // default seed
 	budget           time.Duration // default portfolio budget (0 = reqTimeout)
 	parallelism      int
+	kernelWorkers    int           // intra-start kernel workers (0 = serial); wall time only, never the result
 	drainTimeout     time.Duration // SIGTERM drain grace
 	maxHeap          uint64        // live-heap watermark; above it new work is shed with 503 (0 = off)
 	breakerThreshold int           // consecutive tier failures tripping its breaker (0 = breakers off)
@@ -163,7 +164,7 @@ func parseNetlistFixed(format string, r io.Reader) (*fasthgp.Hypergraph, []int8,
 	case "", "nets":
 		return fasthgp.ReadNetlistFixed(r)
 	case "hgr":
-		h, err := fasthgp.ReadHMetis(r)
+		h, err := fasthgp.ReadHMetisStream(r)
 		return h, nil, err
 	default:
 		return nil, nil, fmt.Errorf("unknown format %q", format)
@@ -429,6 +430,7 @@ func (s *server) portfolioOptions(q url.Values, h *fasthgp.Hypergraph, inlineFix
 	opts := []fasthgp.PortfolioOption{
 		fasthgp.WithStarts(starts), fasthgp.WithSeed(seed), fasthgp.WithBudget(budget),
 		fasthgp.WithParallelism(s.cfg.parallelism),
+		fasthgp.WithKernelWorkers(s.cfg.kernelWorkers),
 	}
 	if len(chain) > 0 {
 		opts = append(opts, fasthgp.WithChain(chain...))

@@ -371,6 +371,16 @@ func WriteNetlistFixed(w io.Writer, h *Hypergraph, fixed []int8) error {
 // ReadHMetis parses a hypergraph in the hMETIS .hgr benchmark format.
 func ReadHMetis(r io.Reader) (*Hypergraph, error) { return netio.ReadHMetis(r) }
 
+// ReadHMetisStream parses the hMETIS .hgr format through the zero-copy
+// streaming parser: one reusable chunk buffer, no per-line string or
+// token materialization. Accepts and rejects exactly as ReadHMetis.
+func ReadHMetisStream(r io.Reader) (*Hypergraph, error) { return netio.ParseHMetisStream(r) }
+
+// ReadHMetisFile parses the .hgr file at path, memory-mapping it
+// read-only where the platform allows (the file bytes become the parse
+// buffer) and falling back to the streaming parser otherwise.
+func ReadHMetisFile(path string) (*Hypergraph, error) { return netio.ReadHMetisFile(path) }
+
 // WriteHMetis emits h in the hMETIS .hgr format.
 func WriteHMetis(w io.Writer, h *Hypergraph) error { return netio.WriteHMetis(w, h) }
 
@@ -469,6 +479,14 @@ type AlgoConfig struct {
 	// Parallelism is the engine worker count; values < 1 mean
 	// GOMAXPROCS. Wall time only, never the result.
 	Parallelism int
+	// KernelWorkers is the intra-start worker count for the per-start
+	// kernels (intersection-graph build and double BFS) of the
+	// algorithms that use them (algo1, multilevel); the rest ignore it.
+	// Values < 1 mean 1 — serial kernels. Any value produces bit-for-
+	// bit identical results to serial — which is why the serialized
+	// form omits the default: configs that differ only here describe
+	// the same computation.
+	KernelWorkers int `json:",omitempty"`
 	// Constraint is the unified balance contract (ε-imbalance bound plus
 	// fixed vertices) every registry algorithm honors; the zero value is
 	// unconstrained. Checkpoint journals bind to it: a journal written
@@ -543,7 +561,7 @@ func algorithmTable() []Algorithm {
 			Name:        "algo1",
 			Description: "Algorithm I: intersection-graph double-BFS heuristic (the paper)",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
+				r, err := core.BipartitionCtx(ctx, h, core.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, KernelWorkers: cfg.KernelWorkers, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -609,7 +627,7 @@ func algorithmTable() []Algorithm {
 			Name:        "multilevel",
 			Description: "coarsen → Algorithm I → FM refinement V-cycles",
 			Run: func(ctx context.Context, h *Hypergraph, cfg AlgoConfig) (*AlgoResult, error) {
-				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
+				r, err := multilevel.BisectCtx(ctx, h, multilevel.Options{Starts: cfg.Starts, Seed: cfg.Seed, Parallelism: cfg.Parallelism, KernelWorkers: cfg.KernelWorkers, Constraint: cfg.Constraint, Checkpoint: cfg.Checkpoint})
 				if err != nil {
 					return nil, err
 				}
@@ -744,14 +762,15 @@ var ErrPortfolioExhausted = resilience.ErrExhausted
 
 // portfolioConfig collects the PortfolioOption knobs.
 type portfolioConfig struct {
-	chain       []string
-	budget      time.Duration
-	starts      int
-	seed        int64
-	parallelism int
-	maxAttempts int
-	breakers    *resilience.BreakerSet
-	constraint  Constraint
+	chain         []string
+	budget        time.Duration
+	starts        int
+	seed          int64
+	parallelism   int
+	kernelWorkers int
+	maxAttempts   int
+	breakers      *resilience.BreakerSet
+	constraint    Constraint
 }
 
 // PortfolioOption configures PartitionPortfolio.
@@ -781,6 +800,10 @@ func WithSeed(s int64) PortfolioOption { return func(c *portfolioConfig) { c.see
 // WithParallelism sets each tier's engine worker count (0 =
 // GOMAXPROCS); wall time only, never the result.
 func WithParallelism(p int) PortfolioOption { return func(c *portfolioConfig) { c.parallelism = p } }
+
+// WithKernelWorkers sets each tier's intra-start kernel worker count
+// (0 = serial kernels); wall time only, never the result.
+func WithKernelWorkers(w int) PortfolioOption { return func(c *portfolioConfig) { c.kernelWorkers = w } }
 
 // WithMaxAttempts caps per-tier retries of transient failures —
 // panics and oracle-rejected results (default 2: one try + one retry).
@@ -862,7 +885,7 @@ func PartitionPortfolio(ctx context.Context, h *Hypergraph, opts ...PortfolioOpt
 		tiers = append(tiers, resilience.Tier{
 			Name: alg.Name,
 			Run: func(ctx context.Context, h *Hypergraph, seed int64) (*Bipartition, int, error) {
-				r, err := alg.Run(ctx, h, AlgoConfig{Starts: cfg.starts, Seed: seed, Parallelism: cfg.parallelism, Constraint: cfg.constraint})
+				r, err := alg.Run(ctx, h, AlgoConfig{Starts: cfg.starts, Seed: seed, Parallelism: cfg.parallelism, KernelWorkers: cfg.kernelWorkers, Constraint: cfg.constraint})
 				if err != nil {
 					return nil, 0, err
 				}

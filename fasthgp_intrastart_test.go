@@ -1,0 +1,232 @@
+package fasthgp
+
+// Intra-start determinism contract, asserted through the public facade:
+// KernelWorkers — the worker count inside a single start (sharded
+// intersection-graph construction, frontier-chunked double BFS) — must
+// never change any observable output. For every registry algorithm,
+// every instance family, every seed and every worker count the Result
+// must be bit-identical to the serial run: same cut, same side for
+// every vertex, same winning start index, same starts run. This mirrors
+// the engine-level Parallelism contract in fasthgp_parallel_test.go one
+// layer down.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"fasthgp/internal/verify"
+)
+
+// intrastartSeeds and intrastartWorkers span the contract matrix. The
+// first worker count is the serial baseline the others are held to.
+var (
+	intrastartSeeds   = []int64{1, 7, 42}
+	intrastartWorkers = []int{1, 2, 4, 8}
+)
+
+// intrastartOutcome runs one algorithm at the given kernel-worker count
+// and projects the result to its comparable form.
+func intrastartOutcome(t *testing.T, a Algorithm, h *Hypergraph, cfg AlgoConfig) algoOutcome {
+	t.Helper()
+	res, err := a.Run(context.Background(), h, cfg)
+	if err != nil {
+		t.Fatalf("%s (seed %d, kernel workers %d): %v", a.Name, cfg.Seed, cfg.KernelWorkers, err)
+	}
+	return outcomeOf(h, res.Partition, res.CutSize, res.Engine)
+}
+
+// checkWorkersInvariant asserts that every worker count in the matrix
+// reproduces the serial outcome exactly on h.
+func checkWorkersInvariant(t *testing.T, a Algorithm, name string, h *Hypergraph, cfg AlgoConfig) {
+	t.Helper()
+	var serial algoOutcome
+	for i, w := range intrastartWorkers {
+		cfg.KernelWorkers = w
+		got := intrastartOutcome(t, a, h, cfg)
+		if i == 0 {
+			serial = got
+			continue
+		}
+		if got != serial {
+			t.Errorf("%s on %s seed %d: kernel workers %d diverged from serial:\n  serial  cut %d best %d/%d\n  workers cut %d best %d/%d\n  sides equal: %v",
+				a.Name, name, cfg.Seed, w,
+				serial.cut, serial.bestStart, serial.startsRun,
+				got.cut, got.bestStart, got.startsRun,
+				got.sides == serial.sides)
+		}
+	}
+}
+
+// TestIntraStartWorkersProfileNetlist is the production-shaped check:
+// a ~300-module standard-cell profile instance, large enough that the
+// sharded dual-graph construction actually engages (hundreds of
+// G-vertices), for every registry algorithm and seed.
+func TestIntraStartWorkersProfileNetlist(t *testing.T) {
+	for _, a := range runners(t) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, seed := range intrastartSeeds {
+				h := testNetlist(t, seed)
+				starts := 4
+				if a.Name == "flow" {
+					starts = 2 // max-flow pairs are the priciest start
+				}
+				checkWorkersInvariant(t, a, "profile-300", h,
+					AlgoConfig{Starts: starts, Seed: seed, Parallelism: 2})
+			}
+		})
+	}
+}
+
+// TestIntraStartWorkersCurated sweeps the shared curated small-instance
+// family: every boundary shape the double BFS and the sharded build can
+// hit on tiny graphs (paths, cycles, stars, cliques, bridges,
+// disconnected and planted generator outputs).
+func TestIntraStartWorkersCurated(t *testing.T) {
+	insts := verify.SmallInstances()
+	seeds := intrastartSeeds
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, a := range runners(t) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, inst := range insts {
+				for _, seed := range seeds {
+					checkWorkersInvariant(t, a, inst.Name, inst.H,
+						AlgoConfig{Starts: 4, Seed: seed, Parallelism: 2})
+				}
+			}
+		})
+	}
+}
+
+// TestIntraStartWorkersExhaustive sweeps every nonempty 2-uniform
+// hypergraph on four labeled vertices — all 63 labeled graphs — so no
+// tiny boundary shape escapes the matrix.
+func TestIntraStartWorkersExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive family is slow under -short")
+	}
+	insts := verify.ExhaustiveUniform(4, 2)
+	for _, a := range runners(t) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, inst := range insts {
+				for _, seed := range intrastartSeeds {
+					checkWorkersInvariant(t, a, inst.Name, inst.H,
+						AlgoConfig{Starts: 2, Seed: seed, Parallelism: 2})
+				}
+			}
+		})
+	}
+}
+
+// TestIntraStartWorkersPlanted covers the certified planted-cut family
+// and additionally holds Algorithm I to the paper's optimality claim at
+// every worker count: the kernels may never cost it the planted cut.
+func TestIntraStartWorkersPlanted(t *testing.T) {
+	insts := verify.PlantedInstances()
+	for _, a := range runners(t) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, inst := range insts {
+				for _, seed := range intrastartSeeds {
+					cfg := AlgoConfig{Starts: 4, Seed: seed, Parallelism: 2}
+					if a.Name == "algo1" {
+						cfg.Starts = 32
+					}
+					checkWorkersInvariant(t, a, inst.Name, inst.H, cfg)
+					if a.Name == "algo1" {
+						cfg.KernelWorkers = 8
+						res, err := a.Run(context.Background(), inst.H, cfg)
+						if err != nil {
+							t.Fatalf("algo1 on %s: %v", inst.Name, err)
+						}
+						if res.CutSize != inst.Cut {
+							t.Errorf("algo1 on %s with 8 kernel workers: cut %d, want the certified optimum %d",
+								inst.Name, res.CutSize, inst.Cut)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntraStartOversubscribed pins GOMAXPROCS to 2 and demands 16
+// kernel workers on top of engine-level fan-out — far more goroutines
+// than processors — and still requires the serial result bit-for-bit.
+// Under -race this is the schedule-perturbation stress for the chunked
+// BFS merge and the sharded two-pass build.
+func TestIntraStartOversubscribed(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	for _, name := range []string{"algo1", "multilevel"} {
+		a, ok := findAlgorithm(name)
+		if !ok {
+			t.Fatalf("registry is missing %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			h := testNetlist(t, 7)
+			serial := intrastartOutcome(t, a, h,
+				AlgoConfig{Starts: 4, Seed: 7, Parallelism: 4, KernelWorkers: 1})
+			wide := intrastartOutcome(t, a, h,
+				AlgoConfig{Starts: 4, Seed: 7, Parallelism: 4, KernelWorkers: 16})
+			if wide != serial {
+				t.Errorf("oversubscribed run diverged: serial cut %d best %d, wide cut %d best %d, sides equal %v",
+					serial.cut, serial.bestStart, wide.cut, wide.bestStart, wide.sides == serial.sides)
+			}
+		})
+	}
+}
+
+// TestIntraStartCancellationMidRun expires the context while parallel
+// kernels are in flight: the engine must still return a valid
+// best-so-far result and leave no goroutines behind — worker pools
+// must not leak on the cancellation path.
+func TestIntraStartCancellationMidRun(t *testing.T) {
+	a, ok := findAlgorithm("algo1")
+	if !ok {
+		t.Fatal("registry is missing algo1")
+	}
+	h := testNetlist(t, 1)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	res, err := a.Run(ctx, h, AlgoConfig{Starts: 200, Seed: 1, Parallelism: 2, KernelWorkers: 8})
+	cancel()
+	if err != nil {
+		t.Fatalf("cancelled run must return best-so-far, got: %v", err)
+	}
+	if res.Partition == nil {
+		t.Fatal("cancelled run returned no partition")
+	}
+	if got := CutSize(h, res.Partition); got != res.CutSize {
+		t.Errorf("reported cut %d, actual %d", res.CutSize, got)
+	}
+	if res.Engine.StartsRun < 1 {
+		t.Errorf("StartsRun = %d, want >= 1 (start 0 always runs)", res.Engine.StartsRun)
+	}
+
+	// Kernel goroutines are pooled per call, not per process: shortly
+	// after Run returns, the goroutine count must settle back.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// findAlgorithm looks an entry up in the registry by name.
+func findAlgorithm(name string) (Algorithm, bool) {
+	for _, a := range Algorithms() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algorithm{}, false
+}

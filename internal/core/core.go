@@ -128,6 +128,13 @@ type Options struct {
 	// values < 1 mean GOMAXPROCS. It affects wall time only, never the
 	// result.
 	Parallelism int
+	// KernelWorkers is the number of workers the per-start kernels (the
+	// intersection-graph counting passes and the double BFS) may use
+	// inside a single start. Values < 1 mean 1 — serial kernels, the
+	// historical behavior. Any value produces bit-for-bit identical
+	// results: the parallel kernels reproduce the serial visit order
+	// exactly (see internal/graph and internal/intersect).
+	KernelWorkers int
 	// Constraint is the unified balance contract. With fixed vertices the
 	// double-BFS endpoints are drawn from nets touching Left- and
 	// Right-fixed modules (so the G-cut grows outward from the pinned
@@ -218,7 +225,10 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options)
 		return nil, fmt.Errorf("core: hypergraph has %d vertices; need at least 2 to bipartition", h.NumVertices())
 	}
 
-	ig := intersect.Build(h, intersect.Options{Threshold: opts.Threshold})
+	ig := intersect.Build(h, intersect.Options{
+		Threshold:   opts.Threshold,
+		Parallelism: engine.NormalizeKernelWorkers(opts.KernelWorkers),
+	})
 	baseStats := Stats{
 		GVertices:    ig.G.NumVertices(),
 		GEdges:       ig.G.NumEdges(),
@@ -305,7 +315,8 @@ func better(h *hypergraph.Hypergraph, a, b *Result, obj Objective) bool {
 // arena (may be nil) backs buffers that die with the start.
 func runOnce(h *hypergraph.Hypergraph, ig *intersect.Result, rng *rand.Rand, opts Options, scratch *engine.Scratch) (*Result, error) {
 	u, v, depth := seedPath(h, ig, rng, opts.Constraint)
-	pb := partialFromCut(h, ig, u, v, opts.BalancedBFS, scratch)
+	pb := partialFromCutWorkers(h, ig, u, v, opts.BalancedBFS,
+		engine.NormalizeKernelWorkers(opts.KernelWorkers), scratch)
 
 	var winner []bool
 	switch opts.Completion {

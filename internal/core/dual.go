@@ -90,6 +90,15 @@ func PartialFromCutPolicy(h *hypergraph.Hypergraph, ig *intersect.Result, u, v i
 // scratch must not outlive the start that leased it (the engine zeroes
 // and reuses the buffers on Release); runOnce copies what it keeps.
 func partialFromCut(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, balanced bool, s *engine.Scratch) *Partial {
+	return partialFromCutWorkers(h, ig, u, v, balanced, 1, s)
+}
+
+// partialFromCutWorkers is partialFromCut with an intra-start worker
+// count for the double BFS. workers > 1 routes the strict-alternation
+// policy through the frontier-chunked parallel kernel, whose labeling
+// is bit-for-bit identical to the serial one; the balanced policy has
+// no parallel variant and always runs serial.
+func partialFromCutWorkers(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, balanced bool, workers int, s *engine.Scratch) *Partial {
 	g := ig.G
 	n := g.NumVertices()
 	sideBuf := leaseInts(s, n)
@@ -97,9 +106,12 @@ func partialFromCut(h *hypergraph.Hypergraph, ig *intersect.Result, u, v int, ba
 	f1 := leaseInts(s, n)[:0]
 	next := leaseInts(s, n)[:0]
 	var raw []int
-	if balanced {
+	switch {
+	case balanced:
 		raw = g.DoubleBFSSidesBalancedInto(u, v, sideBuf, f0, f1, next)
-	} else {
+	case workers > 1:
+		raw = g.DoubleBFSSidesParallelInto(u, v, workers, sideBuf, f0, f1, next, nil)
+	default:
 		raw = g.DoubleBFSSidesInto(u, v, sideBuf, f0, f1, next)
 	}
 	pb := &Partial{

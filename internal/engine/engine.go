@@ -70,6 +70,18 @@ func NormalizeParallelism(p int) int {
 	return p
 }
 
+// NormalizeKernelWorkers clamps an intra-start kernel worker count:
+// values < 1 mean 1 (serial kernels), the historical behavior. Unlike
+// NormalizeParallelism it never defaults to GOMAXPROCS — intra-start
+// parallelism competes with the engine's start-level fan-out for the
+// same cores, so oversubscription must be an explicit choice.
+func NormalizeKernelWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // splitmix64 is the SplitMix64 output mixer (Steele–Lea–Flood, the
 // stream-splitting generator of JDK 8). A single application
 // decorrelates consecutive integers into statistically independent

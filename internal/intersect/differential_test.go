@@ -143,6 +143,9 @@ func FuzzIntersectBuild(f *testing.F) {
 	f.Add([]byte{10, 3, 3, 0, 1, 2, 3, 4, 5, 6, 2, 7, 8, 2, 8, 9})
 	f.Add([]byte{0, 2})
 	f.Add([]byte("arbitrary text also decodes"))
+	prevFloor := minBuildShard
+	minBuildShard = 1 // so tiny fuzz instances exercise the sharded passes
+	f.Cleanup(func() { minBuildShard = prevFloor })
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, thr := fuzzHypergraphAndThreshold(data)
 		opts := Options{Threshold: thr}
@@ -154,6 +157,12 @@ func FuzzIntersectBuild(f *testing.F) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("Build differs from BuildReference on %v thr=%d:\n got %v\nwant %v",
 				h, thr, fmt.Sprint(got), fmt.Sprint(want))
+		}
+		workers := 2 + len(data)%3
+		sharded := Build(h, Options{Threshold: thr, Parallelism: workers})
+		if !reflect.DeepEqual(sharded, want) {
+			t.Fatalf("sharded Build (workers=%d) differs from BuildReference on %v thr=%d:\n got %v\nwant %v",
+				workers, h, thr, fmt.Sprint(sharded), fmt.Sprint(want))
 		}
 	})
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package netio
+
+import "os"
+
+// mmapFile on platforms without the unix mmap syscall reports not-ok;
+// ReadHMetisFile falls back to the streaming parser.
+func mmapFile(*os.File) (data []byte, unmap func(), ok bool) {
+	return nil, nil, false
+}

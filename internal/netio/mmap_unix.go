@@ -1,0 +1,24 @@
+//go:build unix
+
+package netio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only and returns the image plus an unmap
+// function. ok is false when the platform or the file (empty, not a
+// regular file, mmap refused) cannot be mapped — callers fall back to
+// the streaming parser.
+func mmapFile(f *os.File) (data []byte, unmap func(), ok bool) {
+	st, err := f.Stat()
+	if err != nil || !st.Mode().IsRegular() || st.Size() <= 0 || st.Size() != int64(int(st.Size())) {
+		return nil, nil, false
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return m, func() { _ = syscall.Munmap(m) }, true
+}

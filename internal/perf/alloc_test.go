@@ -1,0 +1,49 @@
+package perf
+
+// Steady-state allocation contract of the double-BFS kernels: with
+// caller-provided buffers (the engine's scratch arena in production),
+// the serial and the balanced variants must not allocate at all. The
+// balanced variant is the one history lost track of — its scratch
+// threading rides the same partialFromCut path as the serial kernel,
+// and this test pins it there. The parallel variant is exempt from
+// zero: spawning worker goroutines allocates by construction; it is
+// bounded instead, so a pooling regression still fails.
+
+import (
+	"testing"
+
+	"fasthgp/internal/intersect"
+)
+
+func TestDoubleBFSSteadyStateAllocs(t *testing.T) {
+	f := denseFamily()
+	res := intersect.Build(f.H, intersect.Options{Threshold: f.Threshold})
+	g := res.G
+	n := g.NumVertices()
+	u := farthestFrom(g, 0)
+	v := farthestFrom(g, u)
+	side := make([]int, n)
+	f0 := make([]int, 0, n)
+	f1 := make([]int, 0, n)
+	next := make([]int, 0, n)
+
+	if a := testing.AllocsPerRun(10, func() {
+		g.DoubleBFSSidesInto(u, v, side, f0, f1, next)
+	}); a != 0 {
+		t.Errorf("serial double BFS: %.1f allocs/op with provided buffers, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		g.DoubleBFSSidesBalancedInto(u, v, side, f0, f1, next)
+	}); a != 0 {
+		t.Errorf("balanced double BFS: %.1f allocs/op with provided buffers, want 0", a)
+	}
+	// The chunked kernel's worker goroutines allocate; everything else
+	// (candidate lists, chunk bookkeeping) is pooled. ~2 allocs per
+	// goroutine per parallel level is the structural floor; 256 is a
+	// generous lid that still catches a lost pool.
+	if a := testing.AllocsPerRun(10, func() {
+		g.DoubleBFSSidesParallelInto(u, v, 8, side, f0, f1, next, nil)
+	}); a > 256 {
+		t.Errorf("parallel double BFS: %.1f allocs/op, want pooled steady state (<= 256)", a)
+	}
+}

@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"math"
+
+	"fasthgp/internal/graph"
+	"fasthgp/internal/intersect"
+)
+
+// round1 rounds to one decimal — the precision the blessed ratio
+// columns are committed at.
+func round1(x float64) float64 { return math.Round(x*10) / 10 }
+
+// parallelWorkers is the worker count the parallel counter family is
+// pinned at: the acceptance criterion's "8 workers" point.
+const parallelWorkers = 8
+
+// ParallelCounters are the deterministic work counters of one family's
+// intra-start parallel kernels at 8 workers — like Counters, integers
+// (plus exact one-decimal ratios) that are pure functions of the pinned
+// instance, identical on every machine. The speedup columns are
+// work-model bounds, not wall clock: TotalArcs/MaxShardArcs is the
+// best-case pass speedup of the sharded dual construction, and
+// Candidates/CriticalPath the best-case scan speedup of the chunked
+// double BFS. Wall-clock parallel timing is machine-dependent and lives
+// only in the gitignored timing sidecar.
+type ParallelCounters struct {
+	// Shards is the shard count the two-pass construction splits into.
+	Shards int `json:"shards"`
+	// BuildTotalArcs and BuildMaxShardArcs are the candidate-arc work
+	// measure per pass: total, and the heaviest shard's share.
+	BuildTotalArcs    int `json:"build_total_arcs"`
+	BuildMaxShardArcs int `json:"build_max_shard_arcs"`
+	// BuildSpeedupX = TotalArcs/MaxShardArcs, the work-model speedup of
+	// the counting and emission passes at this shard split.
+	BuildSpeedupX float64 `json:"build_speedup_x"`
+	// BuildImbalanceX = MaxShardArcs/(TotalArcs/Shards): 1.0 is a
+	// perfect split, higher means the heaviest shard dominates.
+	BuildImbalanceX float64 `json:"build_imbalance_x"`
+	// BFSLevels / BFSParallelLevels count double-BFS level expansions
+	// on the dual graph's double-sweep source pair, and how many of
+	// them crossed the chunked-path frontier threshold.
+	BFSLevels         int `json:"bfs_levels"`
+	BFSParallelLevels int `json:"bfs_parallel_levels"`
+	// BFSChunksMerged is the total worker chunks merged across all
+	// parallel levels.
+	BFSChunksMerged int `json:"bfs_chunks_merged"`
+	// BFSCandidates and BFSCriticalPath are the scan work measure:
+	// total discovered-vertex candidates, and the sum over levels of
+	// the largest chunk (serial levels count whole).
+	BFSCandidates   int `json:"bfs_candidates"`
+	BFSCriticalPath int `json:"bfs_critical_path"`
+	// BFSSpeedupX = Candidates/CriticalPath, the work-model speedup of
+	// the scan phase at this chunking.
+	BFSSpeedupX float64 `json:"bfs_speedup_x"`
+}
+
+// ParallelCountersFor computes f's parallel counters by running both
+// kernels at 8 workers. The BFS source pair is the deterministic double
+// sweep used for pseudo-diameter estimation: the vertex farthest from
+// G-vertex 0, then the vertex farthest from it.
+func ParallelCountersFor(f Family) ParallelCounters {
+	var bs intersect.BuildStats
+	res := intersect.BuildCounted(f.H,
+		intersect.Options{Threshold: f.Threshold, Parallelism: parallelWorkers}, &bs)
+	c := ParallelCounters{
+		Shards:            bs.Shards,
+		BuildTotalArcs:    bs.TotalArcs,
+		BuildMaxShardArcs: bs.MaxShardArcs,
+	}
+	if bs.MaxShardArcs > 0 {
+		c.BuildSpeedupX = round1(float64(bs.TotalArcs) / float64(bs.MaxShardArcs))
+		c.BuildImbalanceX = round1(float64(bs.MaxShardArcs) * float64(bs.Shards) / float64(bs.TotalArcs))
+	}
+
+	g := res.G
+	if g.NumVertices() == 0 {
+		return c
+	}
+	u := farthestFrom(g, 0)
+	v := farthestFrom(g, u)
+	var ps graph.ParallelBFSStats
+	n := g.NumVertices()
+	g.DoubleBFSSidesParallelInto(u, v, parallelWorkers,
+		make([]int, n), make([]int, 0, n), make([]int, 0, n), make([]int, 0, n), &ps)
+	c.BFSLevels = ps.Levels
+	c.BFSParallelLevels = ps.ParallelLevels
+	c.BFSChunksMerged = ps.ChunksMerged
+	c.BFSCandidates = ps.Candidates
+	c.BFSCriticalPath = ps.CriticalPath
+	if ps.CriticalPath > 0 {
+		c.BFSSpeedupX = round1(float64(ps.Candidates) / float64(ps.CriticalPath))
+	}
+	return c
+}
+
+// farthestFrom returns the highest-distance vertex from src under BFS
+// (lowest index among ties — the visit order is deterministic).
+func farthestFrom(g *graph.Graph, src int) int {
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	far := src
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, w := range g.Neighbors(x) {
+			if dist[w] < 0 {
+				dist[w] = dist[x] + 1
+				if dist[w] > dist[far] {
+					far = w
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return far
+}

@@ -31,6 +31,10 @@ type Family struct {
 	// clique-pair builder's Σ d·(d−1)/2 buffer blows up and where the
 	// acceptance ratios (speedup, allocs/op reduction) are asserted.
 	Dense bool
+	// Huge marks the wide family added for the intra-start parallelism
+	// suite; Dense and Huge families must both clear the ≥2× work-model
+	// speedup floors at 8 workers (see TestPerfBaseline).
+	Huge bool
 	// H is the pinned instance.
 	H *hypergraph.Hypergraph
 }
@@ -67,6 +71,12 @@ func Families() []Family {
 		{Name: "stdcell-561-t10", Threshold: 10, H: table2(gen.IC1, 4)},
 		// Planted difficult instance (Diff1: c=4 on 500×700).
 		{Name: "planted-500", H: table2(gen.Diff1, 5)},
+		// Huge suite: 2000 modules × 10000 nets — wide frontiers on the
+		// dual graph and enough net rows that the sharded construction
+		// and chunked BFS both engage at full width; the second family
+		// (with dense-500) held to the intra-start speedup floors.
+		{Name: "huge-2k", Huge: true, H: random("huge-2k", 2000,
+			gen.RandomConfig{NumEdges: 10000, MinEdgeSize: 2, MaxEdgeSize: 8}, 6)},
 	}
 }
 

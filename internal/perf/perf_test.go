@@ -2,9 +2,13 @@ package perf
 
 // TestPerfBaseline is the continuous-performance gate. It
 //
-//   - recomputes every family's deterministic work counters and
-//     compares them exactly against the committed BENCH_perf.json
-//     (machine-independent: only a behavior change moves them);
+//   - recomputes every family's deterministic work counters — serial
+//     construction and the 8-worker parallel family (shard split,
+//     chunk merges, work-model speedups) — and compares them exactly
+//     against the committed BENCH_perf.json (machine-independent:
+//     only a behavior change moves them);
+//   - asserts the ≥2× intra-start work-model speedup floors on the
+//     dense and huge families, in both parallel kernels;
 //   - measures allocs/op of the stamp builder and fails hard on
 //     regression past the blessed value — the CI benchmark job runs
 //     exactly this;
@@ -99,8 +103,12 @@ type familyEntry struct {
 	Name      string `json:"name"`
 	Threshold int    `json:"threshold"`
 	Counters
-	AllocsPerOpNew float64 `json:"allocs_per_op_new"`
-	AllocsPerOpOld float64 `json:"allocs_per_op_old"`
+	// Parallel is the intra-start parallel counter family at 8 workers
+	// — deterministic work-model numbers, so any drift is a real
+	// behavior change in the sharded build or the chunked BFS.
+	Parallel       ParallelCounters `json:"parallel"`
+	AllocsPerOpNew float64          `json:"allocs_per_op_new"`
+	AllocsPerOpOld float64          `json:"allocs_per_op_old"`
 }
 
 // perfFile mirrors BENCH_perf.json.
@@ -123,6 +131,11 @@ type timingRow struct {
 	NsNew    float64 `json:"ns_per_op_new"`
 	NsOld    float64 `json:"ns_per_op_old"`
 	SpeedupX float64 `json:"speedup_x"`
+	// NsPar8 and ParSpeedupX compare the sharded build at 8 workers
+	// against the serial build wall clock — only meaningful on a
+	// multi-core machine, so they live here and not in the baseline.
+	NsPar8      float64 `json:"ns_per_op_parallel8"`
+	ParSpeedupX float64 `json:"parallel_speedup_x"`
 }
 
 // measurement is a cheap local benchmark: minimum wall time over a few
@@ -165,23 +178,42 @@ func TestPerfBaseline(t *testing.T) {
 
 	for _, f := range families {
 		opts := intersect.Options{Threshold: f.Threshold}
+		optsPar := intersect.Options{Threshold: f.Threshold, Parallelism: 8}
 		h := f.H
 		mNew := measure(func() { sinkResult = intersect.Build(h, opts) })
 		mOld := measure(func() { sinkResult = intersect.BuildReference(h, opts) })
+		mPar := measure(func() { sinkResult = intersect.Build(h, optsPar) })
 		e := familyEntry{
 			Name:           f.Name,
 			Threshold:      f.Threshold,
 			Counters:       CountersFor(f),
+			Parallel:       ParallelCountersFor(f),
 			AllocsPerOpNew: mNew.allocs,
 			AllocsPerOpOld: mOld.allocs,
 		}
 		entries = append(entries, e)
 		timings = append(timings, timingRow{
-			Name:     f.Name,
-			NsNew:    mNew.ns,
-			NsOld:    mOld.ns,
-			SpeedupX: round1(mOld.ns / mNew.ns),
+			Name:        f.Name,
+			NsNew:       mNew.ns,
+			NsOld:       mOld.ns,
+			SpeedupX:    round1(mOld.ns / mNew.ns),
+			NsPar8:      mPar.ns,
+			ParSpeedupX: round1(mNew.ns / mPar.ns),
 		})
+		// Intra-start acceptance floors: the dense and huge families
+		// must admit ≥2× work-model speedup at 8 workers in both
+		// kernels. The bound is a pure function of the pinned instance,
+		// so it holds (or fails) identically on every machine.
+		if f.Dense || f.Huge {
+			if e.Parallel.BuildSpeedupX < 2 {
+				t.Errorf("%s: sharded-build work-model speedup %.1fx < 2x acceptance floor",
+					f.Name, e.Parallel.BuildSpeedupX)
+			}
+			if e.Parallel.BFSSpeedupX < 2 {
+				t.Errorf("%s: chunked-BFS work-model speedup %.1fx < 2x acceptance floor",
+					f.Name, e.Parallel.BFSSpeedupX)
+			}
+		}
 		if f.Dense {
 			got.Dense.Name = f.Name
 			got.Dense.SpeedupX = round1(mOld.ns / mNew.ns)
@@ -208,6 +240,19 @@ func TestPerfBaseline(t *testing.T) {
 		}
 		if got.Dense.AllocsReductionX < 10 {
 			t.Errorf("dense suite allocs/op reduction %.1fx < 10x acceptance floor", got.Dense.AllocsReductionX)
+		}
+		// Live sanity bound for the sharded build: with real cores under
+		// the workers the 8-way build must at minimum not lose to the
+		// serial one (the ≥2× claim itself is asserted on the
+		// machine-independent work model above; wall clock on shared
+		// runners is too noisy for a tight floor).
+		if runtime.GOMAXPROCS(0) >= 4 {
+			for _, row := range timings {
+				if (row.Name == got.Dense.Name || familyIsHuge(families, row.Name)) && row.ParSpeedupX < 1 {
+					t.Errorf("%s: 8-worker build wall clock %.1fx of serial — parallel path is a live regression",
+						row.Name, row.ParSpeedupX)
+				}
+			}
 		}
 	}
 
@@ -239,6 +284,13 @@ func TestPerfBaseline(t *testing.T) {
 		if e.Counters != w.Counters || e.Threshold != w.Threshold {
 			t.Errorf("%s: counters changed\n got %+v thr=%d\nwant %+v thr=%d — construction workload moved; re-bless with -update if intentional",
 				e.Name, e.Counters, e.Threshold, w.Counters, w.Threshold)
+		}
+		// Parallel-efficiency regression gate: shard split, chunk
+		// merge and work-model speedups are deterministic, so any
+		// drift means the parallel kernels' workload or balance moved.
+		if e.Parallel != w.Parallel {
+			t.Errorf("%s: parallel counters changed\n got %+v\nwant %+v — intra-start efficiency moved; re-bless with -update if intentional",
+				e.Name, e.Parallel, w.Parallel)
 		}
 		// Hard allocation gate: the live stamp builder may not regress
 		// past the blessed allocs/op (small absolute slack absorbs pool
@@ -301,4 +353,11 @@ func writeJSON(t *testing.T, path string, v any) {
 	}
 }
 
-func round1(x float64) float64 { return math.Round(x*10) / 10 }
+func familyIsHuge(families []Family, name string) bool {
+	for _, f := range families {
+		if f.Name == name {
+			return f.Huge
+		}
+	}
+	return false
+}
