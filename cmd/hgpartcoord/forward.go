@@ -1,0 +1,190 @@
+package main
+
+// Forwarding: consistent-hash routing with breaker-aware failover,
+// jittered retry backoff, and deadline propagation.
+//
+// A job's candidate order is the ring's preference list for its
+// netlist fingerprint — the same fingerprint the workers key their
+// result caches by, so repeat requests land on the worker that already
+// holds the answer (cache affinity), and a retry of a re-forwarded
+// duplicate hits the survivor's cache instead of recomputing. Workers
+// whose breaker is open or whose liveness state is ejected are skipped;
+// a transport error or worker 5xx records a breaker failure and moves
+// to the next candidate after a jittered backoff; a worker 429/503
+// (busy or draining) moves on without a breaker mark — refusing work
+// politely is healthy behavior. A 4xx is permanent: the request itself
+// is bad, and the worker's verdict is proxied to the client verbatim.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/fleet"
+)
+
+// workerResponse mirrors hgpartd's partitionResponse, plus the worker
+// field the coordinator stamps on before answering the client.
+type workerResponse struct {
+	JobID      string `json:"job_id"`
+	Modules    int    `json:"modules"`
+	Nets       int    `json:"nets"`
+	Cut        int    `json:"cut"`
+	Tier       int    `json:"tier"`
+	TierName   string `json:"tier_name"`
+	Degraded   bool   `json:"degraded"`
+	Assignment []int  `json:"assignment"`
+	WallMS     int64  `json:"wall_ms"`
+	Worker     string `json:"worker,omitempty"`
+}
+
+// permanentError carries a worker's 4xx verdict: the request itself is
+// bad and no amount of retrying will change that.
+type permanentError struct {
+	status int
+	body   string
+}
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("worker answered %d: %s", e.status, e.body)
+}
+
+// forward routes one job across the fleet until a worker answers, the
+// deadline passes, or a worker rules the request permanently bad. It
+// returns the winning worker's response and id.
+func (c *coord) forward(ctx context.Context, job fleet.Job, deadline time.Time) (workerResponse, string, error) {
+	var lastErr error = fmt.Errorf("no workers registered")
+	for attempt := 0; attempt < c.cfg.retries; attempt++ {
+		if ctx.Err() != nil {
+			return workerResponse{}, "", fmt.Errorf("deadline exhausted after %d attempt(s): %w", attempt, lastErr)
+		}
+		worker, ok := c.pickWorker(job.Key.Fingerprint, attempt)
+		if !ok {
+			// Nobody routable right now (empty fleet, everyone ejected or
+			// breaker-open). Back off and re-look: a heartbeat can rejoin
+			// a worker, a cooldown can admit a probe.
+			if !c.cfg.backoff.Sleep(ctx, attempt) {
+				return workerResponse{}, "", fmt.Errorf("deadline exhausted waiting for a routable worker: %w", lastErr)
+			}
+			continue
+		}
+		c.handoff.Assign(job.ID, worker)
+		if attempt > 0 {
+			c.rerouted.Add(1)
+		}
+		resp, err := c.forwardOnce(ctx, worker, job, deadline)
+		if err == nil {
+			c.registry.Record(worker, true)
+			return resp, worker, nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			// The worker answered authoritatively; it is healthy.
+			c.registry.Record(worker, true)
+			return workerResponse{}, "", err
+		}
+		if isRefusal(err) {
+			// 429/503: busy or draining, not broken. No breaker mark.
+			c.registry.Record(worker, true)
+		} else {
+			c.registry.Record(worker, false)
+		}
+		lastErr = fmt.Errorf("%s: %w", worker, err)
+		if !c.cfg.backoff.Sleep(ctx, attempt) {
+			return workerResponse{}, "", fmt.Errorf("deadline exhausted after %d attempt(s): %w", attempt+1, lastErr)
+		}
+	}
+	return workerResponse{}, "", fmt.Errorf("all %d attempt(s) failed: %w", c.cfg.retries, lastErr)
+}
+
+// pickWorker walks the ring's preference order for key and returns the
+// first worker the registry will route to, rotated by attempt so a
+// retry prefers the next candidate over re-hitting the one that just
+// failed (its breaker may not have tripped yet).
+func (c *coord) pickWorker(key uint64, attempt int) (string, bool) {
+	candidates := c.ring.Lookup(key, c.ring.Len())
+	if len(candidates) == 0 {
+		return "", false
+	}
+	for i := 0; i < len(candidates); i++ {
+		id := candidates[(attempt+i)%len(candidates)]
+		if c.registry.Allow(id) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// refusalError marks a worker 429/503: retry elsewhere, no breaker
+// penalty.
+type refusalError struct{ status int }
+
+func (e *refusalError) Error() string { return fmt.Sprintf("worker busy (HTTP %d)", e.status) }
+
+func isRefusal(err error) bool {
+	var r *refusalError
+	return errors.As(err, &r)
+}
+
+// forwardOnce sends the job to one worker, honoring the fault-injection
+// points that shape network failures: a drop rule fails the attempt
+// without sending, a partial rule truncates the response mid-read.
+func (c *coord) forwardOnce(ctx context.Context, worker string, job fleet.Job, deadline time.Time) (workerResponse, error) {
+	addr, ok := c.registry.Addr(worker)
+	if !ok {
+		return workerResponse{}, fmt.Errorf("worker %s vanished from the registry", worker)
+	}
+	idx := int(c.fwdCounter.Add(1) - 1)
+	faultinject.Fire(faultinject.PointFleetForward, idx)
+	if faultinject.ShouldDrop(faultinject.PointFleetForward, idx) {
+		return workerResponse{}, fmt.Errorf("injected connection drop (forward %d)", idx)
+	}
+
+	target := "http://" + addr + "/partition"
+	if job.Query != "" {
+		target += "?" + job.Query
+	}
+	rctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, target, strings.NewReader(job.Netlist))
+	if err != nil {
+		return workerResponse{}, err
+	}
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(deadline.UnixMilli(), 10))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return workerResponse{}, err
+	}
+	defer resp.Body.Close()
+
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.maxBody+1<<20))
+	if err != nil {
+		return workerResponse{}, fmt.Errorf("reading worker response: %w", err)
+	}
+	if faultinject.ShouldPartial(faultinject.PointFleetForward, idx) {
+		body = body[:len(body)/2] // the worker died mid-reply
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var wr workerResponse
+		if err := json.Unmarshal(body, &wr); err != nil {
+			// Truncated or garbled reply: a transport failure, retryable.
+			return workerResponse{}, fmt.Errorf("garbled worker response: %w", err)
+		}
+		return wr, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return workerResponse{}, &refusalError{status: resp.StatusCode}
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return workerResponse{}, &permanentError{status: resp.StatusCode, body: string(body)}
+	default:
+		return workerResponse{}, fmt.Errorf("worker answered HTTP %d", resp.StatusCode)
+	}
+}

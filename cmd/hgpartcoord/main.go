@@ -1,0 +1,175 @@
+// Command hgpartcoord fronts a fleet of hgpartd workers: it routes
+// partition requests over a consistent-hash ring keyed by netlist
+// fingerprint (the same fingerprint the workers key their result
+// caches by, so repeat requests enjoy cache affinity), tracks worker
+// liveness by heartbeat with breaker-style ejection, retries failed
+// forwards with jittered backoff on the next ring candidate, and —
+// with -wal — journals every accepted job so that neither a worker
+// SIGKILL nor a coordinator crash drops accepted work.
+//
+// Endpoints:
+//
+//	POST /partition   netlist body -> JSON cut, forwarded to a worker
+//	                  (same query surface as hgpartd; the response
+//	                  carries the coordinator's job_id plus the worker)
+//	POST /register    worker announce: {"id","addr"} ->
+//	                  {"heartbeat_interval_ms"}
+//	POST /heartbeat   {"id"} -> 204, or 404 when unknown (re-register)
+//	POST /deregister  {"id"} -> 204; graceful worker drain
+//	GET  /jobs/{id}   one job's state, surviving coordinator restarts
+//	GET  /healthz     fleet view: worker liveness states, breakers,
+//	                  ring membership, handoff counters
+//	GET  /stats       atomic request counters
+//
+// Liveness is a three-state machine per worker driven by heartbeat
+// silence: active -> suspect after -heartbeat-ttl, suspect -> ejected
+// after -heartbeat-ttl x -eject-after. An ejected worker leaves the
+// ring and its accepted-but-unfinished detached jobs are re-enqueued
+// onto survivors (at-least-once, deduplicated by netlist fingerprint +
+// options); its next heartbeat or registration rejoins it with no
+// manual intervention. Per-worker circuit breakers (reusing the
+// portfolio's breaker machinery) independently skip workers that keep
+// failing requests until a cooldown probe succeeds.
+//
+// Example:
+//
+//	hgpartcoord -addr :7070 -wal /var/lib/hgpartcoord/wal &
+//	hgpartd -addr :8081 -coordinator http://localhost:7070 -worker-id w1 &
+//	hgpartd -addr :8082 -coordinator http://localhost:7070 -worker-id w2 &
+//	curl -s -X POST --data-binary @netlist.nets localhost:7070/partition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/fleet"
+	"fasthgp/internal/resilience"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it blocks until SIGTERM/SIGINT or
+// a listener failure, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hgpartcoord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":7070", "listen address (use :0 for an ephemeral port; the actual address is printed)")
+		maxBody      = fs.Int64("max-body", 8<<20, "max request body bytes; beyond it 413")
+		reqTimeout   = fs.Duration("req-timeout", 30*time.Second, "per-request wall budget, propagated to workers via X-Request-Deadline")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight requests on SIGTERM")
+		heartbeatTTL = fs.Duration("heartbeat-ttl", 3*time.Second, "heartbeat silence moving a worker active -> suspect")
+		ejectAfter   = fs.Int("eject-after", 3, "TTLs of silence before a worker is ejected from the ring")
+		replicas     = fs.Int("replicas", fleet.DefaultReplicas, "ring virtual nodes per worker")
+		retries      = fs.Int("retries", 8, "max forward attempts per request across ring candidates")
+		retryBase    = fs.Duration("retry-base", 25*time.Millisecond, "first retry's nominal backoff")
+		retryCap     = fs.Duration("retry-cap", time.Second, "backoff growth cap")
+		retrySeed    = fs.Int64("retry-seed", 1, "deterministic backoff-jitter seed")
+		brkThresh    = fs.Int("breaker-threshold", 3, "consecutive failures tripping a worker's circuit breaker")
+		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a probe")
+		walPath      = fs.String("wal", "", "write-ahead log path: accepted jobs are journaled and re-enqueued after a crash (empty = off)")
+		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'drop@fleet.forward:0' (also read from FASTHGP_FAULTS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpartcoord:", err)
+		return 1
+	}
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("FASTHGP_FAULTS")
+	}
+	if spec != "" {
+		plan, err := faultinject.ParseSpec(spec)
+		if err != nil {
+			return fail(err)
+		}
+		defer faultinject.Install(plan)()
+		fmt.Fprintf(stdout, "hgpartcoord: fault injection armed: %s\n", spec)
+	}
+
+	cfg := coordConfig{
+		maxBody:      *maxBody,
+		reqTimeout:   *reqTimeout,
+		retries:      *retries,
+		backoff:      fleet.BackoffConfig{Base: *retryBase, Cap: *retryCap, Seed: *retrySeed},
+		heartbeatTTL: *heartbeatTTL,
+		ejectAfter:   *ejectAfter,
+		replicas:     *replicas,
+		drainTimeout: *drainTimeout,
+	}
+	c := newCoord(cfg, fleet.RegistryConfig{
+		HeartbeatTTL: *heartbeatTTL,
+		EjectAfter:   *ejectAfter,
+		Breakers:     resilience.BreakerConfig{Threshold: *brkThresh, Cooldown: *brkCooldown},
+	}, stdout)
+
+	// Boot recovery: replay the WAL and re-enqueue whatever the previous
+	// process accepted but never saw finish. The detached runners wait
+	// (with backoff) for workers to register, so boot order is free.
+	if *walPath != "" {
+		w, maxSeq, replayed, pending, err := openCoordWAL(*walPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer w.close()
+		c.attachWAL(w, maxSeq, replayed)
+		if len(replayed) > 0 || len(pending) > 0 {
+			fmt.Fprintf(stdout, "hgpartcoord: WAL %s: replayed %d record(s), re-enqueuing %d interrupted job(s)\n",
+				*walPath, len(replayed), len(pending))
+		}
+		c.requeue(pending)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "hgpartcoord: listening on %s\n", ln.Addr())
+
+	// The ejection sweep: interval bounds detection latency only, never
+	// correctness, so half a TTL keeps /healthz timely without load.
+	sweepStop := make(chan struct{})
+	go c.sweepLoop(*heartbeatTTL/2, sweepStop)
+
+	httpSrv := &http.Server{
+		Handler:           c.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		close(sweepStop)
+		return fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	close(sweepStop)
+	c.draining.Store(true)
+	fmt.Fprintf(stdout, "hgpartcoord: signal received, draining for up to %s\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fail(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(stdout, "hgpartcoord: drained, bye")
+	return 0
+}

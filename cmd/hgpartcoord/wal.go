@@ -1,0 +1,154 @@
+package main
+
+// Coordinator write-ahead log, on the same crash-safe checkpoint
+// journal as hgpartd's worker WAL but with its own purpose tag and
+// record shape: an accepted record carries the request verbatim plus
+// the routing key (netlist fingerprint + canonical options), so boot
+// recovery can re-enqueue it as a detached job with dedup intact. A
+// coordinator killed mid-handoff therefore loses no accepted work —
+// the job re-forwards to whichever workers register after the restart,
+// and a duplicate of a job that already completed is answered from the
+// handoff queue's completion memory instead of running twice.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fasthgp/internal/checkpoint"
+	"fasthgp/internal/fleet"
+)
+
+// coordWALVersion is bumped whenever the record schema changes.
+const coordWALVersion = 1
+
+type coordWALHeader struct {
+	Version int    `json:"version"`
+	Purpose string `json:"purpose"`
+}
+
+// coordWALRecord is one JSON frame. Type "accepted" carries the
+// request and its routing key; "done"/"failed" carry the outcome.
+type coordWALRecord struct {
+	Type  string `json:"type"` // accepted | done | failed
+	JobID string `json:"job_id"`
+
+	// accepted
+	Format      string `json:"format,omitempty"`
+	Query       string `json:"query,omitempty"`
+	Netlist     string `json:"netlist,omitempty"`
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	Opts        string `json:"opts,omitempty"`
+
+	// done
+	Cut      int    `json:"cut,omitempty"`
+	TierName string `json:"tier_name,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+
+	// failed
+	Error string `json:"error,omitempty"`
+}
+
+// coordWAL serializes appends and remembers the last durable append.
+type coordWAL struct {
+	mu         sync.Mutex
+	j          *checkpoint.Journal
+	lastAppend time.Time
+}
+
+// openCoordWAL opens (replaying) or creates the WAL at path. It
+// returns the wal, the highest job sequence seen, the replayed
+// terminal outcomes (to surface on /jobs/{id}), and the
+// accepted-but-unfinished jobs to re-enqueue as detached handoffs.
+func openCoordWAL(path string) (w *coordWAL, maxSeq int64, replayed []coordWALRecord, pending []fleet.Job, err error) {
+	if _, statErr := os.Stat(path); os.IsNotExist(statErr) {
+		hdr, _ := json.Marshal(coordWALHeader{Version: coordWALVersion, Purpose: "hgpartcoord-wal"})
+		j, err := checkpoint.Create(path, hdr)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		return &coordWAL{j: j, lastAppend: time.Now()}, 0, nil, nil, nil
+	}
+	j, records, err := checkpoint.Open(path)
+	if err != nil {
+		return nil, 0, nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(records) == 0 {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s has no header record", path)
+	}
+	var hdr coordWALHeader
+	if err := json.Unmarshal(records[0], &hdr); err != nil || hdr.Purpose != "hgpartcoord-wal" {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s is not an hgpartcoord WAL", path)
+	}
+	if hdr.Version != coordWALVersion {
+		j.Close()
+		return nil, 0, nil, nil, fmt.Errorf("wal: %s is version %d, this coordinator speaks %d", path, hdr.Version, coordWALVersion)
+	}
+
+	open := make(map[string]fleet.Job)
+	var order []string
+	for _, raw := range records[1:] {
+		var rec coordWALRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue // frames are CRC-checked; this is schema drift, never a boot blocker
+		}
+		replayed = append(replayed, rec)
+		if n := fleet.JobSeq(rec.JobID); n > maxSeq {
+			maxSeq = n
+		}
+		switch rec.Type {
+		case "accepted":
+			open[rec.JobID] = fleet.Job{
+				ID:       rec.JobID,
+				Key:      fleet.JobKey{Fingerprint: rec.Fingerprint, Opts: rec.Opts},
+				Format:   rec.Format,
+				Query:    rec.Query,
+				Netlist:  rec.Netlist,
+				Detached: true, // its client died with the old process
+			}
+			order = append(order, rec.JobID)
+		case "done", "failed":
+			delete(open, rec.JobID)
+		}
+	}
+	for _, id := range order {
+		if p, ok := open[id]; ok {
+			pending = append(pending, p)
+		}
+	}
+	return &coordWAL{j: j, lastAppend: time.Now()}, maxSeq, replayed, pending, nil
+}
+
+// append journals one record durably (fsynced before return).
+func (w *coordWAL) append(rec coordWALRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.j.Append(payload); err != nil {
+		return err
+	}
+	w.lastAppend = time.Now()
+	return nil
+}
+
+// lastAppendAge is the time since the last durable record.
+func (w *coordWAL) lastAppendAge() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Since(w.lastAppend)
+}
+
+func (w *coordWAL) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.Close()
+}

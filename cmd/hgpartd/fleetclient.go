@@ -1,0 +1,181 @@
+package main
+
+// Worker-side fleet membership: with -coordinator set, the daemon
+// registers itself with an hgpartcoord coordinator and keeps the
+// registration alive with periodic heartbeats. Registration retries
+// with jittered backoff until the coordinator is reachable, so boot
+// order never matters; a heartbeat answered 404 (the coordinator
+// restarted, or ejected us for silence) triggers re-registration, so
+// a worker rejoins the fleet without manual intervention. At drain the
+// worker deregisters first, so the coordinator routes away before the
+// listener stops accepting.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fasthgp/internal/faultinject"
+	"fasthgp/internal/fleet"
+)
+
+// fleetClient maintains one worker's registration with a coordinator.
+type fleetClient struct {
+	coordinator string // coordinator base URL, e.g. http://127.0.0.1:7070
+	id          string
+	advertise   string        // address the coordinator should forward to
+	interval    time.Duration // heartbeat period (0 = coordinator-provided)
+	stdout      io.Writer
+
+	client *http.Client
+	beats  atomic.Int64 // fault-injection index for fleet.heartbeat
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newFleetClient(coordinator, id, advertise string, interval time.Duration, stdout io.Writer) *fleetClient {
+	return &fleetClient{
+		coordinator: coordinator,
+		id:          id,
+		advertise:   advertise,
+		interval:    interval,
+		stdout:      stdout,
+		client:      &http.Client{Timeout: 5 * time.Second},
+		done:        make(chan struct{}),
+	}
+}
+
+// start launches the register-then-heartbeat loop in a goroutine.
+func (c *fleetClient) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	go c.run(ctx)
+}
+
+// stop deregisters (best-effort) and halts the heartbeat loop. Called
+// at the start of drain, before the listener stops accepting.
+func (c *fleetClient) stop() {
+	c.cancel()
+	<-c.done
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = c.post(ctx, "/deregister", map[string]any{"id": c.id}, nil)
+	fmt.Fprintf(c.stdout, "hgpartd: deregistered %s from %s\n", c.id, c.coordinator)
+}
+
+func (c *fleetClient) run(ctx context.Context) {
+	defer close(c.done)
+	backoff := fleet.BackoffConfig{Base: 250 * time.Millisecond, Cap: 5 * time.Second, Seed: seedFrom(c.id)}
+	for {
+		interval, err := c.register(ctx, backoff)
+		if err != nil {
+			return // ctx canceled
+		}
+		fmt.Fprintf(c.stdout, "hgpartd: registered %s (%s) with %s, heartbeating every %s\n",
+			c.id, c.advertise, c.coordinator, interval)
+		if !c.heartbeatLoop(ctx, interval) {
+			return // ctx canceled
+		}
+		// heartbeatLoop returned true: the coordinator no longer knows
+		// us (restart or silence ejection) — loop back and re-register.
+		fmt.Fprintf(c.stdout, "hgpartd: coordinator lost registration for %s, re-registering\n", c.id)
+	}
+}
+
+// register announces the worker, retrying with jittered backoff until
+// it succeeds or ctx is canceled. Returns the heartbeat interval: the
+// -heartbeat-interval flag if set, else the coordinator's answer.
+func (c *fleetClient) register(ctx context.Context, backoff fleet.BackoffConfig) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		var resp struct {
+			HeartbeatIntervalMS int64 `json:"heartbeat_interval_ms"`
+		}
+		err := c.post(ctx, "/register", map[string]any{"id": c.id, "addr": c.advertise}, &resp)
+		if err == nil {
+			interval := c.interval
+			if interval <= 0 {
+				interval = time.Duration(resp.HeartbeatIntervalMS) * time.Millisecond
+			}
+			if interval <= 0 {
+				interval = time.Second
+			}
+			return interval, nil
+		}
+		if !backoff.Sleep(ctx, attempt) {
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop beats until ctx is canceled (returns false) or the
+// coordinator answers 404 (returns true: re-register). Transport
+// errors are tolerated silently — the coordinator's silence ejection
+// is the arbiter, and the next successful beat rejoins us.
+func (c *fleetClient) heartbeatLoop(ctx context.Context, interval time.Duration) (reregister bool) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ticker.C:
+		}
+		idx := int(c.beats.Add(1) - 1)
+		if faultinject.ShouldDrop(faultinject.PointFleetHeartbeat, idx) {
+			continue // beat lost on the wire
+		}
+		err := c.post(ctx, "/heartbeat", map[string]any{"id": c.id}, nil)
+		if err == errUnknownWorker {
+			return true
+		}
+	}
+}
+
+// errUnknownWorker marks a 404 from /heartbeat: the coordinator does
+// not know this worker id and it must re-register.
+var errUnknownWorker = fmt.Errorf("coordinator does not know this worker")
+
+// post sends one JSON request to the coordinator; out, when non-nil,
+// receives the decoded 2xx body. A 404 maps to errUnknownWorker.
+func (c *fleetClient) post(ctx context.Context, path string, body map[string]any, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.coordinator+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errUnknownWorker
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// seedFrom derives a stable backoff seed from the worker id, so two
+// workers booting together do not retry registration in lockstep.
+func seedFrom(id string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}

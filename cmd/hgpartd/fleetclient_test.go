@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCoordinator records register/heartbeat/deregister traffic and can
+// answer heartbeats 404 to force re-registration.
+type fakeCoordinator struct {
+	mu          sync.Mutex
+	registered  []string // ids in registration order
+	beats       int
+	deregisters int
+	forget      bool // answer heartbeats 404 until the next register
+}
+
+func (f *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		var body struct{ ID, Addr string }
+		b, _ := io.ReadAll(r.Body)
+		_ = json.Unmarshal(b, &body)
+		f.mu.Lock()
+		f.registered = append(f.registered, body.ID)
+		f.forget = false
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"heartbeat_interval_ms": 10})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.forget {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		f.beats++
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/deregister", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.deregisters++
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// TestFleetClientRegistersBeatsAndReregisters drives the full worker
+// lifecycle: register, heartbeat at the coordinator-provided interval,
+// re-register when the coordinator answers 404 (restart or silence
+// ejection), and deregister at stop.
+func TestFleetClientRegistersBeatsAndReregisters(t *testing.T) {
+	fake := &fakeCoordinator{}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	fc := newFleetClient(srv.URL, "w1", "127.0.0.1:9999", 0, io.Discard)
+	fc.start()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			fake.mu.Lock()
+			ok := cond()
+			fake.mu.Unlock()
+			if ok {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", desc)
+	}
+
+	waitFor("first registration and a heartbeat", func() bool {
+		return len(fake.registered) >= 1 && fake.beats >= 1
+	})
+
+	// Coordinator forgets the worker: the next beat answers 404 and the
+	// client must re-register on its own.
+	fake.mu.Lock()
+	fake.forget = true
+	fake.mu.Unlock()
+	waitFor("automatic re-registration", func() bool { return len(fake.registered) >= 2 })
+	waitFor("heartbeats after rejoin", func() bool { return fake.beats >= 2 })
+
+	fc.stop()
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if fake.deregisters != 1 {
+		t.Errorf("deregisters = %d, want 1", fake.deregisters)
+	}
+	for _, id := range fake.registered {
+		if id != "w1" {
+			t.Errorf("registered id %q, want w1", id)
+		}
+	}
+}

@@ -18,8 +18,16 @@
 // queue answers 429 with Retry-After, a body over -max-body answers
 // 413, a malformed netlist answers 400, and with -max-heap set the
 // daemon sheds new work with a retryable 503 while the live heap sits
-// above the watermark. SIGTERM/SIGINT drains in-flight requests for up
-// to -drain-timeout, then exits 0.
+// above the watermark. SIGTERM/SIGINT starts a drain: new jobs are
+// refused with 503 + Retry-After while in-flight requests finish, for
+// up to -drain-timeout, then the process exits 0.
+//
+// With -coordinator the daemon joins an hgpartcoord fleet: it
+// registers itself (as -worker-id, advertising -advertise), heartbeats
+// periodically, re-registers automatically if the coordinator restarts
+// or ejects it for silence, and deregisters at the start of drain. A
+// coordinator-propagated X-Request-Deadline header (unix milliseconds)
+// caps the per-request budget below -req-timeout.
 //
 // With -wal the daemon journals every accepted request to a crash-safe
 // write-ahead log before running it and journals the outcome after; at
@@ -91,6 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheSize    = fs.Int("cache", 128, "result-cache entries, keyed by netlist fingerprint + options (0 = off)")
 		pprofAddr    = fs.String("pprof", "", "listen address for net/http/pprof, e.g. 127.0.0.1:6060 (empty = off)")
 		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'latency@hgpartd.request:0=2s' (also read from FASTHGP_FAULTS)")
+		coordinator  = fs.String("coordinator", "", "hgpartcoord base URL to register with, e.g. http://127.0.0.1:7070 (empty = standalone)")
+		workerID     = fs.String("worker-id", "", "fleet worker id (default hgpartd-<pid>)")
+		advertise    = fs.String("advertise", "", "address the coordinator should forward to (default the actual listen address)")
+		hbInterval   = fs.Duration("heartbeat-interval", 0, "heartbeat period when registered (0 = coordinator-provided)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -174,6 +186,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "hgpartd: listening on %s\n", ln.Addr())
 
+	// Fleet membership: register with the coordinator once the real
+	// listen address is known, so -addr :0 still advertises correctly.
+	var fc *fleetClient
+	if *coordinator != "" {
+		id := *workerID
+		if id == "" {
+			id = fmt.Sprintf("hgpartd-%d", os.Getpid())
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		fc = newFleetClient(strings.TrimRight(*coordinator, "/"), id, adv, *hbInterval, stdout)
+		fc.start()
+	}
+
 	httpSrv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -189,6 +217,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 	stop()
+	// Drain order matters: flip the 503-with-Retry-After gate first (new
+	// jobs bounce immediately), deregister from the fleet so the
+	// coordinator routes away, then wait out the in-flight requests.
+	s.startDraining()
+	if fc != nil {
+		fc.stop()
+	}
 	fmt.Fprintf(stdout, "hgpartd: signal received, draining for up to %s\n", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -8,22 +8,24 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"fasthgp/internal/fleet"
 )
 
 // waitForJob polls the job table until the job reaches a terminal
 // state or the deadline passes.
-func waitForJob(t *testing.T, s *server, id string) jobInfo {
+func waitForJob(t *testing.T, s *server, id string) fleet.JobInfo {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if j, ok := s.jobs.get(id); ok && j.terminal() {
+		if j, ok := s.jobs.Get(id); ok && j.Terminal() {
 			return j
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	j, _ := s.jobs.get(id)
+	j, _ := s.jobs.Get(id)
 	t.Fatalf("job %s never finished: %+v", id, j)
-	return jobInfo{}
+	return fleet.JobInfo{}
 }
 
 func TestPartitionReturnsJobID(t *testing.T) {
@@ -45,7 +47,7 @@ func TestPartitionReturnsJobID(t *testing.T) {
 	if jrec.Code != http.StatusOK {
 		t.Fatalf("GET /jobs/%s = %d, body %s", resp.JobID, jrec.Code, jrec.Body)
 	}
-	var job jobInfo
+	var job fleet.JobInfo
 	if err := json.Unmarshal(jrec.Body.Bytes(), &job); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestWALPersistsAcrossRestart(t *testing.T) {
 	if len(pending2) != 0 {
 		t.Fatalf("finished job came back as pending: %+v", pending2)
 	}
-	job, ok := sb.jobs.get(resp.JobID)
+	job, ok := sb.jobs.Get(resp.JobID)
 	if !ok {
 		t.Fatalf("restarted daemon lost job %s", resp.JobID)
 	}
@@ -111,7 +113,7 @@ func TestWALPersistsAcrossRestart(t *testing.T) {
 	}
 
 	// Job ids keep counting where the dead process stopped.
-	if id := sb.jobs.create(); jobSeq(id) <= jobSeq(resp.JobID) {
+	if id := sb.jobs.Create(); fleet.JobSeq(id) <= fleet.JobSeq(resp.JobID) {
 		t.Errorf("new job id %s does not continue after %s", id, resp.JobID)
 	}
 }

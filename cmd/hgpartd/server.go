@@ -17,6 +17,7 @@ import (
 
 	"fasthgp"
 	"fasthgp/internal/faultinject"
+	"fasthgp/internal/fleet"
 	"fasthgp/internal/partition"
 )
 
@@ -45,11 +46,14 @@ type server struct {
 	cfg      serverConfig
 	sem      chan struct{} // admission tokens; full queue = 429
 	begin    time.Time
-	jobs     *jobTable
+	jobs     *fleet.JobTable
 	wal      *wal                // nil = WAL disabled
 	breakers *fasthgp.BreakerSet // nil = breakers disabled
 	mem      *memWatcher         // nil = shedding disabled
 	cache    *resultCache        // nil = result caching disabled
+
+	draining   atomic.Bool  // SIGTERM received: new jobs answer 503 + Retry-After
+	walLastErr atomic.Value // string: most recent WAL append failure (surfaced on /healthz)
 
 	requests   atomic.Int64 // partition requests admitted or rejected
 	inFlight   atomic.Int64
@@ -73,7 +77,7 @@ func newServer(cfg serverConfig) *server {
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.queue),
 		begin: time.Now(),
-		jobs:  newJobTable(),
+		jobs:  fleet.NewJobTable(),
 		mem:   newMemWatcher(cfg.maxHeap),
 		cache: newResultCache(cfg.cacheSize),
 	}
@@ -91,14 +95,14 @@ func newServer(cfg serverConfig) *server {
 // GET /jobs/{id} in its last known state.
 func (s *server) attachWAL(w *wal, maxSeq int64, replayed []walRecord) {
 	s.wal = w
-	s.jobs.continueFrom(maxSeq)
-	state := make(map[string]jobInfo)
+	s.jobs.ContinueFrom(maxSeq)
+	state := make(map[string]fleet.JobInfo)
 	var order []string
 	for _, rec := range replayed {
 		j, seen := state[rec.JobID]
 		if !seen {
 			order = append(order, rec.JobID)
-			j = jobInfo{ID: rec.JobID, Status: "accepted"}
+			j = fleet.JobInfo{ID: rec.JobID, Status: "accepted"}
 		}
 		switch rec.Type {
 		case "done":
@@ -109,7 +113,7 @@ func (s *server) attachWAL(w *wal, maxSeq int64, replayed []walRecord) {
 		state[rec.JobID] = j
 	}
 	for _, id := range order {
-		s.jobs.restore(state[id])
+		s.jobs.Restore(state[id])
 	}
 }
 
@@ -120,7 +124,7 @@ func (s *server) attachWAL(w *wal, maxSeq int64, replayed []walRecord) {
 // pending in the WAL for the next boot.
 func (s *server) requeue(pending []pendingJob) {
 	for _, p := range pending {
-		s.jobs.restore(jobInfo{ID: p.JobID, Status: "requeued", Requeued: true})
+		s.jobs.Restore(fleet.JobInfo{ID: p.JobID, Status: "requeued", Requeued: true})
 		go func(p pendingJob) {
 			s.sem <- struct{}{}
 			defer func() { <-s.sem }()
@@ -134,7 +138,7 @@ func (s *server) requeue(pending []pendingJob) {
 // runRecovered re-runs one WAL-replayed job end to end.
 func (s *server) runRecovered(p pendingJob) {
 	failJob := func(err error) {
-		s.jobs.update(p.JobID, func(j *jobInfo) { j.Status, j.Error = "failed", err.Error() })
+		s.jobs.Update(p.JobID, func(j *fleet.JobInfo) { j.Status, j.Error = "failed", err.Error() })
 		s.walAppend(walRecord{Type: "failed", JobID: p.JobID, Error: err.Error()})
 	}
 	h, inlineFixed, err := parseNetlistFixed(p.Format, strings.NewReader(p.Netlist))
@@ -214,6 +218,15 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	// Drain: once SIGTERM arrives, new jobs are refused with a retryable
+	// 503 and a Retry-After hint while in-flight requests finish — the
+	// client (or the coordinator fronting this worker) re-routes instead
+	// of watching a connection die when the drain deadline passes.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.drainRetryAfter())
+		s.writeError(w, http.StatusServiceUnavailable, "draining: daemon is shutting down; retry another instance")
+		return
+	}
 	// Memory-aware shedding: above the live-heap watermark new work is
 	// refused with a retryable 503 instead of marching toward the OOM
 	// killer (which would take every in-flight request down with it).
@@ -278,13 +291,22 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A propagated deadline already in the past is refused before the
+	// job is accepted (and journaled): the caller gave up, and a WAL
+	// record with no outcome would be replayed as pending at next boot.
+	timeout, expired := s.requestTimeout(r)
+	if expired {
+		s.writeError(w, http.StatusGatewayTimeout, "propagated deadline already expired")
+		return
+	}
+
 	// The request is now accepted: give it a job id and journal it
 	// before running, so a crash from here on re-enqueues it at boot.
-	jobID := s.jobs.create()
+	jobID := s.jobs.Create()
 	s.walAppend(walRecord{Type: "accepted", JobID: jobID,
 		Format: format, Query: r.URL.RawQuery, Netlist: string(raw)})
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	resp, err := s.execute(ctx, h, opts, jobID)
 	if err != nil {
@@ -301,12 +323,12 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 // table and journaling the outcome. Shared by live requests and boot
 // recovery.
 func (s *server) execute(ctx context.Context, h *fasthgp.Hypergraph, opts []fasthgp.PortfolioOption, jobID string) (partitionResponse, error) {
-	s.jobs.update(jobID, func(j *jobInfo) { j.Status = "running" })
+	s.jobs.Update(jobID, func(j *fleet.JobInfo) { j.Status = "running" })
 	start := time.Now()
 	res, err := fasthgp.PartitionPortfolio(ctx, h, opts...)
 	wallMS := time.Since(start).Milliseconds()
 	if err != nil {
-		s.jobs.update(jobID, func(j *jobInfo) { j.Status, j.Error, j.WallMS = "failed", err.Error(), wallMS })
+		s.jobs.Update(jobID, func(j *fleet.JobInfo) { j.Status, j.Error, j.WallMS = "failed", err.Error(), wallMS })
 		s.walAppend(walRecord{Type: "failed", JobID: jobID, Error: err.Error()})
 		return partitionResponse{}, err
 	}
@@ -319,7 +341,7 @@ func (s *server) execute(ctx context.Context, h *fasthgp.Hypergraph, opts []fast
 			assignment[v] = 1
 		}
 	}
-	s.jobs.update(jobID, func(j *jobInfo) {
+	s.jobs.Update(jobID, func(j *fleet.JobInfo) {
 		j.Status, j.Cut, j.TierName, j.Degraded, j.WallMS = "done", res.CutSize, res.TierName, res.Degraded, wallMS
 	})
 	s.walAppend(walRecord{Type: "done", JobID: jobID,
@@ -339,14 +361,56 @@ func (s *server) execute(ctx context.Context, h *fasthgp.Hypergraph, opts []fast
 
 // walAppend journals rec if the WAL is enabled. Append failures never
 // fail the request — the daemon trades durability for availability and
-// reports the error count on /healthz and /stats.
+// reports the error count and the most recent error on /healthz and
+// /stats (a daemon that can serve but not journal is degraded: a crash
+// right now would lose this work).
 func (s *server) walAppend(rec walRecord) {
 	if s.wal == nil {
 		return
 	}
 	if err := s.wal.append(rec); err != nil {
 		s.walErrs.Add(1)
+		s.walLastErr.Store(err.Error())
 	}
+}
+
+// startDraining flips the daemon into drain mode: new partition
+// requests answer 503 + Retry-After while in-flight ones finish.
+func (s *server) startDraining() { s.draining.Store(true) }
+
+// drainRetryAfter is the Retry-After hint handed out during drain: the
+// drain grace in whole seconds (at least 1), i.e. "by then this
+// process is gone; try again and land on its replacement".
+func (s *server) drainRetryAfter() string {
+	secs := int(s.cfg.drainTimeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// requestTimeout derives one request's wall budget: the configured
+// -req-timeout, capped by a coordinator-propagated X-Request-Deadline
+// header (unix milliseconds). expired reports a deadline already in
+// the past — the caller gave up; running would waste a worker slot.
+func (s *server) requestTimeout(r *http.Request) (timeout time.Duration, expired bool) {
+	timeout = s.cfg.reqTimeout
+	hdr := r.Header.Get("X-Request-Deadline")
+	if hdr == "" {
+		return timeout, false
+	}
+	ms, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil {
+		return timeout, false // malformed propagation never breaks a request
+	}
+	remaining := time.Until(time.UnixMilli(ms))
+	if remaining <= 0 {
+		return 0, true
+	}
+	if remaining < timeout {
+		timeout = remaining
+	}
+	return timeout, false
 }
 
 // handleJob serves GET /jobs/{id} from the job table (rebuilt from the
@@ -361,9 +425,9 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "want /jobs/{id}")
 		return
 	}
-	job, ok := s.jobs.get(id)
+	job, ok := s.jobs.Get(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not tracked (finished jobs are evicted after %d newer jobs)", id, maxJobs))
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not tracked (finished jobs are evicted after %d newer jobs)", id, fleet.MaxJobs))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, job)
@@ -496,7 +560,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms":      time.Since(s.begin).Milliseconds(),
 		"queue_depth":    len(s.sem),
 		"queue_capacity": s.cfg.queue,
-		"jobs":           s.jobs.counts(),
+		"jobs":           s.jobs.Counts(),
 	}
 	var reasons []string
 	if s.breakers != nil {
@@ -524,11 +588,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		resp["wal"] = true
 		resp["last_checkpoint_age_ms"] = s.wal.lastAppendAge().Milliseconds()
+		resp["wal_errors"] = s.walErrs.Load()
 		if n := s.walErrs.Load(); n > 0 {
-			reasons = append(reasons, fmt.Sprintf("%d WAL append error(s)", n))
+			last, _ := s.walLastErr.Load().(string)
+			resp["wal_last_error"] = last
+			reasons = append(reasons, fmt.Sprintf("%d WAL append error(s), last: %s", n, last))
 		}
 	} else {
 		resp["wal"] = false
+	}
+	if s.draining.Load() {
+		resp["draining"] = true
+		reasons = append(reasons, "draining: shutting down")
 	}
 	if len(reasons) > 0 {
 		sort.Strings(reasons)
@@ -556,7 +627,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"degraded":         s.degraded.Load(),
 		"panics_recovered": s.recovered.Load(),
 		"wal_errors":       s.walErrs.Load(),
-		"jobs":             s.jobs.counts(),
+		"jobs":             s.jobs.Counts(),
 		"queue_capacity":   s.cfg.queue,
 		"uptime_ms":        time.Since(s.begin).Milliseconds(),
 	})

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -258,4 +259,132 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// TestDrainRejectsNewJobs: once drain starts, new partition requests
+// answer 503 with a Retry-After hint and are never accepted (no job id,
+// no WAL record), while probes and job lookups keep working.
+func TestDrainRejectsNewJobs(t *testing.T) {
+	s := testServer(func(c *serverConfig) { c.drainTimeout = 7 * time.Second })
+	h := s.handler()
+	s.startDraining()
+	rec := post(t, h, "/partition", testNets)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q (the drain grace in seconds)", got, "7")
+	}
+	if counts := s.jobs.Counts(); len(counts) != 0 {
+		t.Errorf("draining daemon accepted a job: %v", counts)
+	}
+	// The health probe still answers, and reports the drain.
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", hrec.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(hrec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "degraded" || health["draining"] != true {
+		t.Errorf("healthz during drain = status %v, draining %v; want degraded/true",
+			health["status"], health["draining"])
+	}
+}
+
+// TestDeadlineHeader: a propagated X-Request-Deadline below the
+// configured -req-timeout caps the request budget, and one already in
+// the past is refused with 504 before the job is accepted.
+func TestDeadlineHeader(t *testing.T) {
+	s := testServer()
+	h := s.handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/partition", strings.NewReader(testNets))
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(10*time.Second).UnixMilli(), 10))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status with live deadline = %d, body %s", rec.Code, rec.Body)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/partition", strings.NewReader(testNets))
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status with expired deadline = %d, want 504; body %s", rec.Code, rec.Body)
+	}
+	if counts := s.jobs.Counts(); counts["accepted"]+counts["running"]+counts["failed"] != 0 && len(counts) != 1 {
+		t.Errorf("expired-deadline request left job state: %v", counts)
+	}
+
+	// A malformed header never breaks the request: fall back to the
+	// configured timeout.
+	req = httptest.NewRequest(http.MethodPost, "/partition", strings.NewReader(testNets))
+	req.Header.Set("X-Request-Deadline", "not-a-number")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status with malformed deadline = %d, body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestRequestTimeoutDerivation pins the header-capping arithmetic.
+func TestRequestTimeoutDerivation(t *testing.T) {
+	s := testServer() // reqTimeout 30s
+	mk := func(hdr string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/partition", nil)
+		if hdr != "" {
+			r.Header.Set("X-Request-Deadline", hdr)
+		}
+		return r
+	}
+	if d, expired := s.requestTimeout(mk("")); expired || d != 30*time.Second {
+		t.Errorf("no header: (%v, %v), want (30s, false)", d, expired)
+	}
+	far := strconv.FormatInt(time.Now().Add(time.Hour).UnixMilli(), 10)
+	if d, expired := s.requestTimeout(mk(far)); expired || d != 30*time.Second {
+		t.Errorf("far deadline must not raise the cap: (%v, %v)", d, expired)
+	}
+	near := strconv.FormatInt(time.Now().Add(5*time.Second).UnixMilli(), 10)
+	if d, expired := s.requestTimeout(mk(near)); expired || d > 5*time.Second || d < 4*time.Second {
+		t.Errorf("near deadline must cap the budget: (%v, %v)", d, expired)
+	}
+	past := strconv.FormatInt(time.Now().Add(-time.Minute).UnixMilli(), 10)
+	if _, expired := s.requestTimeout(mk(past)); !expired {
+		t.Error("past deadline not reported expired")
+	}
+}
+
+// TestWALErrorSurfacesOnHealthz: a failing WAL append degrades the
+// health report and carries the underlying error text.
+func TestWALErrorSurfacesOnHealthz(t *testing.T) {
+	s := testServer()
+	s.walErrs.Add(2)
+	s.walLastErr.Store("write wal: disk full")
+	s.wal = &wal{} // non-nil so healthz reports the WAL section
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "degraded" {
+		t.Errorf("status = %v, want degraded", health["status"])
+	}
+	if health["wal_last_error"] != "write wal: disk full" {
+		t.Errorf("wal_last_error = %v", health["wal_last_error"])
+	}
+	reasons, _ := health["degraded_reasons"].([]any)
+	found := false
+	for _, r := range reasons {
+		if rs, ok := r.(string); ok && strings.Contains(rs, "disk full") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degraded_reasons %v does not carry the WAL error", reasons)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fasthgp/internal/checkpoint"
+	"fasthgp/internal/fleet"
 )
 
 // walVersion is bumped whenever the WAL record schema changes.
@@ -106,7 +107,7 @@ func openWAL(path string) (w *wal, maxSeq int64, replayed []walRecord, pending [
 			continue // a stray record never blocks boot; frames are CRC-checked, this is schema drift
 		}
 		replayed = append(replayed, rec)
-		if n := jobSeq(rec.JobID); n > maxSeq {
+		if n := fleet.JobSeq(rec.JobID); n > maxSeq {
 			maxSeq = n
 		}
 		switch rec.Type {
@@ -151,16 +152,4 @@ func (w *wal) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.j.Close()
-}
-
-// jobID formats job sequence n; jobSeq parses it back (0 for foreign
-// ids, which only weakens id continuation, never correctness).
-func jobID(n int64) string { return fmt.Sprintf("j%d", n) }
-
-func jobSeq(id string) int64 {
-	var n int64
-	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
-		return 0
-	}
-	return n
 }

@@ -1,0 +1,376 @@
+// Command hgpartload replays golden-corpus netlists against an
+// hgpartd or hgpartcoord endpoint at a configurable request rate and
+// asserts the fleet's chaos invariants from the outside:
+//
+//   - zero dropped accepted jobs: every request the service accepts
+//     (i.e. does not refuse with a retryable 429/503) must complete
+//     with a 200 — even while workers are being SIGKILLed mid-run;
+//   - every 200 is oracle-certified: the returned assignment is
+//     rebuilt into a Bipartition and VerifyCut recomputes the claimed
+//     cut from scratch;
+//   - job ids are unique: an accepted job completes exactly once;
+//   - the final /jobs/{id} sweep finds every completed job terminal
+//     on the service side;
+//   - optionally, the p99 request latency stays under -max-p99.
+//
+// Refusals (429/503) are not failures: the generator honors
+// Retry-After and tries again — that is the fleet's documented
+// backpressure contract. Anything else that prevents a completion
+// (5xx, transport error, retry budget exhausted) counts as a dropped
+// job and fails the run.
+//
+// The request mix is deterministic: -seed drives both the netlist
+// choice per tick and the per-request engine seed, so a chaos run is
+// replayable.
+//
+// Exit status: 0 when every invariant held, 1 otherwise (the summary
+// JSON on stdout says which failed).
+//
+// Example:
+//
+//	hgpartload -target http://localhost:7070 -rps 25 -duration 15s \
+//	    -corpus testdata/corpus -max-p99 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fasthgp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// corpusEntry is one replayable netlist with its parsed hypergraph
+// (the oracle needs the hypergraph to recompute cuts from scratch).
+type corpusEntry struct {
+	name    string
+	raw     string
+	h       *fasthgp.Hypergraph
+	modules int
+}
+
+// result is one request's outcome.
+type result struct {
+	entry    int
+	jobID    string
+	status   int // final HTTP status (0 = transport failure)
+	err      string
+	latency  time.Duration
+	refusals int // 429/503 bounces absorbed along the way
+	verifyOK bool
+}
+
+// summary is the machine-readable run report.
+type summary struct {
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Dropped       int     `json:"dropped"`
+	Refusals      int     `json:"refusals_retried"`
+	VerifyFailed  int     `json:"verify_failed"`
+	DuplicateIDs  int     `json:"duplicate_job_ids"`
+	SweepMissing  int     `json:"sweep_missing"`
+	P50MS         int64   `json:"p50_ms"`
+	P99MS         int64   `json:"p99_ms"`
+	MaxP99MS      int64   `json:"max_p99_ms,omitempty"`
+	RPS           float64 `json:"rps"`
+	DurationMS    int64   `json:"duration_ms"`
+	InvariantHeld bool    `json:"invariants_held"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hgpartload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "", "base URL of the hgpartd/hgpartcoord endpoint (required)")
+		corpus   = fs.String("corpus", "testdata/corpus", "directory of *.nets netlists to replay")
+		rps      = fs.Float64("rps", 20, "request rate")
+		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		seed     = fs.Int64("seed", 1, "deterministic mix seed (netlist choice + per-request engine seed)")
+		starts   = fs.Int("starts", 2, "multi-start count sent with each request")
+		budget   = fs.Duration("budget", 0, "per-request portfolio budget passed through (0 = server default)")
+		chain    = fs.String("chain", "", "fallback chain passed through (empty = server default)")
+		maxP99   = fs.Duration("max-p99", 0, "fail the run when p99 latency exceeds this (0 = no bound)")
+		reqCap   = fs.Duration("req-timeout", 30*time.Second, "per-request client-side cap, refusal retries included")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hgpartload:", err)
+		return 1
+	}
+	if *target == "" {
+		return fail(fmt.Errorf("-target is required"))
+	}
+	if *rps <= 0 {
+		return fail(fmt.Errorf("-rps must be positive"))
+	}
+	entries, err := loadCorpus(*corpus)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "hgpartload: %d netlist(s) from %s, %.1f rps for %s against %s\n",
+		len(entries), *corpus, *rps, *duration, *target)
+
+	base := strings.TrimRight(*target, "/")
+	client := &http.Client{Timeout: *reqCap}
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stopAt := time.Now().Add(*duration)
+	for i := 0; time.Now().Before(stopAt); i++ {
+		<-ticker.C
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := fire(client, base, entries, *seed, i, *starts, *budget, *chain, *reqCap)
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	s := tally(results, *maxP99, *rps, *duration)
+	s.SweepMissing = sweep(client, base, results)
+	s.InvariantHeld = s.Dropped == 0 && s.VerifyFailed == 0 && s.DuplicateIDs == 0 &&
+		s.SweepMissing == 0 && (*maxP99 <= 0 || s.P99MS <= maxP99.Milliseconds())
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(s)
+	if !s.InvariantHeld {
+		fmt.Fprintf(stderr, "hgpartload: INVARIANT VIOLATED: %d dropped, %d verify-failed, %d duplicate ids, %d missing from sweep, p99 %dms\n",
+			s.Dropped, s.VerifyFailed, s.DuplicateIDs, s.SweepMissing, s.P99MS)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hgpartload: all invariants held: %d/%d completed (%d refusal(s) retried), p50 %dms p99 %dms\n",
+		s.Completed, s.Requests, s.Refusals, s.P50MS, s.P99MS)
+	return 0
+}
+
+// loadCorpus reads and parses every *.nets file under dir.
+func loadCorpus(dir string) ([]corpusEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.nets"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var entries []corpusEntry
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		h, _, err := fasthgp.ReadNetlistFixed(strings.NewReader(string(raw)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		entries = append(entries, corpusEntry{
+			name: filepath.Base(p), raw: string(raw), h: h, modules: h.NumVertices(),
+		})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no *.nets files in %s", dir)
+	}
+	return entries, nil
+}
+
+// splitmix64 drives the deterministic request mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// partitionResponse is the slice of the service's 200 body the
+// generator verifies (hgpartd and hgpartcoord share the shape).
+type partitionResponse struct {
+	JobID      string `json:"job_id"`
+	Cut        int    `json:"cut"`
+	Degraded   bool   `json:"degraded"`
+	Assignment []int  `json:"assignment"`
+	Worker     string `json:"worker"`
+}
+
+// fire sends request i: pick a netlist deterministically, POST it,
+// absorb refusals with their Retry-After hint, and oracle-check the
+// eventual 200. Any other terminal outcome is a dropped job.
+func fire(client *http.Client, base string, entries []corpusEntry, seed int64, i, starts int, budget time.Duration, chain string, reqCap time.Duration) result {
+	mix := splitmix64(uint64(seed) ^ splitmix64(uint64(i)))
+	e := int(mix % uint64(len(entries)))
+	query := fmt.Sprintf("starts=%d&seed=%d", starts, int64(mix%1024))
+	if budget > 0 {
+		query += "&budget=" + budget.String()
+	}
+	if chain != "" {
+		query += "&chain=" + chain
+	}
+	url := base + "/partition?" + query
+
+	begin := time.Now()
+	deadline := begin.Add(reqCap)
+	res := result{entry: e}
+	for {
+		resp, err := client.Post(url, "text/plain", strings.NewReader(entries[e].raw))
+		if err != nil {
+			res.status, res.err = 0, err.Error()
+			// A transport error against the service endpoint is retried
+			// like a refusal: a draining listener can drop a connection
+			// before the 503 makes it out.
+			if time.Now().Add(200 * time.Millisecond).After(deadline) {
+				res.latency = time.Since(begin)
+				return res
+			}
+			res.refusals++
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		res.status = resp.StatusCode
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latency = time.Since(begin)
+			var pr partitionResponse
+			if err := json.Unmarshal(body, &pr); err != nil {
+				res.err = "garbled 200 body: " + err.Error()
+				return res
+			}
+			res.jobID = pr.JobID
+			res.verifyOK = oracleCheck(entries[e], pr) == nil
+			if !res.verifyOK {
+				res.err = oracleCheck(entries[e], pr).Error()
+			}
+			return res
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			wait := 200 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if wait > time.Second {
+				wait = time.Second // a chaos run cannot afford 10s naps
+			}
+			if time.Now().Add(wait).After(deadline) {
+				res.err = fmt.Sprintf("refused (%d) until the request deadline", resp.StatusCode)
+				res.latency = time.Since(begin)
+				return res
+			}
+			res.refusals++
+			time.Sleep(wait)
+		default:
+			res.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+			res.latency = time.Since(begin)
+			return res
+		}
+	}
+}
+
+// oracleCheck rebuilds the returned assignment into a Bipartition and
+// lets the invariant oracle recompute the claimed cut from scratch.
+func oracleCheck(e corpusEntry, pr partitionResponse) error {
+	if len(pr.Assignment) != e.modules {
+		return fmt.Errorf("assignment has %d entries, netlist has %d modules", len(pr.Assignment), e.modules)
+	}
+	p := fasthgp.NewBipartition(e.modules)
+	for v, side := range pr.Assignment {
+		switch side {
+		case 0:
+			p.Assign(v, fasthgp.Left)
+		case 1:
+			p.Assign(v, fasthgp.Right)
+		default:
+			return fmt.Errorf("assignment[%d] = %d, want 0 or 1", v, side)
+		}
+	}
+	if _, err := fasthgp.VerifyCut(e.h, p, pr.Cut); err != nil {
+		return fmt.Errorf("oracle rejected the result: %w", err)
+	}
+	return nil
+}
+
+// tally reduces the per-request results into the run summary.
+func tally(results []result, p99Bound time.Duration, rps float64, duration time.Duration) summary {
+	s := summary{Requests: len(results), RPS: rps, DurationMS: duration.Milliseconds(), MaxP99MS: p99Bound.Milliseconds()}
+	seen := make(map[string]bool)
+	var latencies []time.Duration
+	for _, r := range results {
+		s.Refusals += r.refusals
+		if r.status != http.StatusOK {
+			s.Dropped++
+			continue
+		}
+		s.Completed++
+		latencies = append(latencies, r.latency)
+		if !r.verifyOK {
+			s.VerifyFailed++
+		}
+		if r.jobID != "" {
+			if seen[r.jobID] {
+				s.DuplicateIDs++
+			}
+			seen[r.jobID] = true
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		s.P50MS = latencies[len(latencies)/2].Milliseconds()
+		s.P99MS = latencies[len(latencies)*99/100].Milliseconds()
+	}
+	return s
+}
+
+// sweep asks the service for every completed job's terminal state: a
+// job the client saw succeed must be "done" server-side too.
+func sweep(client *http.Client, base string, results []result) (missing int) {
+	for _, r := range results {
+		if r.status != http.StatusOK || r.jobID == "" {
+			continue
+		}
+		resp, err := client.Get(base + "/jobs/" + r.jobID)
+		if err != nil {
+			missing++
+			continue
+		}
+		var info struct {
+			Status string `json:"status"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		// An evicted id (404 from a bounded job table) is not a failure:
+		// the client already holds the verified result. Only a tracked
+		// job in a non-done state contradicts what the client observed.
+		if resp.StatusCode == http.StatusNotFound {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			missing++
+			continue
+		}
+		if err := json.Unmarshal(body, &info); err != nil || info.Status != "done" {
+			missing++
+		}
+	}
+	return missing
+}

@@ -1,8 +1,10 @@
 // Package faultinject is a deterministic fault-injection hook for
 // testing the library's recovery paths. A Plan is a list of rules, each
 // naming an instrumentation point (an engine start, a portfolio tier, a
-// daemon request) and an index at that point, and the fault to raise
-// there: a forced panic, artificial latency, or result corruption. The
+// daemon request, a fleet forward or heartbeat) and an index at that
+// point, and the fault to raise there: a forced panic, artificial
+// latency, result corruption, a torn write, a dropped network
+// operation, or a truncated response. The
 // instrumented code calls Fire / ShouldCorrupt at its points; with no
 // plan installed those calls are a single atomic load and a nil
 // compare, so production code pays nothing. There are no build tags —
@@ -48,6 +50,16 @@ const (
 	// PointCheckpointSync fires before each checkpoint-journal fsync;
 	// the index is the record sequence number being made durable.
 	PointCheckpointSync Point = "checkpoint.fsync"
+	// PointFleetForward fires on each coordinator→worker forward
+	// attempt; the index is the coordinator's forward counter. KindDrop
+	// here makes the attempt fail as a dropped connection (nothing
+	// sent); KindPartial makes the worker's response arrive truncated.
+	PointFleetForward Point = "fleet.forward"
+	// PointFleetHeartbeat fires on each worker heartbeat send; the index
+	// is the worker's heartbeat counter. KindDrop here loses that beat
+	// on the wire, so heartbeat-silence ejection is testable without
+	// killing the worker.
+	PointFleetHeartbeat Point = "fleet.heartbeat"
 )
 
 // Kind is the fault a rule raises.
@@ -66,6 +78,13 @@ const (
 	// the point: persist only a prefix of the record and fail, as a
 	// power cut mid-write would.
 	KindTorn
+	// KindDrop asks the caller (via ShouldDrop) to drop its network
+	// operation at the point: fail without sending, as a cut connection
+	// or a lost packet would.
+	KindDrop
+	// KindPartial asks the caller (via ShouldPartial) to truncate the
+	// response it is reading at the point — the remote died mid-reply.
+	KindPartial
 )
 
 func (k Kind) String() string {
@@ -78,6 +97,10 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindTorn:
 		return "torn"
+	case KindDrop:
+		return "drop"
+	case KindPartial:
+		return "partial"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -185,6 +208,20 @@ func ShouldTear(point Point, idx int) bool {
 	return matches(KindTorn, point, idx)
 }
 
+// ShouldDrop reports whether a KindDrop rule matches (point, idx); the
+// caller is responsible for failing its network operation without
+// performing it.
+func ShouldDrop(point Point, idx int) bool {
+	return matches(KindDrop, point, idx)
+}
+
+// ShouldPartial reports whether a KindPartial rule matches (point, idx);
+// the caller is responsible for truncating the response it reads and
+// treating it as a transport failure.
+func ShouldPartial(point Point, idx int) bool {
+	return matches(KindPartial, point, idx)
+}
+
 // matches reports whether any rule of the given kind covers (point, idx).
 func matches(kind Kind, point Point, idx int) bool {
 	p := active.Load()
@@ -229,6 +266,10 @@ func ParseSpec(spec string) (*Plan, error) {
 			r.Kind = KindCorrupt
 		case "torn":
 			r.Kind = KindTorn
+		case "drop":
+			r.Kind = KindDrop
+		case "partial":
+			r.Kind = KindPartial
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q", field, kindStr)
 		}
@@ -250,7 +291,8 @@ func ParseSpec(spec string) (*Plan, error) {
 		}
 		switch Point(pointStr) {
 		case PointEngineStart, PointTierResult, PointServeRequest,
-			PointCheckpointWrite, PointCheckpointSync:
+			PointCheckpointWrite, PointCheckpointSync,
+			PointFleetForward, PointFleetHeartbeat:
 			r.Point = Point(pointStr)
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown point %q", field, pointStr)

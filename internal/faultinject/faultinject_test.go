@@ -82,8 +82,31 @@ func TestShouldTear(t *testing.T) {
 	Fire(PointCheckpointWrite, 2)
 }
 
+func TestShouldDropAndPartial(t *testing.T) {
+	defer Install(&Plan{Rules: []Rule{
+		{Point: PointFleetForward, Index: 0, Kind: KindDrop},
+		{Point: PointFleetForward, Index: 1, Kind: KindPartial},
+		{Point: PointFleetHeartbeat, Index: AnyIndex, Kind: KindDrop},
+	}})()
+	if !ShouldDrop(PointFleetForward, 0) || ShouldDrop(PointFleetForward, 1) {
+		t.Error("ShouldDrop index matching wrong")
+	}
+	if !ShouldPartial(PointFleetForward, 1) || ShouldPartial(PointFleetForward, 0) {
+		t.Error("ShouldPartial index matching wrong")
+	}
+	if !ShouldDrop(PointFleetHeartbeat, 17) {
+		t.Error("AnyIndex drop rule did not match")
+	}
+	if ShouldDrop(PointServeRequest, 0) {
+		t.Error("drops wrong point")
+	}
+	// Network faults are caller-driven: Fire must ignore them.
+	Fire(PointFleetForward, 0)
+	Fire(PointFleetForward, 1)
+}
+
 func TestParseSpec(t *testing.T) {
-	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*,torn@checkpoint.write:1,panic@checkpoint.fsync:0")
+	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*,torn@checkpoint.write:1,panic@checkpoint.fsync:0,drop@fleet.forward:2,partial@fleet.forward:*,drop@fleet.heartbeat:4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +116,9 @@ func TestParseSpec(t *testing.T) {
 		{Point: PointTierResult, Index: AnyIndex, Kind: KindCorrupt},
 		{Point: PointCheckpointWrite, Index: 1, Kind: KindTorn},
 		{Point: PointCheckpointSync, Index: 0, Kind: KindPanic},
+		{Point: PointFleetForward, Index: 2, Kind: KindDrop},
+		{Point: PointFleetForward, Index: AnyIndex, Kind: KindPartial},
+		{Point: PointFleetHeartbeat, Index: 4, Kind: KindDrop},
 	}
 	if len(plan.Rules) != len(want) {
 		t.Fatalf("parsed %d rules, want %d", len(plan.Rules), len(want))

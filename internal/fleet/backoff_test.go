@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	cfg := BackoffConfig{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 7}
+	for attempt := 0; attempt < 8; attempt++ {
+		d1, d2 := cfg.Delay(attempt), cfg.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		nominal := 10 * time.Millisecond << uint(attempt)
+		if nominal > 80*time.Millisecond {
+			nominal = 80 * time.Millisecond
+		}
+		if d1 < nominal/2 || d1 >= nominal*3/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d1, nominal/2, nominal*3/2)
+		}
+	}
+}
+
+func TestBackoffSeedsDiffer(t *testing.T) {
+	a := BackoffConfig{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 1}
+	b := BackoffConfig{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 2}
+	same := 0
+	for attempt := 0; attempt < 10; attempt++ {
+		if a.Delay(attempt) == b.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("two seeds produced identical schedules; jitter is not seed-dependent")
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	cfg := BackoffConfig{Base: time.Minute, Cap: time.Minute, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if cfg.Sleep(ctx, 0) {
+		t.Error("Sleep = true under a dead context")
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Error("Sleep blocked despite cancelled context")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var cfg BackoffConfig
+	if d := cfg.Delay(0); d <= 0 {
+		t.Errorf("zero-value Delay(0) = %v, want positive default", d)
+	}
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testJob(id, worker string, key uint64, detached bool) Job {
+	return Job{
+		ID:       id,
+		Key:      JobKey{Fingerprint: key, Opts: "chain=fm starts=2"},
+		Format:   "nets",
+		Netlist:  "module a\nmodule b\nnet n a b\n",
+		Worker:   worker,
+		Detached: detached,
+	}
+}
+
+func TestHandoffReclaimOnlyDetachedExactlyOnce(t *testing.T) {
+	q := NewHandoffQueue(0)
+	q.Admit(testJob("j1", "w1", 10, true))
+	q.Admit(testJob("j2", "w1", 20, false)) // attached: a live handler owns it
+	q.Admit(testJob("j3", "w2", 30, true))
+
+	got := q.Reclaim("w1")
+	if len(got) != 1 || got[0].ID != "j1" {
+		t.Fatalf("Reclaim(w1) = %v, want only the detached j1", got)
+	}
+	if again := q.Reclaim("w1"); len(again) != 0 {
+		t.Fatalf("second Reclaim returned %v; each job must be reclaimed exactly once", again)
+	}
+	if q.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (j2 attached, j3 on w2)", q.Pending())
+	}
+}
+
+func TestHandoffDedupByKey(t *testing.T) {
+	q := NewHandoffQueue(0)
+	j := testJob("j1", "w1", 99, true)
+	q.Admit(j)
+	if !q.Complete("j1", Done{Cut: 7, TierName: "fm", Worker: "w1"}) {
+		t.Fatal("Complete(j1) = false")
+	}
+
+	// A detached duplicate of the completed key is answered from memory.
+	dup := testJob("j2", "w2", 99, true)
+	prev, isDup := q.Admit(dup)
+	if !isDup || prev.Cut != 7 || prev.TierName != "fm" {
+		t.Fatalf("Admit(dup) = (%+v, %v), want the remembered outcome", prev, isDup)
+	}
+	if q.Pending() != 0 {
+		t.Errorf("deduped job entered flight: pending = %d", q.Pending())
+	}
+
+	// A live (attached) duplicate is NOT deduped — the client wants a
+	// full response body; the worker's own cache makes it cheap.
+	live := testJob("j3", "w2", 99, false)
+	if _, isDup := q.Admit(live); isDup {
+		t.Error("attached duplicate was deduped; live clients must be forwarded")
+	}
+	if s := q.Stats(); s["deduped"] != 1 || s["completed"] != 1 {
+		t.Errorf("stats = %v, want deduped 1 completed 1", s)
+	}
+}
+
+func TestHandoffCompleteIdempotent(t *testing.T) {
+	q := NewHandoffQueue(0)
+	q.Admit(testJob("j1", "w1", 1, false))
+	if !q.Complete("j1", Done{Cut: 3}) {
+		t.Fatal("first Complete = false")
+	}
+	if q.Complete("j1", Done{Cut: 4}) {
+		t.Fatal("second Complete = true; completion must be exactly-once per job id")
+	}
+	if d, ok := q.DoneFor(JobKey{Fingerprint: 1, Opts: "chain=fm starts=2"}); !ok || d.Cut != 3 {
+		t.Errorf("DoneFor = (%+v, %v), want the first outcome kept", d, ok)
+	}
+}
+
+func TestHandoffAssignMovesWorkerSets(t *testing.T) {
+	q := NewHandoffQueue(0)
+	q.Admit(testJob("j1", "w1", 5, true))
+	q.Assign("j1", "w2") // retry routing moved it
+	if got := q.Reclaim("w1"); len(got) != 0 {
+		t.Fatalf("Reclaim(w1) = %v after reassignment to w2", got)
+	}
+	got := q.Reclaim("w2")
+	if len(got) != 1 || got[0].ID != "j1" || got[0].Worker != "w2" {
+		t.Fatalf("Reclaim(w2) = %v, want j1@w2", got)
+	}
+}
+
+func TestHandoffDetachThenReclaim(t *testing.T) {
+	q := NewHandoffQueue(0)
+	q.Admit(testJob("j1", "w1", 5, false))
+	if got := q.Reclaim("w1"); len(got) != 0 {
+		t.Fatalf("attached job reclaimed: %v", got)
+	}
+	q.Detach("j1")
+	if got := q.Reclaim("w1"); len(got) != 1 || !got[0].Detached {
+		t.Fatalf("Reclaim after Detach = %v", got)
+	}
+}
+
+func TestHandoffFailRemovesWithoutMemory(t *testing.T) {
+	q := NewHandoffQueue(0)
+	j := testJob("j1", "w1", 5, true)
+	q.Admit(j)
+	q.Fail("j1")
+	if q.Pending() != 0 {
+		t.Errorf("pending = %d after Fail", q.Pending())
+	}
+	if _, ok := q.DoneFor(j.Key); ok {
+		t.Error("failed job recorded a completion; a retry of the key must run afresh")
+	}
+	// The same key re-admitted detached runs again (no dedup from a failure).
+	if _, dup := q.Admit(testJob("j2", "w2", 5, true)); dup {
+		t.Error("failure wrongly populated the dedup memory")
+	}
+}
+
+func TestHandoffDedupMemoryBounded(t *testing.T) {
+	q := NewHandoffQueue(4)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("j%d", i)
+		q.Admit(Job{ID: id, Key: JobKey{Fingerprint: uint64(i)}, Worker: "w"})
+		q.Complete(id, Done{Cut: i})
+	}
+	// Oldest keys evicted: key 0 forgotten, key 9 remembered.
+	if _, ok := q.DoneFor(JobKey{Fingerprint: 0}); ok {
+		t.Error("evicted key still remembered")
+	}
+	if d, ok := q.DoneFor(JobKey{Fingerprint: 9}); !ok || d.Cut != 9 {
+		t.Error("recent key forgotten")
+	}
+}

@@ -1,0 +1,143 @@
+package fleet
+
+// Bounded job table behind GET /jobs/{id}, shared by the worker daemon
+// (hgpartd) and the coordinator (hgpartcoord). Every accepted request
+// gets a job id; the table tracks it from accepted through done/failed,
+// including jobs replayed from a WAL at boot (whose clients are long
+// gone) and jobs re-enqueued by crash recovery or worker ejection. The
+// table is bounded: once it holds MaxJobs entries, the oldest finished
+// jobs are evicted first, so a long-lived process cannot leak memory.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MaxJobs bounds the table; eviction removes oldest terminal entries.
+const MaxJobs = 4096
+
+// JobInfo is one job's state, served verbatim as JSON by /jobs/{id}.
+type JobInfo struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"` // accepted | running | done | failed | requeued
+	Accepted string `json:"accepted"`
+	Requeued bool   `json:"requeued,omitempty"` // re-enqueued by crash recovery or handoff
+	Worker   string `json:"worker,omitempty"`   // coordinator only: the worker that ran it
+	Cut      int    `json:"cut,omitempty"`
+	TierName string `json:"tier_name,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	WallMS   int64  `json:"wall_ms,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *JobInfo) Terminal() bool { return j.Status == "done" || j.Status == "failed" }
+
+// JobTable is the bounded, concurrency-safe job registry.
+type JobTable struct {
+	mu    sync.Mutex
+	jobs  map[string]*JobInfo
+	order []string // insertion order, for eviction
+	seq   int64
+}
+
+// NewJobTable returns an empty table.
+func NewJobTable() *JobTable {
+	return &JobTable{jobs: make(map[string]*JobInfo)}
+}
+
+// ContinueFrom advances the id sequence past n (WAL replay passes the
+// highest id the dead process issued, so ids never collide).
+func (t *JobTable) ContinueFrom(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.seq {
+		t.seq = n
+	}
+}
+
+// Create registers a fresh job and returns its id.
+func (t *JobTable) Create() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := JobID(t.seq)
+	t.insertLocked(&JobInfo{ID: id, Status: "accepted", Accepted: time.Now().UTC().Format(time.RFC3339)})
+	return id
+}
+
+// Restore registers a job replayed from a WAL in the given state.
+func (t *JobTable) Restore(j JobInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.jobs[j.ID]; ok {
+		*existing = j
+		return
+	}
+	t.insertLocked(&j)
+}
+
+func (t *JobTable) insertLocked(j *JobInfo) {
+	for len(t.order) >= MaxJobs {
+		evicted := false
+		for i, id := range t.order {
+			if t.jobs[id].Terminal() {
+				delete(t.jobs, id)
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted { // everything in flight; evict the oldest anyway
+			delete(t.jobs, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.jobs[j.ID] = j
+	t.order = append(t.order, j.ID)
+}
+
+// Update mutates a job's state if it is still tracked.
+func (t *JobTable) Update(id string, f func(*JobInfo)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.jobs[id]; ok {
+		f(j)
+	}
+}
+
+// Get returns a copy of the job's state.
+func (t *JobTable) Get(id string) (JobInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return *j, true
+}
+
+// Counts tallies jobs by status (for /healthz and /stats).
+func (t *JobTable) Counts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range t.jobs {
+		out[j.Status]++
+	}
+	return out
+}
+
+// JobID formats job sequence n; JobSeq parses it back (0 for foreign
+// ids, which only weakens id continuation, never correctness).
+func JobID(n int64) string { return fmt.Sprintf("j%d", n) }
+
+// JobSeq parses a JobID back to its sequence number.
+func JobSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}

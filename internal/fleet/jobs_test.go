@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJobTableCreateGetUpdate(t *testing.T) {
+	tbl := NewJobTable()
+	id := tbl.Create()
+	if id != "j1" {
+		t.Fatalf("first id = %s, want j1", id)
+	}
+	tbl.Update(id, func(j *JobInfo) { j.Status, j.Cut, j.Worker = "done", 4, "w1" })
+	j, ok := tbl.Get(id)
+	if !ok || j.Cut != 4 || j.Worker != "w1" || j.Status != "done" {
+		t.Fatalf("Get = %+v, %v", j, ok)
+	}
+	if c := tbl.Counts(); c["done"] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestJobTableContinueFrom(t *testing.T) {
+	tbl := NewJobTable()
+	tbl.ContinueFrom(41)
+	if id := tbl.Create(); id != "j42" {
+		t.Fatalf("id after ContinueFrom(41) = %s, want j42", id)
+	}
+	if JobSeq("j42") != 42 || JobSeq("weird") != 0 {
+		t.Error("JobSeq round-trip wrong")
+	}
+}
+
+func TestJobTableEvictsTerminalFirst(t *testing.T) {
+	tbl := NewJobTable()
+	ids := make([]string, MaxJobs)
+	for i := range ids {
+		ids[i] = tbl.Create()
+	}
+	// Finish the second job only; the next insert must evict it, not the
+	// still-running first.
+	tbl.Update(ids[1], func(j *JobInfo) { j.Status = "done" })
+	extra := tbl.Create()
+	if _, ok := tbl.Get(ids[1]); ok {
+		t.Error("terminal job survived eviction")
+	}
+	if _, ok := tbl.Get(ids[0]); !ok {
+		t.Error("in-flight job evicted while a terminal one existed")
+	}
+	if _, ok := tbl.Get(extra); !ok {
+		t.Error("new job not inserted")
+	}
+}
+
+func TestJobTableRestore(t *testing.T) {
+	tbl := NewJobTable()
+	tbl.Restore(JobInfo{ID: "j7", Status: "requeued", Requeued: true})
+	tbl.Restore(JobInfo{ID: "j7", Status: "done", Cut: 3})
+	j, ok := tbl.Get("j7")
+	if !ok || j.Status != "done" || j.Cut != 3 {
+		t.Fatalf("restored job = %+v, %v", j, ok)
+	}
+	if c := tbl.Counts(); c["done"] != 1 || len(c) != 1 {
+		t.Errorf("counts = %v, want exactly one done (restore must overwrite, not duplicate)", c)
+	}
+	_ = fmt.Sprintf("%v", j)
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fasthgp/internal/resilience"
+)
+
+// fakeClock is an injectable clock for driving the state machine.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func testRegistry(c *fakeClock, ttl time.Duration, ejectAfter int) *Registry {
+	return NewRegistry(RegistryConfig{
+		HeartbeatTTL: ttl,
+		EjectAfter:   ejectAfter,
+		Now:          c.Now,
+		Breakers:     resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute, Now: c.Now},
+	})
+}
+
+func TestRegistryHeartbeatStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	g := testRegistry(clock, time.Second, 3)
+	g.Upsert("w1", "127.0.0.1:1")
+
+	assertState := func(want WorkerState) {
+		t.Helper()
+		got, ok := g.State("w1")
+		if !ok || got != want {
+			t.Fatalf("state = %v (known %v), want %v", got, ok, want)
+		}
+	}
+
+	assertState(WorkerActive)
+
+	// One missed TTL: suspect, still registered.
+	clock.advance(1500 * time.Millisecond)
+	if ejected := g.Sweep(); len(ejected) != 0 {
+		t.Fatalf("sweep ejected %v too early", ejected)
+	}
+	assertState(WorkerSuspect)
+
+	// A heartbeat brings it straight back to active.
+	if known, rejoined := g.Heartbeat("w1"); !known || rejoined {
+		t.Fatalf("heartbeat = (%v, %v), want (true, false)", known, rejoined)
+	}
+	assertState(WorkerActive)
+
+	// Silence past TTL*EjectAfter: ejected, reported exactly once.
+	clock.advance(3500 * time.Millisecond)
+	if ejected := g.Sweep(); !reflect.DeepEqual(ejected, []string{"w1"}) {
+		t.Fatalf("sweep = %v, want [w1]", ejected)
+	}
+	if ejected := g.Sweep(); len(ejected) != 0 {
+		t.Fatalf("second sweep re-reported the same ejection: %v", ejected)
+	}
+	assertState(WorkerEjected)
+	if g.Allow("w1") {
+		t.Error("Allow routed to an ejected worker")
+	}
+
+	// The next heartbeat rejoins it with no manual intervention.
+	if known, rejoined := g.Heartbeat("w1"); !known || !rejoined {
+		t.Fatalf("rejoin heartbeat = (%v, %v), want (true, true)", known, rejoined)
+	}
+	assertState(WorkerActive)
+	if !g.Allow("w1") {
+		t.Error("rejoined worker not routable")
+	}
+	g.Record("w1", true)
+
+	// Ejections are counted.
+	if snap := g.Snapshot(); len(snap) != 1 || snap[0].Ejections != 1 {
+		t.Errorf("snapshot = %+v, want 1 worker with 1 ejection", snap)
+	}
+}
+
+func TestRegistryUpsertRejoinsAndUpdatesAddr(t *testing.T) {
+	clock := newFakeClock()
+	g := testRegistry(clock, time.Second, 2)
+	g.Upsert("w1", "127.0.0.1:1")
+	clock.advance(5 * time.Second)
+	g.Sweep()
+	if s, _ := g.State("w1"); s != WorkerEjected {
+		t.Fatalf("state = %v, want ejected", s)
+	}
+	// A restarted worker re-registers with a fresh port.
+	if rejoined := g.Upsert("w1", "127.0.0.1:2"); !rejoined {
+		t.Fatal("Upsert of ejected worker did not report rejoin")
+	}
+	if addr, _ := g.Addr("w1"); addr != "127.0.0.1:2" {
+		t.Errorf("addr = %s, want the re-registered address", addr)
+	}
+}
+
+func TestRegistryUnknownHeartbeat(t *testing.T) {
+	g := testRegistry(newFakeClock(), time.Second, 2)
+	if known, _ := g.Heartbeat("ghost"); known {
+		t.Error("heartbeat from an unregistered worker reported known")
+	}
+}
+
+func TestRegistryBreakerEjection(t *testing.T) {
+	clock := newFakeClock()
+	g := testRegistry(clock, time.Minute, 3) // heartbeats irrelevant here
+	g.Upsert("w1", "127.0.0.1:1")
+
+	// Two consecutive failures trip the per-worker breaker (threshold 2).
+	if !g.Allow("w1") {
+		t.Fatal("fresh worker not routable")
+	}
+	g.Record("w1", false)
+	if !g.Allow("w1") {
+		t.Fatal("one failure already blocked routing")
+	}
+	g.Record("w1", false)
+	if g.Allow("w1") {
+		t.Error("tripped breaker still admits requests")
+	}
+	if snap := g.Snapshot(); snap[0].Breaker != "open" {
+		t.Errorf("breaker = %s, want open", snap[0].Breaker)
+	}
+
+	// After the cooldown a single probe is admitted; success re-admits.
+	clock.advance(2 * time.Minute)
+	if !g.Allow("w1") {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	g.Record("w1", true)
+	if !g.Allow("w1") {
+		t.Error("recovered worker not routable")
+	}
+	g.Record("w1", true)
+}
+
+func TestRegistryRemove(t *testing.T) {
+	g := testRegistry(newFakeClock(), time.Second, 2)
+	g.Upsert("w1", "a")
+	if !g.Remove("w1") || g.Remove("w1") {
+		t.Error("Remove should report true then false")
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d after remove", g.Len())
+	}
+	if g.Allow("w1") {
+		t.Error("removed worker still routable")
+	}
+}

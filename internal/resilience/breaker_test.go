@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -106,6 +107,79 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	}
 	if !b.Allow() {
 		t.Fatal("closed breaker rejected an attempt")
+	}
+}
+
+// TestBreakerHalfOpenConcurrentSingleProbe proves the half-open
+// single-probe contract under contention: with any number of callers
+// racing Allow after the cooldown, exactly one probe is admitted per
+// cooldown window — over several windows, and whether the probe then
+// succeeds or fails. The CI resilience job runs this package with
+// -race, so the table doubles as a data-race check on the probe slot.
+func TestBreakerHalfOpenConcurrentSingleProbe(t *testing.T) {
+	cases := []struct {
+		name      string
+		threshold int
+		callers   int
+		windows   int
+		probeOK   bool
+	}{
+		{"failing-probes-8-callers", 1, 8, 3, false},
+		{"failing-probes-64-callers", 2, 64, 5, false},
+		{"succeeding-probe-32-callers", 3, 32, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := newTestBreaker(tc.threshold, time.Minute)
+			for i := 0; i < tc.threshold; i++ {
+				if !b.Allow() {
+					t.Fatalf("closed breaker rejected tripping attempt %d", i)
+				}
+				b.Record(false)
+			}
+			if got := b.State(); got != BreakerOpen {
+				t.Fatalf("state after %d failures = %v, want open", tc.threshold, got)
+			}
+			for w := 0; w < tc.windows; w++ {
+				clk.advance(time.Minute)
+				var admitted atomic.Int32
+				start := make(chan struct{})
+				var wg sync.WaitGroup
+				for c := 0; c < tc.callers; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						if b.Allow() {
+							admitted.Add(1)
+						}
+					}()
+				}
+				close(start)
+				wg.Wait()
+				if got := admitted.Load(); got != 1 {
+					t.Fatalf("window %d: %d of %d concurrent callers admitted, want exactly 1 probe", w, got, tc.callers)
+				}
+				// While the probe is outstanding, even a sequential
+				// caller stays locked out.
+				if b.Allow() {
+					t.Fatalf("window %d: probe slot admitted a second caller before Record", w)
+				}
+				b.Record(tc.probeOK)
+				if tc.probeOK {
+					if got := b.State(); got != BreakerClosed {
+						t.Fatalf("window %d: state after successful probe = %v, want closed", w, got)
+					}
+					return
+				}
+				if got := b.State(); got != BreakerOpen {
+					t.Fatalf("window %d: state after failed probe = %v, want open", w, got)
+				}
+				if b.Allow() {
+					t.Fatalf("window %d: reopened breaker admitted a caller before a fresh cooldown", w)
+				}
+			}
+		})
 	}
 }
 
