@@ -32,6 +32,12 @@
 //
 //	hgpart -in netlist.nets -algo fm -starts 50 -checkpoint run.ckpt -resume
 //
+// -scrub is a standalone mode: it re-walks the CRC frames of any
+// checkpoint or WAL journal read-only and exits 0 (clean) or 1 (torn
+// tail or mid-file rot), without truncating or repairing anything:
+//
+//	hgpart -scrub /var/lib/hgpartd/wal
+//
 // -epsilon and -fixed impose the unified balance contract on any
 // algorithm: -epsilon bounds each side at (1+eps)·⌈w(V)/2⌉ (per part
 // for -k > 2), and -fixed names an hMETIS-style fix file pinning
@@ -63,6 +69,7 @@ import (
 	"time"
 
 	"fasthgp"
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/faultinject"
 	"fasthgp/internal/partition"
 )
@@ -95,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget     = fs.Duration("budget", 0, "portfolio wall budget across the whole -fallback chain, e.g. 2s (0 = -timeout)")
 		ckptPath   = fs.String("checkpoint", "", "crash-safe journal path: every completed start is fsynced there as the run progresses")
 		resume     = fs.Bool("resume", false, "with -checkpoint: resume an interrupted run from the journal (bit-for-bit identical result); a missing journal starts fresh")
+		scrubPath  = fs.String("scrub", "", "standalone mode: integrity-scrub the checkpoint/WAL journal at this path (read-only CRC re-walk) and exit — 0 clean, 1 torn or unreadable")
 		faults     = fs.String("faultinject", "", "fault-injection spec, e.g. 'panic@engine.start:2' (also read from FASTHGP_FAULTS)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -108,6 +116,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hgpart:", err)
 		return 1
+	}
+	// Standalone scrub mode: re-walk a journal's CRC frames read-only and
+	// report, without opening it for repair — the operator's tool for
+	// checking a WAL or checkpoint for bit rot before trusting a replay.
+	if *scrubPath != "" {
+		rep, err := checkpoint.ScrubFile(*scrubPath)
+		if err != nil {
+			return fail(fmt.Errorf("scrub: %w", err))
+		}
+		fmt.Fprintln(stdout, rep.String())
+		if !rep.OK() {
+			fmt.Fprintln(stderr, "hgpart: journal is torn or rotten; Open would truncate to the intact prefix")
+			return 1
+		}
+		return 0
 	}
 	if *in == "" {
 		fmt.Fprintln(stderr, "hgpart: -in is required")

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,24 +11,26 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
-	"fasthgp"
 	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/fleet"
 )
 
 // coordConfig is the coordinator's tunable surface, set by flags.
 type coordConfig struct {
-	maxBody      int64         // request-body cap; beyond it 413
-	reqTimeout   time.Duration // per-request wall cap (propagated to workers)
-	retries      int           // max forward attempts per request
-	backoff      fleet.BackoffConfig
-	heartbeatTTL time.Duration // silence moving a worker active -> suspect
-	ejectAfter   int           // TTLs of silence before ejection
-	replicas     int           // ring virtual nodes per worker
-	drainTimeout time.Duration
+	maxBody       int64         // request-body cap; beyond it 413
+	reqTimeout    time.Duration // per-request wall cap (propagated to workers)
+	retries       int           // max forward attempts per request
+	backoff       fleet.BackoffConfig
+	heartbeatTTL  time.Duration // silence moving a worker active -> suspect
+	ejectAfter    int           // TTLs of silence before ejection
+	replicas      int           // ring virtual nodes per worker
+	drainTimeout  time.Duration
+	hedgeDelay    time.Duration // delayed-duplicate threshold (0 = hedging off)
+	scrubInterval time.Duration // WAL scrub cadence (0 = scrubbing off)
 }
 
 // coord is the coordinator state: the worker registry (liveness +
@@ -49,12 +50,26 @@ type coord struct {
 	draining   atomic.Bool
 	fwdCounter atomic.Int64 // fault-injection index for fleet.forward
 
-	requests   atomic.Int64
-	ok200      atomic.Int64
-	failed     atomic.Int64
-	rerouted   atomic.Int64 // forwards answered by a non-primary worker
-	walErrs    atomic.Int64
-	walLastErr atomic.Value // string
+	flightMu sync.Mutex
+	flights  map[fleet.JobKey]*flight // live single-flight computations
+
+	probeMat  atomic.Pointer[probeMaterial]          // last verified job, replayed as quarantine probe
+	lastScrub atomic.Pointer[checkpoint.ScrubStatus] // latest WAL scrub outcome
+
+	requests    atomic.Int64
+	ok200       atomic.Int64
+	failed      atomic.Int64
+	rerouted    atomic.Int64 // forwards answered by a non-primary worker
+	verified    atomic.Int64 // worker answers that passed the oracle
+	invalid     atomic.Int64 // worker answers the oracle rejected (never delivered)
+	quarantines atomic.Int64 // quarantine transitions
+	probes      atomic.Int64 // readmission probes sent
+	readmitted  atomic.Int64 // quarantine releases
+	hedges      atomic.Int64 // delayed duplicates fired
+	hedgeWins   atomic.Int64 // races won by the hedge
+	collapsed   atomic.Int64 // requests answered by another flight's computation
+	walErrs     atomic.Int64
+	walLastErr  atomic.Value // string
 }
 
 func newCoord(cfg coordConfig, registryCfg fleet.RegistryConfig, stdout io.Writer) *coord {
@@ -67,6 +82,7 @@ func newCoord(cfg coordConfig, registryCfg fleet.RegistryConfig, stdout io.Write
 		ring:     fleet.NewRing(cfg.replicas),
 		handoff:  fleet.NewHandoffQueue(0),
 		jobs:     fleet.NewJobTable(),
+		flights:  make(map[fleet.JobKey]*flight),
 		client:   &http.Client{}, // per-request deadlines come from ctx
 		stdout:   stdout,
 		begin:    time.Now(),
@@ -138,8 +154,10 @@ func (c *coord) walAppend(rec coordWALRecord) {
 
 // sweep advances the liveness state machine once: newly ejected
 // workers leave the ring and their detached handoff jobs are reclaimed
-// and re-forwarded to survivors.
+// and re-forwarded to survivors. It also fires readmission probes at
+// quarantined workers (integrity.go).
 func (c *coord) sweep() {
+	defer c.probeQuarantined()
 	for _, id := range c.registry.Sweep() {
 		c.ring.Remove(id)
 		reclaimed := c.handoff.Reclaim(id)
@@ -289,16 +307,18 @@ func (c *coord) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	format := r.URL.Query().Get("format")
-	// The coordinator parses the netlist only to fingerprint it — the
-	// routing/dedup key — and rejects garbage before it wastes a
-	// worker's time. The raw bytes are forwarded verbatim.
-	h, err := parseNetlist(format, raw)
+	// The coordinator parses the netlist for two jobs: the fingerprint
+	// (routing/dedup key) and the verification contract every worker
+	// answer is judged against before delivery. Garbage is rejected
+	// before it wastes a worker's time; the raw bytes are forwarded
+	// verbatim.
+	vs, err := newVerifySpec(format, raw, r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := fleet.JobKey{
-		Fingerprint: checkpoint.HashHypergraph(h),
+		Fingerprint: checkpoint.HashHypergraph(vs.h),
 		Opts:        canonicalOpts(r.URL.Query()),
 	}
 
@@ -325,7 +345,7 @@ func (c *coord) handlePartition(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: key.Fingerprint, Opts: key.Opts})
 	c.handoff.Admit(job)
 
-	resp, worker, ferr := c.forward(r.Context(), job, deadline)
+	resp, worker, ferr := c.dispatch(r.Context(), job, vs, deadline)
 	if ferr != nil {
 		if r.Context().Err() != nil {
 			// The client is gone mid-retry: leave the job detached so
@@ -359,6 +379,7 @@ func (c *coord) handlePartition(w http.ResponseWriter, r *http.Request) {
 	})
 	c.walAppend(coordWALRecord{Type: "done", JobID: jobID,
 		Cut: resp.Cut, TierName: resp.TierName, Worker: worker, Degraded: resp.Degraded, WallMS: resp.WallMS})
+	c.keepProbeMaterial(job, vs)
 
 	resp.JobID = jobID // the coordinator's id, not the worker's
 	resp.Worker = worker
@@ -373,13 +394,23 @@ func (c *coord) handlePartition(w http.ResponseWriter, r *http.Request) {
 // — an accepted job is otherwise never dropped.
 func (c *coord) runDetached(job fleet.Job) {
 	job.Detached = true
+	vs, err := verifySpecForJob(job)
+	if err != nil {
+		// The stored request no longer parses (schema drift across a
+		// version boundary): permanently failed, never silently served
+		// unverified.
+		c.handoff.Fail(job.ID)
+		c.jobs.Update(job.ID, func(j *fleet.JobInfo) { j.Status, j.Error = "failed", err.Error() })
+		c.walAppend(coordWALRecord{Type: "failed", JobID: job.ID, Error: err.Error()})
+		return
+	}
 	for round := 0; ; round++ {
 		if c.draining.Load() {
 			return // the WAL still holds it; the next boot resumes
 		}
 		deadline := time.Now().Add(c.cfg.reqTimeout)
 		ctx, cancel := context.WithDeadline(context.Background(), deadline)
-		resp, worker, err := c.forward(ctx, job, deadline)
+		resp, worker, err := c.forward(ctx, job, vs, deadline)
 		cancel()
 		if err == nil {
 			c.handoff.Complete(job.ID, fleet.Done{Cut: resp.Cut, TierName: resp.TierName, Worker: worker, Degraded: resp.Degraded})
@@ -388,6 +419,7 @@ func (c *coord) runDetached(job fleet.Job) {
 			})
 			c.walAppend(coordWALRecord{Type: "done", JobID: job.ID,
 				Cut: resp.Cut, TierName: resp.TierName, Worker: worker, Degraded: resp.Degraded, WallMS: resp.WallMS})
+			c.keepProbeMaterial(job, vs)
 			return
 		}
 		var perm *permanentError
@@ -431,20 +463,6 @@ func canonicalOpts(q url.Values) string {
 	return strings.TrimSpace(b.String())
 }
 
-// parseNetlist reads a netlist in the named wire format (fingerprint
-// only; fixed-vertex directives are the workers' concern).
-func parseNetlist(format string, raw []byte) (*fasthgp.Hypergraph, error) {
-	switch format {
-	case "", "nets":
-		h, _, err := fasthgp.ReadNetlistFixed(bytes.NewReader(raw))
-		return h, err
-	case "hgr":
-		return fasthgp.ReadHMetisStream(bytes.NewReader(raw))
-	default:
-		return nil, fmt.Errorf("unknown format %q", format)
-	}
-}
-
 func (c *coord) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET /jobs/{id}")
@@ -482,9 +500,15 @@ func (c *coord) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if wk.State == "ejected" {
 			reasons = append(reasons, "worker ejected: "+wk.ID)
 		}
+		if wk.Quarantined {
+			reasons = append(reasons, "worker quarantined: "+wk.ID)
+		}
 		if wk.Breaker == "open" {
 			reasons = append(reasons, "worker breaker open: "+wk.ID)
 		}
+	}
+	if q := c.registry.QuarantinedIDs(); len(q) > 0 {
+		resp["quarantined"] = q
 	}
 	if c.wal != nil {
 		resp["wal"] = true
@@ -494,6 +518,14 @@ func (c *coord) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			last, _ := c.walLastErr.Load().(string)
 			resp["wal_last_error"] = last
 			reasons = append(reasons, fmt.Sprintf("%d WAL append error(s), last: %s", n, last))
+		}
+		if p := c.lastScrub.Load(); p != nil {
+			st := *p
+			st.AgeMS = time.Since(st.At).Milliseconds()
+			resp["wal_scrub"] = st
+			if !st.Healthy() {
+				reasons = append(reasons, "wal scrub: "+st.Problem())
+			}
 		}
 	} else {
 		resp["wal"] = false
@@ -511,18 +543,33 @@ func (c *coord) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *coord) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":   c.requests.Load(),
-		"ok":         c.ok200.Load(),
-		"failed":     c.failed.Load(),
-		"rerouted":   c.rerouted.Load(),
-		"forwards":   c.fwdCounter.Load(),
-		"handoff":    c.handoff.Stats(),
-		"jobs":       c.jobs.Counts(),
-		"workers":    c.registry.Len(),
-		"wal_errors": c.walErrs.Load(),
-		"uptime_ms":  time.Since(c.begin).Milliseconds(),
-	})
+	stats := map[string]any{
+		"requests":    c.requests.Load(),
+		"ok":          c.ok200.Load(),
+		"failed":      c.failed.Load(),
+		"rerouted":    c.rerouted.Load(),
+		"forwards":    c.fwdCounter.Load(),
+		"verified":    c.verified.Load(),
+		"invalid":     c.invalid.Load(),
+		"quarantines": c.quarantines.Load(),
+		"quarantined": c.registry.QuarantinedIDs(),
+		"probes":      c.probes.Load(),
+		"readmitted":  c.readmitted.Load(),
+		"hedges":      c.hedges.Load(),
+		"hedge_wins":  c.hedgeWins.Load(),
+		"collapsed":   c.collapsed.Load(),
+		"handoff":     c.handoff.Stats(),
+		"jobs":        c.jobs.Counts(),
+		"workers":     c.registry.Len(),
+		"wal_errors":  c.walErrs.Load(),
+		"uptime_ms":   time.Since(c.begin).Milliseconds(),
+	}
+	if p := c.lastScrub.Load(); p != nil {
+		st := *p
+		st.AgeMS = time.Since(st.At).Milliseconds()
+		stats["wal_scrub"] = st
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"fasthgp"
 	"fasthgp/internal/faultinject"
 	"fasthgp/internal/fleet"
 	"fasthgp/internal/resilience"
@@ -53,26 +55,61 @@ func testCoord(now func() time.Time) *coord {
 }
 
 // fakeWorker is an httptest stand-in for hgpartd: it answers
-// /partition with a canned valid response and records what it saw.
+// /partition honestly by construction — it parses the posted netlist
+// and returns the half-split assignment with its true recomputed cut,
+// so its answers pass the coordinator's oracle for any request. The
+// lie knob turns it Byzantine (claimed cut off by one); the delay knob
+// makes it slow (for hedging tests).
 type fakeWorker struct {
 	id       string
 	srv      *httptest.Server
 	mu       sync.Mutex
 	requests int
 	lastHdr  string // last X-Request-Deadline seen
+	lie      bool
+	delay    time.Duration
 }
 
 func newFakeWorker(t *testing.T, id string) *fakeWorker {
 	t.Helper()
 	f := &fakeWorker{id: id}
 	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
 		f.mu.Lock()
 		f.requests++
 		f.lastHdr = r.Header.Get("X-Request-Deadline")
+		lie, delay := f.lie, f.delay
 		f.mu.Unlock()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		h, _, err := fasthgp.ReadNetlistFixed(bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := h.NumVertices()
+		p := fasthgp.NewBipartition(n)
+		assign := make([]int, n)
+		for v := 0; v < n; v++ {
+			if v < n/2 {
+				p.Assign(v, fasthgp.Left)
+			} else {
+				p.Assign(v, fasthgp.Right)
+				assign[v] = 1
+			}
+		}
+		cut := fasthgp.CutSize(h, p)
+		if lie {
+			cut ^= 1 // always off by one: the oracle must catch it
+		}
 		json.NewEncoder(w).Encode(workerResponse{
-			JobID: "wj1", Modules: 6, Nets: 4, Cut: 2, TierName: "fm",
-			Assignment: []int{0, 0, 0, 1, 1, 1}, WallMS: 1,
+			JobID: "wj-" + f.id, Modules: n, Nets: h.NumEdges(), Cut: cut,
+			TierName: "fm", Assignment: assign, WallMS: 1,
 		})
 	}))
 	t.Cleanup(f.srv.Close)
@@ -85,6 +122,18 @@ func (f *fakeWorker) seen() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.requests
+}
+
+func (f *fakeWorker) setLie(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lie = v
+}
+
+func (f *fakeWorker) setDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
 }
 
 // register announces a worker through the coordinator's real endpoint.
@@ -166,10 +215,9 @@ func TestFailoverToSurvivor(t *testing.T) {
 	register(t, h, "live", live.addr())
 	register(t, h, "dead", deadAddr)
 
-	// Several distinct netlists so both ring primaries occur.
+	// Several structurally distinct netlists so both ring primaries occur.
 	for i := 0; i < 8; i++ {
-		body := testNets + fmt.Sprintf("net extra%d a f\n", i)
-		rec, resp := postNetlist(t, h, "", body)
+		rec, resp := postNetlist(t, h, "", distinctNets(i))
 		if rec.Code != http.StatusOK {
 			t.Fatalf("netlist %d = %d: %s", i, rec.Code, rec.Body)
 		}

@@ -8,12 +8,20 @@ package main
 // result caches by, so repeat requests land on the worker that already
 // holds the answer (cache affinity), and a retry of a re-forwarded
 // duplicate hits the survivor's cache instead of recomputing. Workers
-// whose breaker is open or whose liveness state is ejected are skipped;
-// a transport error or worker 5xx records a breaker failure and moves
-// to the next candidate after a jittered backoff; a worker 429/503
-// (busy or draining) moves on without a breaker mark — refusing work
-// politely is healthy behavior. A 4xx is permanent: the request itself
-// is bad, and the worker's verdict is proxied to the client verbatim.
+// whose breaker is open, whose liveness state is ejected, or who sit in
+// integrity quarantine are skipped; a transport error or worker 5xx
+// records a breaker failure and moves to the next candidate after a
+// jittered backoff; a worker 429/503 (busy or draining) moves on
+// without a breaker mark — refusing work politely is healthy behavior.
+// A 4xx is permanent: the request itself is bad, and the worker's
+// verdict is proxied to the client verbatim.
+//
+// Every 200 is oracle-verified (verify.go) before it wins: an answer
+// the oracle rejects — or a 200 whose body does not even parse, a
+// corrupt frame — charges the worker an integrity strike and fails
+// over exactly like a transport error. The strike axis is deliberately
+// separate from the breaker: the transport worked, so the breaker sees
+// a success, while the quarantine machine counts the lie.
 
 import (
 	"context"
@@ -56,20 +64,29 @@ func (e *permanentError) Error() string {
 	return fmt.Sprintf("worker answered %d: %s", e.status, e.body)
 }
 
-// forward routes one job across the fleet until a worker answers, the
-// deadline passes, or a worker rules the request permanently bad. It
-// returns the winning worker's response and id.
-func (c *coord) forward(ctx context.Context, job fleet.Job, deadline time.Time) (workerResponse, string, error) {
+// forward routes one job across the fleet until a worker answers with
+// a verified result, the deadline passes, or a worker rules the
+// request permanently bad. It returns the winning worker's response
+// and id.
+func (c *coord) forward(ctx context.Context, job fleet.Job, vs *verifySpec, deadline time.Time) (workerResponse, string, error) {
+	return c.forwardFrom(ctx, job, vs, deadline, 0)
+}
+
+// forwardFrom is forward with the candidate walk rotated by offset, so
+// a hedge starts at the failover worker instead of colliding with the
+// primary attempt on the same candidate.
+func (c *coord) forwardFrom(ctx context.Context, job fleet.Job, vs *verifySpec, deadline time.Time, offset int) (workerResponse, string, error) {
 	var lastErr error = fmt.Errorf("no workers registered")
 	for attempt := 0; attempt < c.cfg.retries; attempt++ {
 		if ctx.Err() != nil {
 			return workerResponse{}, "", fmt.Errorf("deadline exhausted after %d attempt(s): %w", attempt, lastErr)
 		}
-		worker, ok := c.pickWorker(job.Key.Fingerprint, attempt)
+		worker, ok := c.pickWorker(job.Key.Fingerprint, attempt+offset)
 		if !ok {
-			// Nobody routable right now (empty fleet, everyone ejected or
-			// breaker-open). Back off and re-look: a heartbeat can rejoin
-			// a worker, a cooldown can admit a probe.
+			// Nobody routable right now (empty fleet, everyone ejected,
+			// quarantined, or breaker-open). Back off and re-look: a
+			// heartbeat can rejoin a worker, a cooldown can admit a
+			// probe, a verified probe streak can lift a quarantine.
 			if !c.cfg.backoff.Sleep(ctx, attempt) {
 				return workerResponse{}, "", fmt.Errorf("deadline exhausted waiting for a routable worker: %w", lastErr)
 			}
@@ -81,8 +98,27 @@ func (c *coord) forward(ctx context.Context, job fleet.Job, deadline time.Time) 
 		}
 		resp, err := c.forwardOnce(ctx, worker, job, deadline)
 		if err == nil {
+			if verr := vs.verify(resp); verr != nil {
+				// The transport worked; the answer is a lie. Success on
+				// the breaker axis, a strike on the integrity axis, and
+				// the answer is never delivered — fail over.
+				c.registry.Record(worker, true)
+				c.strike(worker, verr)
+				lastErr = fmt.Errorf("%s: %w", worker, verr)
+				if !c.cfg.backoff.Sleep(ctx, attempt) {
+					return workerResponse{}, "", fmt.Errorf("deadline exhausted after %d attempt(s): %w", attempt+1, lastErr)
+				}
+				continue
+			}
 			c.registry.Record(worker, true)
+			c.verified.Add(1)
 			return resp, worker, nil
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			// Canceled from above — the hedge rival already won, or the
+			// client vanished. Not the worker's fault on any axis.
+			c.registry.Record(worker, true)
+			return workerResponse{}, "", fmt.Errorf("forward canceled: %w", ctx.Err())
 		}
 		var perm *permanentError
 		if errors.As(err, &perm) {
@@ -90,7 +126,14 @@ func (c *coord) forward(ctx context.Context, job fleet.Job, deadline time.Time) 
 			c.registry.Record(worker, true)
 			return workerResponse{}, "", err
 		}
-		if isRefusal(err) {
+		var garbled *garbledError
+		if errors.As(err, &garbled) {
+			// A 200 whose body does not parse is a corrupt frame: the
+			// transport delivered it, so no breaker penalty, but the
+			// integrity axis counts it like an oracle rejection.
+			c.registry.Record(worker, true)
+			c.strike(worker, err)
+		} else if isRefusal(err) {
 			// 429/503: busy or draining, not broken. No breaker mark.
 			c.registry.Record(worker, true)
 		} else {
@@ -133,6 +176,13 @@ func isRefusal(err error) bool {
 	return errors.As(err, &r)
 }
 
+// garbledError marks a 200 whose body failed to parse — a corrupt
+// frame, charged to the worker's integrity record.
+type garbledError struct{ err error }
+
+func (e *garbledError) Error() string { return fmt.Sprintf("garbled worker response: %v", e.err) }
+func (e *garbledError) Unwrap() error { return e.err }
+
 // forwardOnce sends the job to one worker, honoring the fault-injection
 // points that shape network failures: a drop rule fails the attempt
 // without sending, a partial rule truncates the response mid-read.
@@ -171,13 +221,21 @@ func (c *coord) forwardOnce(ctx context.Context, worker string, job fleet.Job, d
 	if faultinject.ShouldPartial(faultinject.PointFleetForward, idx) {
 		body = body[:len(body)/2] // the worker died mid-reply
 	}
+	if faultinject.ShouldCorrupt(faultinject.PointFleetForward, idx) && len(body) > 0 {
+		// Deterministic rot on the wire. The first byte, not a middle
+		// one: JSON decoders coerce invalid UTF-8 inside strings without
+		// erroring, so a mid-body flip can be semantically invisible —
+		// breaking the leading structural byte is always detectable.
+		body[0] ^= 0xFF
+	}
 
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var wr workerResponse
 		if err := json.Unmarshal(body, &wr); err != nil {
-			// Truncated or garbled reply: a transport failure, retryable.
-			return workerResponse{}, fmt.Errorf("garbled worker response: %w", err)
+			// Truncated or garbled reply: retryable, and charged as a
+			// corrupt frame on the integrity axis by the forward loop.
+			return workerResponse{}, &garbledError{err: err}
 		}
 		return wr, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:

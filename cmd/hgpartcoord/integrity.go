@@ -1,0 +1,113 @@
+package main
+
+// Integrity bookkeeping: quarantine strikes, readmission probes, and
+// the WAL scrubber.
+//
+// Probes: a quarantined worker is excluded from routing, so it can
+// never redeem itself through client traffic. Each sweep the
+// coordinator claims at most one probe slot per quarantined worker
+// (spaced by the registry's probe interval) and replays the most
+// recent verified job directly to it, off the request path. The oracle
+// judges the probe answer like any other; the registry readmits the
+// worker after the configured streak of verified probes. Probe
+// material is whatever verified last — it needs no freshness, only a
+// known-checkable request, and the worker's result cache makes
+// repeated probes nearly free for an honest worker.
+//
+// Scrub: with a WAL attached, a background pass re-walks its CRC
+// frames on a timer and publishes the report. Bit rot is detected
+// while the process is healthy — not at the next crash's replay, when
+// the data is needed and the operator is busy — and degrades /healthz
+// so fleet monitoring sees it.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fasthgp/internal/checkpoint"
+	"fasthgp/internal/fleet"
+)
+
+// strike charges one invalid answer (oracle-rejected or corrupt frame)
+// to a worker and logs the quarantine transition when it tips.
+func (c *coord) strike(worker string, cause error) {
+	c.invalid.Add(1)
+	if c.registry.RecordInvalid(worker) {
+		c.quarantines.Add(1)
+		fmt.Fprintf(c.stdout, "hgpartcoord: worker %s quarantined: invalid answers (last: %v)\n", worker, cause)
+	}
+}
+
+// probeMaterial is a known-verifiable request kept for quarantine
+// probes: the last job whose answer passed the oracle.
+type probeMaterial struct {
+	job fleet.Job
+	vs  *verifySpec
+}
+
+// keepProbeMaterial remembers a verified job as future probe material.
+func (c *coord) keepProbeMaterial(job fleet.Job, vs *verifySpec) {
+	c.probeMat.Store(&probeMaterial{job: job, vs: vs})
+}
+
+// probeQuarantined claims probe slots for quarantined workers and
+// launches one probe goroutine per claim. Called from the sweep loop.
+func (c *coord) probeQuarantined() {
+	mat := c.probeMat.Load()
+	if mat == nil {
+		return // nothing verified yet; nothing checkable to replay
+	}
+	for _, id := range c.registry.QuarantinedIDs() {
+		if !c.registry.ClaimProbe(id) {
+			continue // in flight or inside the spacing interval
+		}
+		go c.probeWorker(id, mat)
+	}
+}
+
+// probeWorker replays the probe job to one quarantined worker and
+// reports the oracle's verdict to the registry.
+func (c *coord) probeWorker(id string, mat *probeMaterial) {
+	c.probes.Add(1)
+	deadline := time.Now().Add(c.cfg.reqTimeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	resp, err := c.forwardOnce(ctx, id, mat.job, deadline)
+	valid := err == nil && mat.vs.verify(resp) == nil
+	if c.registry.RecordProbe(id, valid) {
+		c.readmitted.Add(1)
+		fmt.Fprintf(c.stdout, "hgpartcoord: worker %s readmitted after verified probes\n", id)
+	}
+}
+
+// runScrub performs one scrub pass over the WAL and publishes the
+// result. No-op without a WAL.
+func (c *coord) runScrub() {
+	if c.wal == nil {
+		return
+	}
+	rep, err := c.wal.scrub()
+	st := &checkpoint.ScrubStatus{Report: rep, At: time.Now()}
+	if err != nil {
+		st.Err = err.Error()
+	}
+	if !st.Healthy() {
+		fmt.Fprintf(c.stdout, "hgpartcoord: WAL scrub unhealthy: %s\n", st.Problem())
+	}
+	c.lastScrub.Store(st)
+}
+
+// scrubLoop runs runScrub on a timer until stop closes.
+func (c *coord) scrubLoop(interval time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			c.runScrub()
+		}
+	}
+}

@@ -80,6 +80,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		brkThresh    = fs.Int("breaker-threshold", 3, "consecutive failures tripping a worker's circuit breaker")
 		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a probe")
 		walPath      = fs.String("wal", "", "write-ahead log path: accepted jobs are journaled and re-enqueued after a crash (empty = off)")
+		hedgeDelay   = fs.Duration("hedge-delay", 0, "fire a duplicate to the failover worker when a request is still unanswered after this long; first verified answer wins (0 = off)")
+		qThreshold   = fs.Int("quarantine-threshold", 3, "oracle-invalid answers within the window that quarantine a worker")
+		qWindow      = fs.Duration("quarantine-window", 30*time.Second, "sliding window for counting invalid answers")
+		qReadmit     = fs.Int("quarantine-readmit", 3, "consecutive verified probe answers that readmit a quarantined worker")
+		qProbeEvery  = fs.Duration("quarantine-probe-interval", time.Second, "minimum spacing between readmission probes to one worker")
+		scrubEvery   = fs.Duration("scrub-interval", time.Minute, "WAL integrity-scrub cadence (0 = off)")
 		faults       = fs.String("faultinject", "", "fault-injection spec, e.g. 'drop@fleet.forward:0' (also read from FASTHGP_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,19 +109,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := coordConfig{
-		maxBody:      *maxBody,
-		reqTimeout:   *reqTimeout,
-		retries:      *retries,
-		backoff:      fleet.BackoffConfig{Base: *retryBase, Cap: *retryCap, Seed: *retrySeed},
-		heartbeatTTL: *heartbeatTTL,
-		ejectAfter:   *ejectAfter,
-		replicas:     *replicas,
-		drainTimeout: *drainTimeout,
+		maxBody:       *maxBody,
+		reqTimeout:    *reqTimeout,
+		retries:       *retries,
+		backoff:       fleet.BackoffConfig{Base: *retryBase, Cap: *retryCap, Seed: *retrySeed},
+		heartbeatTTL:  *heartbeatTTL,
+		ejectAfter:    *ejectAfter,
+		replicas:      *replicas,
+		drainTimeout:  *drainTimeout,
+		hedgeDelay:    *hedgeDelay,
+		scrubInterval: *scrubEvery,
 	}
 	c := newCoord(cfg, fleet.RegistryConfig{
 		HeartbeatTTL: *heartbeatTTL,
 		EjectAfter:   *ejectAfter,
 		Breakers:     resilience.BreakerConfig{Threshold: *brkThresh, Cooldown: *brkCooldown},
+		Quarantine: fleet.QuarantineConfig{
+			Threshold:     *qThreshold,
+			Window:        *qWindow,
+			ReadmitAfter:  *qReadmit,
+			ProbeInterval: *qProbeEvery,
+		},
 	}, stdout)
 
 	// Boot recovery: replay the WAL and re-enqueue whatever the previous
@@ -145,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// correctness, so half a TTL keeps /healthz timely without load.
 	sweepStop := make(chan struct{})
 	go c.sweepLoop(*heartbeatTTL/2, sweepStop)
+	if c.wal != nil && *scrubEvery > 0 {
+		go c.scrubLoop(*scrubEvery, sweepStop)
+	}
 
 	httpSrv := &http.Server{
 		Handler:           c.handler(),

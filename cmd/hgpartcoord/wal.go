@@ -147,6 +147,15 @@ func (w *coordWAL) lastAppendAge() time.Duration {
 	return time.Since(w.lastAppend)
 }
 
+// scrub re-walks the WAL's CRC frames read-only. It holds the append
+// mutex so the scan never observes a frame mid-write — appends are
+// fsynced under the same lock, so the on-disk prefix is frame-complete.
+func (w *coordWAL) scrub() (checkpoint.ScrubReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return checkpoint.ScrubFile(w.j.Path())
+}
+
 func (w *coordWAL) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel     = fs.Int("parallel", 0, "engine workers per request (0 = GOMAXPROCS)")
 		workers      = fs.Int("workers", 0, "intra-start kernel workers (dual-graph build, double BFS) per start (0 = serial); affects wall time only, never the result")
 		walPath      = fs.String("wal", "", "write-ahead log path: accepted requests are journaled and replayed after a crash (empty = off)")
+		scrubEvery   = fs.Duration("scrub-interval", time.Minute, "WAL integrity-scrub cadence; rot degrades /healthz (0 = off)")
 		maxHeap      = fs.Uint64("max-heap", 0, "live-heap watermark in bytes; above it new requests are shed with 503 (0 = off)")
 		brkThresh    = fs.Int("breaker-threshold", 3, "consecutive failures tripping a tier's circuit breaker (0 = breakers off)")
 		brkCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker skips its tier before probing")
@@ -208,6 +209,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	if s.wal != nil && *scrubEvery > 0 {
+		go s.scrubLoop(*scrubEvery, ctx.Done())
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"fasthgp"
+	"fasthgp/internal/checkpoint"
 	"fasthgp/internal/faultinject"
 	"fasthgp/internal/fleet"
 	"fasthgp/internal/partition"
@@ -52,8 +53,10 @@ type server struct {
 	mem      *memWatcher         // nil = shedding disabled
 	cache    *resultCache        // nil = result caching disabled
 
-	draining   atomic.Bool  // SIGTERM received: new jobs answer 503 + Retry-After
-	walLastErr atomic.Value // string: most recent WAL append failure (surfaced on /healthz)
+	draining   atomic.Bool                            // SIGTERM received: new jobs answer 503 + Retry-After
+	walLastErr atomic.Value                           // string: most recent WAL append failure (surfaced on /healthz)
+	lastScrub  atomic.Pointer[checkpoint.ScrubStatus] // latest WAL scrub outcome
+	retrySalt  atomic.Uint64                          // splitmix64 counter behind Retry-After jitter
 
 	requests   atomic.Int64 // partition requests admitted or rejected
 	inFlight   atomic.Int64
@@ -231,7 +234,7 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	// refused with a retryable 503 instead of marching toward the OOM
 	// killer (which would take every in-flight request down with it).
 	if s.mem != nil && s.mem.shouldShed() {
-		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Retry-After", s.retryAfterHint(2))
 		s.writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("shedding load: live heap above %d-byte watermark; retry later", s.mem.limit))
 		return
@@ -241,14 +244,15 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(1))
 		s.writeError(w, http.StatusTooManyRequests, "work queue full; retry later")
 		return
 	}
 	defer func() { <-s.sem }()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	faultinject.Fire(faultinject.PointServeRequest, int(s.reqCounter.Add(1)-1))
+	reqIdx := int(s.reqCounter.Add(1) - 1)
+	faultinject.Fire(faultinject.PointServeRequest, reqIdx)
 
 	// The body is capped before parsing; MaxBytesReader makes the
 	// reader fail once cfg.maxBody is exceeded, which we map to 413
@@ -286,7 +290,7 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		ck = cacheKey{fingerprint: fingerprintFor(h), opts: optsKey}
 		if resp, ok := s.cache.get(ck); ok {
-			s.writeJSON(w, http.StatusOK, resp)
+			s.writePartition(w, resp, reqIdx)
 			return
 		}
 	}
@@ -316,7 +320,7 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil && !resp.Degraded {
 		s.cache.put(ck, resp)
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writePartition(w, resp, reqIdx)
 }
 
 // execute runs the portfolio for one accepted job, updating the job
@@ -482,7 +486,7 @@ func (s *server) portfolioOptions(q url.Values, h *fasthgp.Hypergraph, inlineFix
 		constraint.Epsilon = eps
 	}
 	if v := q.Get("fixed"); v != "" {
-		fixed, err := parseFixedSpec(v, h.NumVertices())
+		fixed, err := fasthgp.ParseFixedSpec(v, h.NumVertices())
 		if err != nil {
 			return nil, "", err
 		}
@@ -508,44 +512,6 @@ func (s *server) portfolioOptions(q url.Values, h *fasthgp.Hypergraph, inlineFix
 	key := fmt.Sprintf("chain=%s starts=%d seed=%d budget=%s constraint=%q",
 		strings.Join(chain, ","), starts, seed, budget, constraint.Key())
 	return opts, key, nil
-}
-
-// parseFixedSpec parses the fixed query parameter: comma-separated
-// vertex:side records (side L, R, 0, or 1), e.g. "0:L,5:R". The result
-// covers all n vertices, with unnamed vertices free.
-func parseFixedSpec(spec string, n int) ([]int8, error) {
-	fixed := make([]int8, n)
-	for i := range fixed {
-		fixed[i] = fasthgp.FreeVertex
-	}
-	for _, rec := range strings.Split(spec, ",") {
-		rec = strings.TrimSpace(rec)
-		if rec == "" {
-			continue
-		}
-		idx, sideTok, ok := strings.Cut(rec, ":")
-		if !ok {
-			return nil, fmt.Errorf("bad fixed record %q (want vertex:side)", rec)
-		}
-		v, err := strconv.Atoi(idx)
-		if err != nil || v < 0 || v >= n {
-			return nil, fmt.Errorf("bad fixed vertex %q (netlist has %d modules)", idx, n)
-		}
-		var side int8
-		switch sideTok {
-		case "L", "l", "0":
-			side = 0
-		case "R", "r", "1":
-			side = 1
-		default:
-			return nil, fmt.Errorf("bad fixed side %q (want L, R, 0, or 1)", sideTok)
-		}
-		if fixed[v] >= 0 && fixed[v] != side {
-			return nil, fmt.Errorf("vertex %d fixed to both sides", v)
-		}
-		fixed[v] = side
-	}
-	return fixed, nil
 }
 
 // handleHealthz is the liveness/readiness probe. It always answers
@@ -594,6 +560,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp["wal_last_error"] = last
 			reasons = append(reasons, fmt.Sprintf("%d WAL append error(s), last: %s", n, last))
 		}
+		if p := s.lastScrub.Load(); p != nil {
+			st := *p
+			st.AgeMS = time.Since(st.At).Milliseconds()
+			resp["wal_scrub"] = st
+			if !st.Healthy() {
+				reasons = append(reasons, "wal scrub: "+st.Problem())
+			}
+		}
 	} else {
 		resp["wal"] = false
 	}
@@ -614,7 +588,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		cache = s.cache.snapshot()
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"cache":            cache,
 		"requests":         s.requests.Load(),
 		"in_flight":        s.inFlight.Load(),
@@ -630,7 +604,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"jobs":             s.jobs.Counts(),
 		"queue_capacity":   s.cfg.queue,
 		"uptime_ms":        time.Since(s.begin).Milliseconds(),
-	})
+	}
+	if p := s.lastScrub.Load(); p != nil {
+		st := *p
+		st.AgeMS = time.Since(st.At).Milliseconds()
+		stats["wal_scrub"] = st
+	}
+	s.writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {

@@ -75,19 +75,26 @@ type result struct {
 
 // summary is the machine-readable run report.
 type summary struct {
-	Requests      int     `json:"requests"`
-	Completed     int     `json:"completed"`
-	Dropped       int     `json:"dropped"`
-	Refusals      int     `json:"refusals_retried"`
-	VerifyFailed  int     `json:"verify_failed"`
-	DuplicateIDs  int     `json:"duplicate_job_ids"`
-	SweepMissing  int     `json:"sweep_missing"`
-	P50MS         int64   `json:"p50_ms"`
-	P99MS         int64   `json:"p99_ms"`
-	MaxP99MS      int64   `json:"max_p99_ms,omitempty"`
-	RPS           float64 `json:"rps"`
-	DurationMS    int64   `json:"duration_ms"`
-	InvariantHeld bool    `json:"invariants_held"`
+	Requests     int     `json:"requests"`
+	Completed    int     `json:"completed"`
+	Dropped      int     `json:"dropped"`
+	Refusals     int     `json:"refusals_retried"`
+	VerifyFailed int     `json:"verify_failed"`
+	DuplicateIDs int     `json:"duplicate_job_ids"`
+	SweepMissing int     `json:"sweep_missing"`
+	P50MS        int64   `json:"p50_ms"`
+	P99MS        int64   `json:"p99_ms"`
+	MaxP99MS     int64   `json:"max_p99_ms,omitempty"`
+	RPS          float64 `json:"rps"`
+	DurationMS   int64   `json:"duration_ms"`
+
+	// ExpectQuarantined echoes -expect-quarantined; QuarantineSeen
+	// reports whether the target's /stats listed that worker as
+	// quarantined after the run.
+	ExpectQuarantined string `json:"expect_quarantined,omitempty"`
+	QuarantineSeen    bool   `json:"quarantine_seen,omitempty"`
+
+	InvariantHeld bool `json:"invariants_held"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -104,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chain    = fs.String("chain", "", "fallback chain passed through (empty = server default)")
 		maxP99   = fs.Duration("max-p99", 0, "fail the run when p99 latency exceeds this (0 = no bound)")
 		reqCap   = fs.Duration("req-timeout", 30*time.Second, "per-request client-side cap, refusal retries included")
+		expectQ  = fs.String("expect-quarantined", "", "fail unless this worker id is quarantined on the target's /stats after the run (byzantine-drill assertion; coordinator targets only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -151,8 +159,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := tally(results, *maxP99, *rps, *duration)
 	s.SweepMissing = sweep(client, base, results)
+	quarantineOK := true
+	if *expectQ != "" {
+		s.ExpectQuarantined = *expectQ
+		s.QuarantineSeen = quarantineSeen(client, base, *expectQ)
+		quarantineOK = s.QuarantineSeen
+	}
 	s.InvariantHeld = s.Dropped == 0 && s.VerifyFailed == 0 && s.DuplicateIDs == 0 &&
-		s.SweepMissing == 0 && (*maxP99 <= 0 || s.P99MS <= maxP99.Milliseconds())
+		s.SweepMissing == 0 && quarantineOK && (*maxP99 <= 0 || s.P99MS <= maxP99.Milliseconds())
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -160,6 +174,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !s.InvariantHeld {
 		fmt.Fprintf(stderr, "hgpartload: INVARIANT VIOLATED: %d dropped, %d verify-failed, %d duplicate ids, %d missing from sweep, p99 %dms\n",
 			s.Dropped, s.VerifyFailed, s.DuplicateIDs, s.SweepMissing, s.P99MS)
+		if s.ExpectQuarantined != "" && !s.QuarantineSeen {
+			fmt.Fprintf(stderr, "hgpartload: expected worker %q quarantined on /stats, but it was not\n", s.ExpectQuarantined)
+		}
 		return 1
 	}
 	fmt.Fprintf(stdout, "hgpartload: all invariants held: %d/%d completed (%d refusal(s) retried), p50 %dms p99 %dms\n",
@@ -373,4 +390,34 @@ func sweep(client *http.Client, base string, results []result) (missing int) {
 		}
 	}
 	return missing
+}
+
+// quarantineSeen asks the target's /stats whether the named worker is
+// on the quarantined list. The coordinator publishes the list as it
+// quarantines, so a short retry loop covers the race between the last
+// invalid answer and the registry transition.
+func quarantineSeen(client *http.Client, base, id string) bool {
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		resp, err := client.Get(base + "/stats")
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Quarantined []string `json:"quarantined"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if json.Unmarshal(body, &st) != nil {
+			continue
+		}
+		for _, q := range st.Quarantined {
+			if q == id {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -368,6 +368,13 @@ func WriteNetlistFixed(w io.Writer, h *Hypergraph, fixed []int8) error {
 	return netio.WriteFixed(w, h, fixed)
 }
 
+// ParseFixedSpec parses the compact fixed-vertex query syntax of the
+// HTTP tier ("0:L,5:R"): comma-separated vertex:side records, sides L,
+// R, 0, or 1. The result covers all n vertices with unnamed vertices
+// FreeVertex. hgpartd and hgpartcoord share this parser so the solved
+// and verified constraints can never diverge.
+func ParseFixedSpec(spec string, n int) ([]int8, error) { return netio.ParseFixedSpec(spec, n) }
+
 // ReadHMetis parses a hypergraph in the hMETIS .hgr benchmark format.
 func ReadHMetis(r io.Reader) (*Hypergraph, error) { return netio.ReadHMetis(r) }
 

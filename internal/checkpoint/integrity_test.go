@@ -1,0 +1,216 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"fasthgp/internal/checkpoint"
+	"fasthgp/internal/faultinject"
+)
+
+// writeTestJournal creates a small journal with a few records and
+// returns its path plus the record payloads (header first).
+func writeTestJournal(t *testing.T) (string, [][]byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scrub.ckpt")
+	payloads := [][]byte{[]byte("header-rec"), []byte("alpha"), []byte("beta-record"), []byte("g")}
+	j, err := checkpoint.Create(path, payloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads[1:] {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, payloads
+}
+
+// TestJournalBitRotEveryByte flips every byte position of a small
+// journal in turn and asserts Open never silently decodes wrong data:
+// it either returns a typed error (header destroyed) or a strict prefix
+// of the original records, and ScrubFile flags every flip that touches
+// a frame.
+func TestJournalBitRotEveryByte(t *testing.T) {
+	path, want := writeTestJournal(t)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range clean {
+		rotten := bytes.Clone(clean)
+		rotten[pos] ^= 0xFF
+		if err := os.WriteFile(path, rotten, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rep, err := checkpoint.ScrubFile(path)
+		if err != nil {
+			t.Fatalf("pos %d: ScrubFile: %v", pos, err)
+		}
+		if rep.OK() {
+			t.Fatalf("pos %d: scrub reported clean on a rotten file: %+v", pos, rep)
+		}
+
+		j, recs, err := checkpoint.Open(path)
+		if err != nil {
+			// The only acceptable error is the typed no-header one
+			// (the flip landed in frame 0).
+			if !errors.Is(err, checkpoint.ErrNoHeader) {
+				t.Fatalf("pos %d: Open: %v, want ErrNoHeader", pos, err)
+			}
+			continue
+		}
+		// Open succeeded: the surviving records must be a strict prefix
+		// of the originals — never a mutated or reordered record.
+		if len(recs) >= len(want) {
+			t.Fatalf("pos %d: %d records survived a flip, want < %d", pos, len(recs), len(want))
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r, want[i]) {
+				t.Fatalf("pos %d: record %d decoded as %q, want %q", pos, i, r, want[i])
+			}
+		}
+		j.Close()
+		// Open truncated the rotten tail; a rescrub must now be clean.
+		rep, err = checkpoint.ScrubFile(path)
+		if err != nil {
+			t.Fatalf("pos %d: rescrub: %v", pos, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("pos %d: still torn after Open truncation: %+v", pos, rep)
+		}
+	}
+}
+
+func TestScrubFileCleanJournal(t *testing.T) {
+	path, want := writeTestJournal(t)
+	rep, err := checkpoint.ScrubFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Records != len(want) || rep.ValidBytes != rep.TotalBytes {
+		t.Fatalf("clean journal scrub = %+v", rep)
+	}
+}
+
+func TestScrubFileDetectsTornTail(t *testing.T) {
+	path, _ := writeTestJournal(t)
+	// Append garbage — a torn in-flight frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep, err := checkpoint.ScrubFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !rep.Torn || rep.ValidBytes >= rep.TotalBytes {
+		t.Fatalf("torn journal scrub = %+v", rep)
+	}
+}
+
+// TestInjectedErrnoShedsWrite drives Append into an injected ENOSPC and
+// asserts the record is shed cleanly: the failure surfaces as a typed
+// *DiskError, the file is rolled back to a frame boundary (a scrub
+// stays clean), and once the fault lifts the journal accepts appends
+// again with no garbage in between.
+func TestInjectedErrnoShedsWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "errno.ckpt")
+	j, err := checkpoint.Create(path, []byte("hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	restore := faultinject.Install(&faultinject.Plan{Rules: []faultinject.Rule{
+		{Point: faultinject.PointCheckpointWrite, Index: faultinject.AnyIndex,
+			Kind: faultinject.KindErrno, Errno: syscall.ENOSPC},
+	}})
+	for i := 0; i < 3; i++ { // disk stays full across several attempts
+		err := j.Append([]byte("doomed"))
+		var de *checkpoint.DiskError
+		if !errors.As(err, &de) || de.Op != "write" || !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("attempt %d: err = %v, want *DiskError{write, ENOSPC}", i, err)
+		}
+		if j.Wedged() {
+			t.Fatalf("attempt %d: journal wedged; shedding should keep it usable", i)
+		}
+	}
+	restore()
+
+	// Every shed rolled back to a frame boundary: no partial-frame
+	// debris on disk.
+	rep, err := checkpoint.ScrubFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Records != 2 {
+		t.Fatalf("scrub after shedding = %+v, want 2 clean records", rep)
+	}
+
+	// Disk recovered: appends flow again.
+	if err := j.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[1]) != "before" || string(recs[2]) != "after" {
+		t.Fatalf("recovered records %q, want [hdr before after]", recs)
+	}
+}
+
+// TestInjectedErrnoOnFsyncDiscardsFrame injects EIO on the fsync and
+// asserts the frame written just before it is discarded (post-fsync
+// failure its durability is unknown) rather than trusted.
+func TestInjectedErrnoOnFsyncDiscardsFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eio.ckpt")
+	j, err := checkpoint.Create(path, []byte("hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	restore := faultinject.Install(&faultinject.Plan{Rules: []faultinject.Rule{
+		{Point: faultinject.PointCheckpointSync, Index: 1,
+			Kind: faultinject.KindErrno, Errno: syscall.EIO},
+	}})
+	err = j.Append([]byte("unsynced"))
+	restore()
+	var de *checkpoint.DiskError
+	if !errors.As(err, &de) || de.Op != "fsync" || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want *DiskError{fsync, EIO}", err)
+	}
+	if err := j.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1]) != "durable" {
+		t.Fatalf("recovered records %q, want the unsynced frame discarded", recs)
+	}
+}

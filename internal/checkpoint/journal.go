@@ -49,13 +49,42 @@ const maxRecordSize = 1 << 30
 // the torn tail.
 var ErrTornWrite = errors.New("checkpoint: torn write injected")
 
+// ErrNoHeader is returned (wrapped, with the path) by Open when the
+// file's first frame is unreadable: such a journal is corrupt beyond
+// recovery and must not be silently treated as empty.
+var ErrNoHeader = errors.New("checkpoint: no intact header record")
+
+// ErrWedged is returned by Append after a failed disk write could not
+// be rolled back: the file may end mid-frame, so further appends would
+// write records that recovery will discard. Reopening the journal
+// truncates the debris and clears the condition.
+var ErrWedged = errors.New("checkpoint: journal wedged by unrecoverable write error")
+
+// DiskError is returned by Append when the underlying disk write or
+// fsync fails (for real, or via an injected errno fault). The journal
+// has shed the failed record — the file was truncated back to the last
+// durable frame boundary — so the caller may keep appending once the
+// disk recovers; until then each attempt fails fast with a DiskError.
+type DiskError struct {
+	Op  string // "write" or "fsync"
+	Err error
+}
+
+func (e *DiskError) Error() string {
+	return fmt.Sprintf("checkpoint: disk %s failed (record shed): %v", e.Op, e.Err)
+}
+
+func (e *DiskError) Unwrap() error { return e.Err }
+
 // Journal is an append-only CRC-framed record log. It is not safe for
 // concurrent use; callers serialize (the engine already funnels
 // checkpoint records through one mutex).
 type Journal struct {
-	f    *os.File
-	path string
-	seq  int // records written through this handle (fault-injection index)
+	f      *os.File
+	path   string
+	seq    int   // records written through this handle (fault-injection index)
+	off    int64 // end of the last fully durable frame
+	wedged bool  // a failed write could not be truncated away
 }
 
 // Create atomically creates a journal at path containing just the
@@ -102,7 +131,7 @@ func Open(path string) (*Journal, [][]byte, error) {
 	}
 	if len(records) == 0 {
 		f.Close()
-		return nil, nil, fmt.Errorf("checkpoint: %s: no intact header record", path)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoHeader, path)
 	}
 	// Truncate at the first corruption so the next append starts on a
 	// clean frame boundary.
@@ -118,7 +147,7 @@ func Open(path string) (*Journal, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Journal{f: f, path: path, seq: len(records)}, records, nil
+	return &Journal{f: f, path: path, seq: len(records), off: valid}, records, nil
 }
 
 // scan walks the frames of f from the start and returns every intact
@@ -158,8 +187,20 @@ func scan(f *os.File) (records [][]byte, valid int64, err error) {
 // Append frames payload, writes it, and fsyncs. The faultinject points
 // checkpoint.write and checkpoint.fsync fire with the record sequence
 // number; a matching torn rule persists only half the frame and returns
-// ErrTornWrite.
+// ErrTornWrite, and a matching errno rule fails the operation with that
+// errno (a partial frame is persisted first on write faults, as a full
+// disk would leave).
+//
+// A failed write or fsync — real or injected — sheds the record: the
+// file is truncated back to the last durable frame boundary and the
+// error returned as a *DiskError, so the journal stays appendable once
+// the disk recovers instead of accumulating garbage frames. If even the
+// rollback fails, the journal wedges and every later Append returns
+// ErrWedged.
 func (j *Journal) Append(payload []byte) error {
+	if j.wedged {
+		return ErrWedged
+	}
 	if len(payload) > maxRecordSize {
 		return fmt.Errorf("checkpoint: record of %d bytes exceeds limit", len(payload))
 	}
@@ -177,16 +218,48 @@ func (j *Journal) Append(payload []byte) error {
 		j.f.Sync()
 		return ErrTornWrite
 	}
+	if errno, ok := faultinject.InjectedErrno(faultinject.PointCheckpointWrite, seq); ok {
+		// A real short write leaves a partial frame behind; persist one
+		// before failing so the shed path has debris to clean up.
+		j.f.Write(frame[:len(frame)/2])
+		return j.shed("write", errno)
+	}
 	if _, err := j.f.Write(frame); err != nil {
-		return err
+		return j.shed("write", err)
 	}
 	faultinject.Fire(faultinject.PointCheckpointSync, seq)
+	if errno, ok := faultinject.InjectedErrno(faultinject.PointCheckpointSync, seq); ok {
+		return j.shed("fsync", errno)
+	}
 	if err := j.f.Sync(); err != nil {
-		return err
+		// After a failed fsync the written frame's durability is
+		// unknown (the kernel may have dropped the dirty pages), so the
+		// only safe move is to discard it.
+		return j.shed("fsync", err)
 	}
 	j.seq++
+	j.off += int64(len(frame))
 	return nil
 }
+
+// shed rolls the file back to the last durable frame boundary after a
+// failed write or fsync and reports the failure as a *DiskError. If the
+// rollback itself fails the journal wedges.
+func (j *Journal) shed(op string, cause error) error {
+	if err := j.f.Truncate(j.off); err != nil {
+		j.wedged = true
+		return &DiskError{Op: op, Err: cause}
+	}
+	if _, err := j.f.Seek(j.off, io.SeekStart); err != nil {
+		j.wedged = true
+		return &DiskError{Op: op, Err: cause}
+	}
+	return &DiskError{Op: op, Err: cause}
+}
+
+// Wedged reports whether a failed rollback has made the journal
+// unusable for further appends.
+func (j *Journal) Wedged() bool { return j.wedged }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -85,6 +86,10 @@ const (
 	// KindPartial asks the caller (via ShouldPartial) to truncate the
 	// response it is reading at the point — the remote died mid-reply.
 	KindPartial
+	// KindErrno asks the caller (via InjectedErrno) to fail its disk
+	// operation at the point with the rule's Errno — a full disk
+	// (ENOSPC) or a dying one (EIO) — without performing it.
+	KindErrno
 )
 
 func (k Kind) String() string {
@@ -101,6 +106,8 @@ func (k Kind) String() string {
 		return "drop"
 	case KindPartial:
 		return "partial"
+	case KindErrno:
+		return "errno"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -118,6 +125,8 @@ type Rule struct {
 	Kind Kind
 	// Delay is the nominal sleep of a KindLatency rule.
 	Delay time.Duration
+	// Errno is the error a KindErrno rule injects (ENOSPC or EIO).
+	Errno syscall.Errno
 }
 
 // Plan is an immutable set of injection rules. Install it globally with
@@ -222,6 +231,23 @@ func ShouldPartial(point Point, idx int) bool {
 	return matches(KindPartial, point, idx)
 }
 
+// InjectedErrno returns the errno a KindErrno rule injects at
+// (point, idx), if any; the caller is responsible for failing its disk
+// operation with that error without performing it. With no plan
+// installed it is a nil check.
+func InjectedErrno(point Point, idx int) (syscall.Errno, bool) {
+	p := active.Load()
+	if p == nil {
+		return 0, false
+	}
+	for _, r := range p.Rules {
+		if r.Kind == KindErrno && r.Point == point && (r.Index == AnyIndex || r.Index == idx) {
+			return r.Errno, true
+		}
+	}
+	return 0, false
+}
+
 // matches reports whether any rule of the given kind covers (point, idx).
 func matches(kind Kind, point Point, idx int) bool {
 	p := active.Load()
@@ -241,10 +267,11 @@ func matches(kind Kind, point Point, idx int) bool {
 //	kind@point:index[=delay]
 //
 // e.g. "panic@engine.start:3,latency@hgpartd.request:0=2s,
-// corrupt@portfolio.tier:*". The index "*" means AnyIndex; delay is a
-// time.ParseDuration string and only meaningful for latency rules. It
-// is the wire format of the hgpartd -faultinject flag and the
-// FASTHGP_FAULTS environment variable.
+// corrupt@portfolio.tier:*,errno@checkpoint.write:*=ENOSPC". The index
+// "*" means AnyIndex. The =arg suffix is a time.ParseDuration string
+// for latency rules (required) and an errno name (ENOSPC or EIO,
+// required) for errno rules. It is the wire format of the hgpartd
+// -faultinject flag and the FASTHGP_FAULTS environment variable.
 func ParseSpec(spec string) (*Plan, error) {
 	plan := &Plan{Seed: 1}
 	for _, field := range strings.Split(spec, ",") {
@@ -270,10 +297,13 @@ func ParseSpec(spec string) (*Plan, error) {
 			r.Kind = KindDrop
 		case "partial":
 			r.Kind = KindPartial
+		case "errno":
+			r.Kind = KindErrno
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q", field, kindStr)
 		}
-		if r.Kind == KindLatency {
+		switch r.Kind {
+		case KindLatency:
 			var delayStr string
 			rest, delayStr, ok = strings.Cut(rest, "=")
 			if !ok {
@@ -284,6 +314,20 @@ func ParseSpec(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faultinject: rule %q: bad delay %q", field, delayStr)
 			}
 			r.Delay = d
+		case KindErrno:
+			var errnoStr string
+			rest, errnoStr, ok = strings.Cut(rest, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: rule %q: errno needs =ENOSPC or =EIO", field)
+			}
+			switch errnoStr {
+			case "ENOSPC":
+				r.Errno = syscall.ENOSPC
+			case "EIO":
+				r.Errno = syscall.EIO
+			default:
+				return nil, fmt.Errorf("faultinject: rule %q: unknown errno %q (want ENOSPC or EIO)", field, errnoStr)
+			}
 		}
 		pointStr, idxStr, ok := strings.Cut(rest, ":")
 		if !ok {

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -105,8 +106,32 @@ func TestShouldDropAndPartial(t *testing.T) {
 	Fire(PointFleetForward, 1)
 }
 
+func TestInjectedErrno(t *testing.T) {
+	if _, ok := InjectedErrno(PointCheckpointWrite, 0); ok {
+		t.Error("InjectedErrno matched with no plan")
+	}
+	defer Install(&Plan{Rules: []Rule{
+		{Point: PointCheckpointWrite, Index: 1, Kind: KindErrno, Errno: syscall.ENOSPC},
+		{Point: PointCheckpointSync, Index: AnyIndex, Kind: KindErrno, Errno: syscall.EIO},
+	}})()
+	if _, ok := InjectedErrno(PointCheckpointWrite, 0); ok {
+		t.Error("errno fired on wrong index")
+	}
+	if e, ok := InjectedErrno(PointCheckpointWrite, 1); !ok || e != syscall.ENOSPC {
+		t.Errorf("InjectedErrno(write, 1) = %v, %v; want ENOSPC, true", e, ok)
+	}
+	if e, ok := InjectedErrno(PointCheckpointSync, 42); !ok || e != syscall.EIO {
+		t.Errorf("InjectedErrno(fsync, 42) = %v, %v; want EIO, true", e, ok)
+	}
+	if _, ok := InjectedErrno(PointFleetForward, 1); ok {
+		t.Error("errno fired on wrong point")
+	}
+	// Errno faults are caller-driven: Fire must ignore them.
+	Fire(PointCheckpointWrite, 1)
+}
+
 func TestParseSpec(t *testing.T) {
-	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*,torn@checkpoint.write:1,panic@checkpoint.fsync:0,drop@fleet.forward:2,partial@fleet.forward:*,drop@fleet.heartbeat:4")
+	plan, err := ParseSpec("panic@engine.start:3, latency@hgpartd.request:0=50ms ,corrupt@portfolio.tier:*,torn@checkpoint.write:1,panic@checkpoint.fsync:0,drop@fleet.forward:2,partial@fleet.forward:*,drop@fleet.heartbeat:4,errno@checkpoint.write:5=ENOSPC,errno@checkpoint.fsync:*=EIO")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,6 +144,8 @@ func TestParseSpec(t *testing.T) {
 		{Point: PointFleetForward, Index: 2, Kind: KindDrop},
 		{Point: PointFleetForward, Index: AnyIndex, Kind: KindPartial},
 		{Point: PointFleetHeartbeat, Index: 4, Kind: KindDrop},
+		{Point: PointCheckpointWrite, Index: 5, Kind: KindErrno, Errno: syscall.ENOSPC},
+		{Point: PointCheckpointSync, Index: AnyIndex, Kind: KindErrno, Errno: syscall.EIO},
 	}
 	if len(plan.Rules) != len(want) {
 		t.Fatalf("parsed %d rules, want %d", len(plan.Rules), len(want))
@@ -132,6 +159,7 @@ func TestParseSpec(t *testing.T) {
 		"", "panic", "explode@engine.start:1", "panic@nowhere:1",
 		"panic@engine.start:x", "panic@engine.start:-2",
 		"latency@engine.start:1", "latency@engine.start:1=zzz",
+		"errno@checkpoint.write:1", "errno@checkpoint.write:1=EBADF",
 	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)

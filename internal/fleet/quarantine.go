@@ -1,0 +1,171 @@
+package fleet
+
+// Integrity quarantine: the registry's third health axis, for workers
+// that answer promptly but *wrongly*. Liveness (heartbeats) catches
+// workers that die; breakers catch workers that error; neither catches
+// a Byzantine worker returning well-formed answers the verification
+// oracle rejects — that worker looks perfectly healthy to both.
+//
+// The machine, driven by the coordinator's per-answer oracle check:
+//
+//	routed ──(Threshold invalid answers within Window)──> quarantined
+//	quarantined ──(ReadmitAfter consecutive verified probes)──> routed
+//
+// A quarantined worker keeps its registration and its heartbeats count
+// (liveness is orthogonal — a quarantined worker can still be ejected
+// for silence, and an ejection+rejoin does not clear quarantine), but
+// Allow excludes it so no client request routes there. Readmission is
+// earned, never granted on rejoin: the coordinator periodically claims
+// a probe slot (ClaimProbe), replays a known-good job to the worker
+// off the request path, verifies the answer, and reports it with
+// RecordProbe; any failed probe resets the streak.
+
+import (
+	"sort"
+	"time"
+)
+
+// QuarantineConfig tunes the integrity-quarantine axis.
+type QuarantineConfig struct {
+	// Threshold is how many invalid answers within Window quarantine a
+	// worker (values < 1 mean 3).
+	Threshold int
+	// Window is the sliding window the threshold counts over
+	// (values <= 0 mean 30s).
+	Window time.Duration
+	// ReadmitAfter is how many consecutive verified probe answers
+	// readmit a quarantined worker (values < 1 mean 3).
+	ReadmitAfter int
+	// ProbeInterval is the minimum spacing between probes to one
+	// quarantined worker (values <= 0 mean 1s).
+	ProbeInterval time.Duration
+}
+
+func (c QuarantineConfig) withDefaults() QuarantineConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.ReadmitAfter < 1 {
+		c.ReadmitAfter = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	return c
+}
+
+// countSince counts timestamps at or after cutoff (ts is append-ordered).
+func countSince(ts []time.Time, cutoff time.Time) int {
+	n := 0
+	for _, t := range ts {
+		if !t.Before(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordInvalid charges one oracle-rejected answer (or corrupt frame)
+// to the worker and reports whether this strike crossed the threshold
+// and quarantined it — true exactly once per quarantine, the caller's
+// signal to pull the worker from the ring. Strikes against an unknown
+// or already-quarantined worker are dropped (a quarantined worker only
+// serves probes, which report through RecordProbe).
+func (g *Registry) RecordInvalid(id string) (quarantined bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok || w.quarantined {
+		return false
+	}
+	now := g.cfg.Now()
+	cutoff := now.Add(-g.cfg.Quarantine.Window)
+	kept := w.invalid[:0]
+	for _, t := range w.invalid {
+		if !t.Before(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	w.invalid = append(kept, now)
+	if len(w.invalid) < g.cfg.Quarantine.Threshold {
+		return false
+	}
+	w.quarantined = true
+	w.quarantines++
+	w.consecValid = 0
+	w.probing = false
+	w.lastProbe = time.Time{}
+	return true
+}
+
+// Quarantined reports whether id is currently quarantined.
+func (g *Registry) Quarantined(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	return ok && w.quarantined
+}
+
+// QuarantinedIDs returns the quarantined workers, sorted.
+func (g *Registry) QuarantinedIDs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ids []string
+	for id, w := range g.workers {
+		if w.quarantined {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ClaimProbe grants at most one in-flight probe per quarantined worker,
+// spaced at least ProbeInterval apart. A true return must be answered
+// with RecordProbe or the slot stays occupied (exactly the breaker
+// half-open contract). Ejected workers are not probed — there is no
+// point verifying the integrity of a worker that is not answering.
+func (g *Registry) ClaimProbe(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok || !w.quarantined || w.state == WorkerEjected || w.probing {
+		return false
+	}
+	now := g.cfg.Now()
+	if !w.lastProbe.IsZero() && now.Sub(w.lastProbe) < g.cfg.Quarantine.ProbeInterval {
+		return false
+	}
+	w.probing = true
+	w.lastProbe = now
+	return true
+}
+
+// RecordProbe reports a claimed probe's oracle verdict and returns
+// whether it completed the readmission streak — true exactly once per
+// readmission, the caller's signal to put the worker back on the ring.
+// A failed probe resets the streak to zero.
+func (g *Registry) RecordProbe(id string, valid bool) (readmitted bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[id]
+	if !ok || !w.quarantined {
+		return false
+	}
+	w.probing = false
+	if !valid {
+		w.consecValid = 0
+		return false
+	}
+	w.consecValid++
+	if w.consecValid < g.cfg.Quarantine.ReadmitAfter {
+		return false
+	}
+	w.quarantined = false
+	w.invalid = nil
+	w.consecValid = 0
+	return true
+}

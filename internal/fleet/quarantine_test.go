@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fasthgp/internal/resilience"
+)
+
+func quarantineRegistry(c *fakeClock) *Registry {
+	return NewRegistry(RegistryConfig{
+		HeartbeatTTL: time.Second,
+		EjectAfter:   3,
+		Now:          c.Now,
+		Breakers:     resilience.BreakerConfig{Threshold: 100, Cooldown: time.Minute, Now: c.Now},
+		Quarantine: QuarantineConfig{
+			Threshold:     3,
+			Window:        10 * time.Second,
+			ReadmitAfter:  2,
+			ProbeInterval: time.Second,
+		},
+	})
+}
+
+func TestQuarantineThresholdWithinWindow(t *testing.T) {
+	clock := newFakeClock()
+	g := quarantineRegistry(clock)
+	g.Upsert("w1", "127.0.0.1:1")
+
+	if g.RecordInvalid("w1") || g.RecordInvalid("w1") {
+		t.Fatal("quarantined below threshold")
+	}
+	if g.Quarantined("w1") || !g.Allow("w1") {
+		t.Fatal("worker excluded before threshold")
+	}
+	if !g.RecordInvalid("w1") {
+		t.Fatal("third strike did not quarantine")
+	}
+	if !g.Quarantined("w1") {
+		t.Fatal("Quarantined false after threshold")
+	}
+	if g.Allow("w1") {
+		t.Fatal("Allow admits a quarantined worker")
+	}
+	if got := g.QuarantinedIDs(); !reflect.DeepEqual(got, []string{"w1"}) {
+		t.Fatalf("QuarantinedIDs = %v", got)
+	}
+	// Further strikes while quarantined are dropped, not re-reported.
+	if g.RecordInvalid("w1") {
+		t.Fatal("re-quarantined an already quarantined worker")
+	}
+}
+
+func TestQuarantineWindowExpiresOldStrikes(t *testing.T) {
+	clock := newFakeClock()
+	g := quarantineRegistry(clock)
+	g.Upsert("w1", "127.0.0.1:1")
+
+	g.RecordInvalid("w1")
+	g.RecordInvalid("w1")
+	clock.advance(11 * time.Second) // both strikes age out of the window
+	if g.RecordInvalid("w1") {
+		t.Fatal("stale strikes counted toward the threshold")
+	}
+	g.RecordInvalid("w1")
+	if !g.RecordInvalid("w1") {
+		t.Fatal("three fresh strikes did not quarantine")
+	}
+}
+
+func TestQuarantineProbeReadmission(t *testing.T) {
+	clock := newFakeClock()
+	g := quarantineRegistry(clock)
+	g.Upsert("w1", "127.0.0.1:1")
+	for i := 0; i < 3; i++ {
+		g.RecordInvalid("w1")
+	}
+
+	// Probe slot protocol: one in flight, spaced by ProbeInterval.
+	if !g.ClaimProbe("w1") {
+		t.Fatal("first probe claim refused")
+	}
+	if g.ClaimProbe("w1") {
+		t.Fatal("second claim granted while one is in flight")
+	}
+	if g.RecordProbe("w1", true) {
+		t.Fatal("readmitted after one valid probe, want two")
+	}
+	if g.ClaimProbe("w1") {
+		t.Fatal("claim granted before ProbeInterval elapsed")
+	}
+	clock.advance(time.Second)
+	if !g.ClaimProbe("w1") {
+		t.Fatal("probe claim refused after interval")
+	}
+	// A failed probe resets the streak.
+	if g.RecordProbe("w1", false) {
+		t.Fatal("readmitted on a failed probe")
+	}
+	clock.advance(time.Second)
+	g.ClaimProbe("w1")
+	g.RecordProbe("w1", true)
+	clock.advance(time.Second)
+	g.ClaimProbe("w1")
+	if !g.RecordProbe("w1", true) {
+		t.Fatal("two consecutive valid probes did not readmit")
+	}
+	if g.Quarantined("w1") || !g.Allow("w1") {
+		t.Fatal("worker still excluded after readmission")
+	}
+	// Readmission is reported exactly once.
+	if g.RecordProbe("w1", true) {
+		t.Fatal("readmission re-reported")
+	}
+	// The slate is clean: old strikes don't stack with new ones.
+	if g.RecordInvalid("w1") {
+		t.Fatal("single post-readmission strike re-quarantined")
+	}
+}
+
+func TestQuarantineSurvivesHeartbeatAndRejoin(t *testing.T) {
+	clock := newFakeClock()
+	g := quarantineRegistry(clock)
+	g.Upsert("w1", "127.0.0.1:1")
+	for i := 0; i < 3; i++ {
+		g.RecordInvalid("w1")
+	}
+
+	// Heartbeats keep liveness fresh but never clear quarantine.
+	g.Heartbeat("w1")
+	if !g.Quarantined("w1") {
+		t.Fatal("heartbeat cleared quarantine")
+	}
+	// Silence ejects the worker (liveness is orthogonal)…
+	clock.advance(5 * time.Second)
+	if ejected := g.Sweep(); !reflect.DeepEqual(ejected, []string{"w1"}) {
+		t.Fatalf("Sweep = %v, want [w1]", ejected)
+	}
+	// …and ejected workers are not probed.
+	if g.ClaimProbe("w1") {
+		t.Fatal("probe claimed against an ejected worker")
+	}
+	// Rejoin via heartbeat and re-registration: alive again, still
+	// quarantined — readmission must be earned through probes.
+	if known, rejoined := g.Heartbeat("w1"); !known || !rejoined {
+		t.Fatal("heartbeat did not rejoin")
+	}
+	g.Upsert("w1", "127.0.0.1:2")
+	if !g.Quarantined("w1") || g.Allow("w1") {
+		t.Fatal("rejoin cleared quarantine")
+	}
+	if !g.ClaimProbe("w1") {
+		t.Fatal("probe refused for a live quarantined worker")
+	}
+}
+
+func TestQuarantineSnapshotSurfacesState(t *testing.T) {
+	clock := newFakeClock()
+	g := quarantineRegistry(clock)
+	g.Upsert("w1", "127.0.0.1:1")
+	g.Upsert("w2", "127.0.0.1:2")
+	for i := 0; i < 3; i++ {
+		g.RecordInvalid("w1")
+	}
+	g.ClaimProbe("w1")
+	g.RecordProbe("w1", true)
+
+	snap := g.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d workers", len(snap))
+	}
+	w1 := snap[0]
+	if w1.ID != "w1" || !w1.Quarantined || w1.State != "quarantined" ||
+		w1.Quarantines != 1 || w1.InvalidRecent != 3 || w1.ProbesOK != 1 {
+		t.Fatalf("w1 info = %+v", w1)
+	}
+	if w2 := snap[1]; w2.Quarantined || w2.State != "active" || w2.InvalidRecent != 0 {
+		t.Fatalf("w2 info = %+v", w2)
+	}
+}
+
+func TestRecordInvalidUnknownWorker(t *testing.T) {
+	g := quarantineRegistry(newFakeClock())
+	if g.RecordInvalid("ghost") || g.Quarantined("ghost") || g.ClaimProbe("ghost") || g.RecordProbe("ghost", true) {
+		t.Fatal("quarantine machinery reacted to an unregistered id")
+	}
+	if got := g.QuarantinedIDs(); len(got) != 0 {
+		t.Fatalf("QuarantinedIDs = %v, want empty", got)
+	}
+}

@@ -20,6 +20,10 @@ package fleet
 // request. A worker that answers but keeps failing trips its breaker
 // and is skipped by Allow until the cooldown admits a single probe —
 // breaker-style ejection without losing the worker's registration.
+//
+// A third, orthogonal axis — integrity quarantine for workers that
+// answer promptly but *wrongly* (Byzantine workers) — lives in
+// quarantine.go.
 
 import (
 	"sort"
@@ -64,6 +68,8 @@ type RegistryConfig struct {
 	EjectAfter int
 	// Breakers configures the per-worker circuit breakers.
 	Breakers resilience.BreakerConfig
+	// Quarantine configures the integrity-quarantine axis.
+	Quarantine QuarantineConfig
 	// Now is the clock (nil means time.Now); injectable for tests.
 	Now func() time.Time
 }
@@ -75,6 +81,7 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 	if c.EjectAfter < 1 {
 		c.EjectAfter = 3
 	}
+	c.Quarantine = c.Quarantine.withDefaults()
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -84,14 +91,18 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 // WorkerInfo is one worker's externally visible state (the /healthz
 // shape).
 type WorkerInfo struct {
-	ID        string      `json:"id"`
-	Addr      string      `json:"addr"`
-	State     string      `json:"state"`
-	Breaker   string      `json:"breaker"`
-	LastBeat  time.Time   `json:"-"`
-	SilenceMS int64       `json:"silence_ms"`
-	Ejections int64       `json:"ejections,omitempty"`
-	state     WorkerState `json:"-"`
+	ID            string      `json:"id"`
+	Addr          string      `json:"addr"`
+	State         string      `json:"state"`
+	Breaker       string      `json:"breaker"`
+	LastBeat      time.Time   `json:"-"`
+	SilenceMS     int64       `json:"silence_ms"`
+	Ejections     int64       `json:"ejections,omitempty"`
+	Quarantined   bool        `json:"quarantined,omitempty"`
+	Quarantines   int64       `json:"quarantines,omitempty"`
+	InvalidRecent int         `json:"invalid_recent,omitempty"`
+	ProbesOK      int         `json:"probes_ok,omitempty"`
+	state         WorkerState `json:"-"`
 }
 
 type workerEntry struct {
@@ -100,6 +111,14 @@ type workerEntry struct {
 	state     WorkerState
 	lastBeat  time.Time
 	ejections int64
+
+	// Integrity-quarantine axis (see quarantine.go).
+	quarantined bool
+	invalid     []time.Time // invalid-answer timestamps inside the window
+	consecValid int         // consecutive verified probe answers while quarantined
+	quarantines int64       // lifetime quarantine count
+	lastProbe   time.Time
+	probing     bool // a probe is in flight (ClaimProbe granted)
 }
 
 // Registry is the concurrency-safe worker roster. Construct with
@@ -195,13 +214,14 @@ func (g *Registry) Sweep() (ejected []string) {
 }
 
 // Allow reports whether a request may be routed to id now: the worker
-// must be registered, not ejected, and its circuit breaker must admit
-// the attempt. Like Breaker.Allow, a true return must be answered with
-// Record or a half-open probe slot stays occupied.
+// must be registered, not ejected, not quarantined, and its circuit
+// breaker must admit the attempt. Like Breaker.Allow, a true return
+// must be answered with Record or a half-open probe slot stays
+// occupied.
 func (g *Registry) Allow(id string) bool {
 	g.mu.Lock()
 	w, ok := g.workers[id]
-	live := ok && w.state != WorkerEjected
+	live := ok && w.state != WorkerEjected && !w.quarantined
 	g.mu.Unlock()
 	if !live {
 		return false
@@ -250,14 +270,22 @@ func (g *Registry) Snapshot() []WorkerInfo {
 	now := g.cfg.Now()
 	out := make([]WorkerInfo, 0, len(g.workers))
 	for _, w := range g.workers {
+		state := w.state.String()
+		if w.quarantined && w.state != WorkerEjected {
+			state = "quarantined"
+		}
 		out = append(out, WorkerInfo{
-			ID:        w.id,
-			Addr:      w.addr,
-			State:     w.state.String(),
-			LastBeat:  w.lastBeat,
-			SilenceMS: now.Sub(w.lastBeat).Milliseconds(),
-			Ejections: w.ejections,
-			state:     w.state,
+			ID:            w.id,
+			Addr:          w.addr,
+			State:         state,
+			LastBeat:      w.lastBeat,
+			SilenceMS:     now.Sub(w.lastBeat).Milliseconds(),
+			Ejections:     w.ejections,
+			Quarantined:   w.quarantined,
+			Quarantines:   w.quarantines,
+			InvalidRecent: countSince(w.invalid, now.Add(-g.cfg.Quarantine.Window)),
+			ProbesOK:      w.consecValid,
+			state:         w.state,
 		})
 	}
 	g.mu.Unlock()

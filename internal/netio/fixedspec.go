@@ -1,0 +1,51 @@
+package netio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fasthgp/internal/partition"
+)
+
+// ParseFixedSpec parses the compact fixed-vertex query syntax the HTTP
+// tier uses: comma-separated vertex:side records (side L, R, 0, or 1),
+// e.g. "0:L,5:R". The result covers all n vertices, with unnamed
+// vertices free. Both hgpartd (to build the constraint it solves
+// under) and hgpartcoord (to reconstruct that constraint for answer
+// verification) parse the same spec, so the two must never diverge —
+// hence one parser here rather than one per daemon.
+func ParseFixedSpec(spec string, n int) ([]int8, error) {
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = partition.FreeVertex
+	}
+	for _, rec := range strings.Split(spec, ",") {
+		rec = strings.TrimSpace(rec)
+		if rec == "" {
+			continue
+		}
+		idx, sideTok, ok := strings.Cut(rec, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fixed record %q (want vertex:side)", rec)
+		}
+		v, err := strconv.Atoi(idx)
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("bad fixed vertex %q (netlist has %d modules)", idx, n)
+		}
+		var side int8
+		switch sideTok {
+		case "L", "l", "0":
+			side = 0
+		case "R", "r", "1":
+			side = 1
+		default:
+			return nil, fmt.Errorf("bad fixed side %q (want L, R, 0, or 1)", sideTok)
+		}
+		if fixed[v] >= 0 && fixed[v] != side {
+			return nil, fmt.Errorf("vertex %d fixed to both sides", v)
+		}
+		fixed[v] = side
+	}
+	return fixed, nil
+}
