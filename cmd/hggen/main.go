@@ -6,6 +6,7 @@
 //	hggen -family profile -tech stdcell -modules 500 -signals 900 > chip.nets
 //	hggen -family planted -modules 500 -signals 700 -cut 8
 //	hggen -family random  -modules 200 -signals 400
+//	hggen -family random  -dist powerlaw -modules 20000 -signals 30000
 //	hggen -family table2 -name IC1
 package main
 
@@ -29,6 +30,8 @@ func main() {
 		cut     = flag.Int("cut", 4, "planted: crossing nets c")
 		comps   = flag.Int("components", 3, "disconnected: component count")
 		name    = flag.String("name", "Bd1", "table2: instance name (Bd1..Bd3, IC1, IC2, Diff1..Diff3)")
+		dist    = flag.String("dist", "uniform", "random: pin distribution: uniform, powerlaw (Zipf hubs + geometric net sizes — the huge-instance shape)")
+		alpha   = flag.Float64("alpha", 0, "powerlaw: Zipf exponent > 1 (0 = default 1.5); lower = heavier hubs")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output file (default stdout)")
 		format  = flag.String("format", "nets", "output format: nets (netio) or hgr (hMETIS)")
@@ -55,7 +58,14 @@ func main() {
 		}
 		h, err = gen.Profile(gen.ProfileConfig{Modules: *modules, Signals: *signals, Technology: t}, rng)
 	case "random":
-		h, err = gen.Random(*modules, gen.RandomConfig{NumEdges: *signals, MaxDegree: 6}, rng)
+		switch *dist {
+		case "uniform":
+			h, err = gen.Random(*modules, gen.RandomConfig{NumEdges: *signals, MaxDegree: 6}, rng)
+		case "powerlaw":
+			h, err = gen.PowerLaw(*modules, gen.PowerLawConfig{NumEdges: *signals, Alpha: *alpha}, rng)
+		default:
+			fatal(fmt.Errorf("unknown distribution %q", *dist))
+		}
 	case "planted":
 		h, _, err = gen.PlantedCut(*modules, gen.PlantedConfig{CutSize: *cut, IntraEdges: *signals - *cut, MaxDegree: 6}, rng)
 	case "disconnected":

@@ -106,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults     = fs.String("faultinject", "", "fault-injection spec, e.g. 'panic@engine.start:2' (also read from FASTHGP_FAULTS)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		vcycle     = fs.Bool("vcycle", true, "multilevel: corridor max-flow refinement at every uncoarsening level (false = FM-only flat pass)")
+		corridor   = fs.Float64("corridor", 0, "multilevel: per-side flow corridor weight budget as a fraction of half the total weight (0 = default 0.1)")
 		stats      = fs.Bool("stats", false, "print engine multi-start statistics")
 		doVerify   = fs.Bool("verify", false, "recheck the result with the invariant oracle; exit nonzero on any violation")
 		verbose    = fs.Bool("v", false, "print the side of every module")
@@ -326,12 +328,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	case "multilevel":
-		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers, Constraint: constraint})
+		res, err := fasthgp.MultilevelCtx(ctx, h, fasthgp.MultilevelOptions{
+			Starts: *starts, Seed: *seed, Parallelism: *parallel, KernelWorkers: *workers,
+			Constraint: constraint, DisableFlow: !*vcycle, CorridorFraction: *corridor})
 		if err != nil {
 			return fail(err)
 		}
 		p, es = res.Partition, res.Engine
 		fmt.Fprintf(stdout, "multilevel: %d levels, coarsest %d vertices\n", res.Levels, res.CoarsestVertices)
+		if *vcycle {
+			vc := res.VCycle
+			fmt.Fprintf(stdout, "flow refinement: %d/%d rounds accepted, %d corridor vertices, %d flow nodes, %d augmentations, gain %d\n",
+				vc.FlowAccepted, vc.FlowRounds, vc.CorridorVertices, vc.FlowNodes, vc.FlowAugmentations, vc.FlowGain)
+		}
 	case "kl":
 		res, err := fasthgp.KLCtx(ctx, h, fasthgp.KLOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel, Constraint: constraint})
 		if err != nil {

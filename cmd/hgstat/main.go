@@ -7,6 +7,11 @@
 // Usage:
 //
 //	hgstat -in chip.nets [-format nets|hgr] [-threshold 10]
+//	hgstat -in chip.nets -levels
+//
+// With -levels it additionally prints the multilevel coarsening
+// hierarchy — per-level module/net/pin counts and shrink factors —
+// for tuning coarsest-size thresholds.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"fasthgp"
+	"fasthgp/internal/coarsen"
 	"fasthgp/internal/core"
 	"fasthgp/internal/intersect"
 	"fasthgp/internal/stats"
@@ -27,6 +33,8 @@ func main() {
 		format    = flag.String("format", "nets", "input format: nets or hgr")
 		threshold = flag.Int("threshold", 10, "large-net threshold for the filtered G profile")
 		seed      = flag.Int64("seed", 1, "seed for the BFS probes")
+		levels    = flag.Bool("levels", false, "print the multilevel coarsening hierarchy (per-level module/net/pin counts)")
+		coarsest  = flag.Int("coarsest", 64, "with -levels: stop coarsening at this many modules")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -79,6 +87,19 @@ func main() {
 	fmt.Printf("module degree: mean %.2f  median %.0f  max %.0f\n\n", d.Mean, d.Median, d.Max)
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *levels {
+		hierarchy := coarsen.BuildHierarchy(h, rng, coarsen.Options{MinVertices: *coarsest})
+		fmt.Printf("coarsening hierarchy (%d levels, heavy-edge matching):\n", len(hierarchy))
+		fmt.Printf("  level %2d: %7d modules %7d nets %8d pins\n", 0, h.NumVertices(), h.NumEdges(), h.NumPins())
+		prev := h.NumVertices()
+		for i, l := range hierarchy {
+			st := l.Stats()
+			fmt.Printf("  level %2d: %7d modules %7d nets %8d pins  (shrink %.2f)\n",
+				i+1, st.Vertices, st.Nets, st.Pins, float64(st.Vertices)/float64(prev))
+			prev = st.Vertices
+		}
+		fmt.Println()
+	}
 	for _, thr := range []int{0, *threshold} {
 		label := "unfiltered"
 		if thr > 0 {

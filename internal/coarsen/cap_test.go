@@ -1,0 +1,105 @@
+package coarsen
+
+import (
+	"math/rand"
+	"testing"
+
+	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/partition"
+)
+
+// TestClusterWeightCap: with MaxClusterWeight set, no contraction may
+// create a coarse vertex heavier than the cap (pre-existing heavy
+// vertices pass through untouched but are never grown).
+func TestClusterWeightCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := randomHG(rng, 120, 280) // weights 1..4
+	const maxW = 5
+	levels := BuildHierarchy(h, rng, Options{MinVertices: 8, MaxClusterWeight: maxW})
+	if len(levels) == 0 {
+		t.Fatal("no levels")
+	}
+	for li, l := range levels {
+		for v := 0; v < l.Coarse.NumVertices(); v++ {
+			if w := l.Coarse.VertexWeight(v); w > maxW {
+				t.Fatalf("level %d vertex %d weighs %d > cap %d", li, v, w, maxW)
+			}
+		}
+	}
+}
+
+// TestCapKeepsConstraintSatisfiable: with the cap set to the ε side
+// bound, every level of the hierarchy still admits a partition meeting
+// the constraint (no cluster outweighs a side).
+func TestCapKeepsConstraintSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randomHG(rng, 100, 240)
+	c := partition.Constraint{Epsilon: 0.1}
+	bound := c.MaxSideWeight(h.TotalVertexWeight(), 2)
+	levels := BuildHierarchy(h, rng, Options{MinVertices: 4, MaxClusterWeight: bound})
+	for li, l := range levels {
+		for v := 0; v < l.Coarse.NumVertices(); v++ {
+			if w := l.Coarse.VertexWeight(v); w > bound {
+				t.Fatalf("level %d vertex %d weighs %d > side bound %d — constraint unsatisfiable", li, v, w, bound)
+			}
+		}
+	}
+}
+
+// TestOppositeFixedNeverMerged: hierarchy-level regression for the
+// constraint bugfix — a Left-pinned and a Right-pinned fine vertex
+// must land in distinct coarse vertices at every level.
+func TestOppositeFixedNeverMerged(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 80
+	b := hypergraph.NewBuilder(n)
+	// Dense overlapping nets so matching pressure is high.
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		for u == v {
+			v = rng.Intn(n)
+		}
+		b.AddEdge(u, v)
+	}
+	h := b.MustBuild()
+	fixed := make([]int8, n)
+	for v := range fixed {
+		switch v % 4 {
+		case 0:
+			fixed[v] = 0
+		case 1:
+			fixed[v] = 1
+		default:
+			fixed[v] = partition.FreeVertex
+		}
+	}
+	levels := BuildHierarchy(h, rng, Options{MinVertices: 4, Fixed: fixed})
+	fineFixed := fixed
+	for li, l := range levels {
+		if l.Fixed == nil {
+			t.Fatalf("level %d lost the fixed assignment", li)
+		}
+		for v, s := range fineFixed {
+			if s >= 0 && l.Fixed[l.Map[v]] != s {
+				t.Fatalf("level %d: fine vertex %d pinned to %d but coarse vertex %d pinned to %d",
+					li, v, s, l.Map[v], l.Fixed[l.Map[v]])
+			}
+		}
+		// No coarse vertex may host fine vertices from both sides.
+		sideOf := make([]int8, l.Coarse.NumVertices())
+		for i := range sideOf {
+			sideOf[i] = partition.FreeVertex
+		}
+		for v, s := range fineFixed {
+			if s < 0 {
+				continue
+			}
+			cv := l.Map[v]
+			if sideOf[cv] >= 0 && sideOf[cv] != s {
+				t.Fatalf("level %d: coarse vertex %d merged opposite fixed sides", li, cv)
+			}
+			sideOf[cv] = s
+		}
+		fineFixed = l.Fixed
+	}
+}

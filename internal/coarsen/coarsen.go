@@ -1,16 +1,14 @@
-// Package coarsen implements hypergraph coarsening by heavy-
-// connectivity matching — the contraction half of the multilevel
-// scheme that succeeded flat partitioners like the paper's in the
-// 1990s (and which this library offers as an extension and ablation
-// point: multilevel + FM refinement versus flat Algorithm I).
-//
-// One Step matches each vertex with the unmatched neighbour it shares
-// the most net connectivity with (score Σ w(e)/(|e|−1) over shared
-// nets), then contracts matched pairs: vertex weights add, nets map
-// their pins through the contraction, nets reduced to a single pin
-// disappear, and duplicate nets merge with their weights added — so
-// the weighted cut of any coarse bipartition equals the weighted cut
-// of its projection to the fine hypergraph.
+// Package coarsen implements hypergraph coarsening by heavy-edge
+// matching — the contraction half of the multilevel V-cycle. One
+// Contract call matches each vertex with the unmatched neighbour it
+// shares the most net connectivity with (rating Σ w(e)/(|e|−1) over
+// shared nets, via matching.HeavyEdge), then contracts matched pairs:
+// vertex weights add, nets map their pins through the contraction,
+// nets reduced to a single pin disappear, and duplicate nets merge
+// with their weights added — so the weighted cut of any coarse
+// bipartition equals the weighted cut of its projection to the fine
+// hypergraph. BuildHierarchy stacks Contract calls into the full
+// contraction hierarchy the V-cycle uncoarsens through.
 package coarsen
 
 import (
@@ -18,6 +16,7 @@ import (
 	"sort"
 
 	"fasthgp/internal/hypergraph"
+	"fasthgp/internal/matching"
 	"fasthgp/internal/partition"
 )
 
@@ -32,12 +31,51 @@ type Result struct {
 	Fixed []int8
 }
 
+// LevelStats summarizes one hierarchy level for tuning and reporting.
+type LevelStats struct {
+	Vertices int
+	Nets     int
+	Pins     int
+}
+
+// Stats returns the coarse level's size summary.
+func (r *Result) Stats() LevelStats {
+	return LevelStats{
+		Vertices: r.Coarse.NumVertices(),
+		Nets:     r.Coarse.NumEdges(),
+		Pins:     r.Coarse.NumPins(),
+	}
+}
+
+// Options configures Contract and BuildHierarchy. The zero value
+// reproduces the historical Step/Hierarchy behaviour exactly.
+type Options struct {
+	// MinVertices stops BuildHierarchy once a level has at most this
+	// many vertices (minimum 2).
+	MinVertices int
+	// MaxLevels bounds the hierarchy depth (0 = 30).
+	MaxLevels int
+	// Fixed pins fine vertices to sides (partition.FreeVertex = free).
+	// Vertices pinned to different sides are never contracted together,
+	// and every Result carries the propagated coarse assignment.
+	Fixed []int8
+	// MaxClusterWeight refuses matches whose combined vertex weight
+	// exceeds it (0 = unbounded). Coarsening can only ever *merge*
+	// weights, so capping the merge is what keeps an ε-balance
+	// constraint satisfiable at every level: a single cluster heavier
+	// than the side bound could never be placed.
+	MaxClusterWeight int64
+	// MaxRatedEdgeSize skips nets larger than this during rating
+	// (0 = rate everything); see matching.HeavyEdgeOptions.
+	MaxRatedEdgeSize int
+}
+
 // Step performs one level of matching and contraction. The returned
 // coarse hypergraph has at least half as many vertices when any match
 // exists; when nothing can be matched (e.g. an edgeless hypergraph)
 // the contraction is the identity.
 func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
-	return StepFixed(h, rng, nil)
+	return Contract(h, rng, Options{})
 }
 
 // StepFixed is Step under a fixed-side assignment (−1 = free): two
@@ -45,56 +83,25 @@ func Step(h *hypergraph.Hypergraph, rng *rand.Rand) *Result {
 // vertex has a well-defined fixed side, returned in Result.Fixed.
 // A nil fixed slice reproduces Step exactly.
 func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
+	return Contract(h, rng, Options{Fixed: fixed})
+}
+
+// Contract performs one level of heavy-edge matching and contraction
+// under opts (MinVertices/MaxLevels are ignored here; they belong to
+// BuildHierarchy).
+func Contract(h *hypergraph.Hypergraph, rng *rand.Rand, opts Options) *Result {
 	n := h.NumVertices()
-	side := func(v int) int8 {
-		if v < len(fixed) {
-			return fixed[v]
-		}
-		return -1
-	}
-	mate := make([]int, n)
-	for i := range mate {
-		mate[i] = -1
-	}
-	order := rng.Perm(n)
-	score := make(map[int]float64, 8)
-	for _, v := range order {
-		if mate[v] != -1 {
-			continue
-		}
-		clear(score)
-		for _, e := range h.VertexEdges(v) {
-			size := h.EdgeSize(e)
-			if size < 2 {
-				continue
-			}
-			w := float64(h.EdgeWeight(e)) / float64(size-1)
-			for _, u := range h.EdgePins(e) {
-				if u != v && mate[u] == -1 {
-					if sv, su := side(v), side(u); sv >= 0 && su >= 0 && sv != su {
-						continue // opposite pins must stay separable
-					}
-					score[u] += w
-				}
-			}
-		}
-		best, bestScore := -1, 0.0
-		for u, s := range score {
-			if s > bestScore || (s == bestScore && best != -1 && u < best) {
-				best, bestScore = u, s
-			}
-		}
-		if best != -1 {
-			mate[v] = best
-			mate[best] = v
-		}
-	}
+	mate := matching.HeavyEdge(h, rng, matching.HeavyEdgeOptions{
+		Fixed:            opts.Fixed,
+		MaxPairWeight:    opts.MaxClusterWeight,
+		MaxRatedEdgeSize: opts.MaxRatedEdgeSize,
+	})
 
 	// Assign coarse ids: matched pairs share one id.
 	res := &Result{Map: make([]int, n)}
 	next := 0
 	for v := 0; v < n; v++ {
-		if mate[v] != -1 && mate[v] < v {
+		if mate[v] != matching.Unmatched && mate[v] < v {
 			res.Map[v] = res.Map[mate[v]]
 			continue
 		}
@@ -111,10 +118,13 @@ func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
 		b.SetVertexWeight(cv, w)
 	}
 	// Contract nets, dropping singletons and merging duplicates with
-	// summed weights.
-	type key string
-	merged := map[key]int{} // pin signature → builder edge id
-	mergedWeight := map[int]int64{}
+	// summed weights. Duplicate detection hashes the sorted coarse pin
+	// set into buckets of candidate edge ids and confirms with an exact
+	// pin comparison — no per-net string signature allocation, which at
+	// 10⁶ pins was the dominant coarsening cost.
+	buckets := make(map[uint64][]int, h.NumEdges())
+	var coarsePins [][]int  // builder edge id → its sorted pin set
+	var edgeWeights []int64 // builder edge id → merged weight
 	scratch := make([]int, 0, 16)
 	for e := 0; e < h.NumEdges(); e++ {
 		scratch = scratch[:0]
@@ -133,20 +143,24 @@ func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
 		if len(out) < 2 {
 			continue
 		}
-		sig := make([]byte, 0, 4*len(out))
-		for _, p := range out {
-			sig = append(sig, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		hash := pinHash(out)
+		merged := false
+		for _, id := range buckets[hash] {
+			if pinsEqual(coarsePins[id], out) {
+				edgeWeights[id] += h.EdgeWeight(e)
+				merged = true
+				break
+			}
 		}
-		k := key(sig)
-		if id, ok := merged[k]; ok {
-			mergedWeight[id] += h.EdgeWeight(e)
+		if merged {
 			continue
 		}
 		id := b.AddEdge(out...)
-		merged[k] = id
-		mergedWeight[id] = h.EdgeWeight(e)
+		buckets[hash] = append(buckets[hash], id)
+		coarsePins = append(coarsePins, append([]int(nil), out...))
+		edgeWeights = append(edgeWeights, h.EdgeWeight(e))
 	}
-	for id, w := range mergedWeight {
+	for id, w := range edgeWeights {
 		b.SetEdgeWeight(id, w)
 	}
 	coarse, err := b.Build()
@@ -154,16 +168,16 @@ func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
 		panic("coarsen: contraction produced invalid hypergraph: " + err.Error())
 	}
 	res.Coarse = coarse
-	if fixed != nil {
+	if opts.Fixed != nil {
 		// A coarse vertex inherits the pinned side of its fine members
 		// (at most one distinct side by the matching rule above).
 		cf := make([]int8, next)
 		for i := range cf {
-			cf[i] = -1
+			cf[i] = partition.FreeVertex
 		}
 		for v := 0; v < n; v++ {
-			if s := side(v); s >= 0 {
-				cf[res.Map[v]] = s
+			if v < len(opts.Fixed) && opts.Fixed[v] >= 0 {
+				cf[res.Map[v]] = opts.Fixed[v]
 			}
 		}
 		res.Fixed = cf
@@ -171,27 +185,65 @@ func StepFixed(h *hypergraph.Hypergraph, rng *rand.Rand, fixed []int8) *Result {
 	return res
 }
 
+// pinHash is FNV-1a over the pin ids; collisions are resolved by
+// pinsEqual, so quality only affects bucket fan-out.
+func pinHash(pins []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range pins {
+		x := uint64(p)
+		for i := 0; i < 4; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func pinsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Hierarchy coarsens h repeatedly until at most minVertices remain, the
 // contraction stops making progress (shrink factor > 0.95), or
 // maxLevels levels were produced. Levels are ordered fine→coarse.
 func Hierarchy(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels int) []*Result {
-	return HierarchyFixed(h, rng, minVertices, maxLevels, nil)
+	return BuildHierarchy(h, rng, Options{MinVertices: minVertices, MaxLevels: maxLevels})
 }
 
 // HierarchyFixed is Hierarchy with a fine-level fixed-side assignment
 // propagated through every contraction: each level's Result.Fixed pins
 // the coarse vertices. A nil fixed slice reproduces Hierarchy exactly.
 func HierarchyFixed(h *hypergraph.Hypergraph, rng *rand.Rand, minVertices, maxLevels int, fixed []int8) []*Result {
-	if minVertices < 2 {
-		minVertices = 2
+	return BuildHierarchy(h, rng, Options{MinVertices: minVertices, MaxLevels: maxLevels, Fixed: fixed})
+}
+
+// BuildHierarchy coarsens h under opts until at most opts.MinVertices
+// vertices remain, the contraction stops making progress (shrink
+// factor > 0.95), or opts.MaxLevels levels were produced. Levels are
+// ordered fine→coarse; each level's Fixed feeds the next contraction.
+func BuildHierarchy(h *hypergraph.Hypergraph, rng *rand.Rand, opts Options) []*Result {
+	if opts.MinVertices < 2 {
+		opts.MinVertices = 2
 	}
-	if maxLevels <= 0 {
-		maxLevels = 30
+	if opts.MaxLevels <= 0 {
+		opts.MaxLevels = 30
 	}
 	var levels []*Result
 	cur := h
-	for len(levels) < maxLevels && cur.NumVertices() > minVertices {
-		step := StepFixed(cur, rng, fixed)
+	fixed := opts.Fixed
+	for len(levels) < opts.MaxLevels && cur.NumVertices() > opts.MinVertices {
+		stepOpts := opts
+		stepOpts.Fixed = fixed
+		step := Contract(cur, rng, stepOpts)
 		if float64(step.Coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
 			break
 		}

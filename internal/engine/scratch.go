@@ -22,6 +22,26 @@ type Scratch struct {
 	freeBools, usedBools   [][]bool
 	freeInt64s, usedInt64s [][]int64
 	freeSides, usedSides   [][]partition.Side
+	freeInt8s, usedInt8s   [][]int8
+}
+
+// Int8s leases a zeroed []int8 of length n from the arena. Fixed-side
+// assignments and per-vertex flow-corridor states are int8-valued, so
+// they get their own free list.
+func (s *Scratch) Int8s(n int) []int8 {
+	for k := len(s.freeInt8s) - 1; k >= 0; k-- {
+		if cap(s.freeInt8s[k]) >= n {
+			buf := s.freeInt8s[k][:n]
+			s.freeInt8s[k] = s.freeInt8s[len(s.freeInt8s)-1]
+			s.freeInt8s = s.freeInt8s[:len(s.freeInt8s)-1]
+			clear(buf)
+			s.usedInt8s = append(s.usedInt8s, buf)
+			return buf
+		}
+	}
+	buf := make([]int8, n)
+	s.usedInt8s = append(s.usedInt8s, buf)
+	return buf
 }
 
 // Ints leases a zeroed []int of length n from the arena.
@@ -108,6 +128,8 @@ func (s *Scratch) Release() {
 	s.usedInt64s = s.usedInt64s[:0]
 	s.freeSides = append(s.freeSides, s.usedSides...)
 	s.usedSides = s.usedSides[:0]
+	s.freeInt8s = append(s.freeInt8s, s.usedInt8s...)
+	s.usedInt8s = s.usedInt8s[:0]
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

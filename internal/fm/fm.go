@@ -285,12 +285,15 @@ func runPass(s *cutstate.State, minSide int64, fixed, locked []bool, gain []int)
 		}
 	}
 
+	// Side populations, maintained incrementally across moves: the
+	// legality check runs once per bucket pop, so an O(n) Counts() here
+	// dominated whole-pass cost at 10⁵-pin scale.
+	l, r, _ := s.Partition().Counts()
 	legal := func(v int) bool {
 		// Moving v must leave its side with at least minSide weight and
 		// at least one vertex.
 		lw, rw := s.Weights()
 		w := h.VertexWeight(v)
-		l, r, _ := s.Partition().Counts()
 		if s.Side(v) == partition.Left {
 			return lw-w >= minSide && l > 1
 		}
@@ -308,6 +311,11 @@ func runPass(s *cutstate.State, minSide int64, fixed, locked []bool, gain []int)
 			break
 		}
 		updateGainsAndMove(s, v, locked, gain, bq)
+		if s.Side(v) == partition.Left {
+			l, r = l+1, r-1
+		} else {
+			l, r = l-1, r+1
+		}
 		locked[v] = true
 		seq = append(seq, v)
 		cum += gain[v]

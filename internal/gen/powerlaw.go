@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fasthgp/internal/hypergraph"
+)
+
+// PowerLawConfig parameterizes PowerLaw — the huge-instance generator
+// behind the `huge` perf family. Real netlists are far from uniform:
+// pin counts follow a power law (a few bus/clock-like hubs touch
+// thousands of nets) and net sizes are geometric (most nets are 2–3
+// pins, with a heavy tail). Uniform H(n,d,r) instances coarsen
+// unrealistically well, so scale testing needs this shape.
+type PowerLawConfig struct {
+	// NumEdges is the number of nets to generate.
+	NumEdges int
+	// Alpha is the Zipf exponent of the vertex-popularity distribution
+	// (must be > 1; default 1.5). Lower = heavier hubs.
+	Alpha float64
+	// MinEdgeSize and MaxEdgeSize bound pins per net (defaults 2, 32).
+	MinEdgeSize, MaxEdgeSize int
+	// GeomP is the per-step stop probability of the geometric net-size
+	// distribution (default 0.35): expected net size ≈ Min + (1−p)/p.
+	GeomP float64
+	// HubFraction is the fraction of each net's pins drawn from the
+	// Zipf popularity distribution; the rest are uniform (default 0.5).
+	HubFraction float64
+}
+
+func (c *PowerLawConfig) defaults() {
+	if c.Alpha <= 1 {
+		c.Alpha = 1.5
+	}
+	if c.MinEdgeSize < 2 {
+		c.MinEdgeSize = 2
+	}
+	if c.MaxEdgeSize < c.MinEdgeSize {
+		c.MaxEdgeSize = c.MinEdgeSize + 30
+	}
+	if c.GeomP <= 0 || c.GeomP >= 1 {
+		c.GeomP = 0.35
+	}
+	if c.HubFraction <= 0 || c.HubFraction > 1 {
+		c.HubFraction = 0.5
+	}
+}
+
+// PowerLaw generates a hypergraph on n vertices with power-law vertex
+// popularity and geometric net sizes. Deterministic given rng.
+func PowerLaw(n int, cfg PowerLawConfig, rng *rand.Rand) (*hypergraph.Hypergraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: PowerLaw needs n >= 2, got %d", n)
+	}
+	cfg.defaults()
+	zipf := rand.NewZipf(rng, cfg.Alpha, 1, uint64(n-1))
+	b := hypergraph.NewBuilder(n)
+	seen := make([]int, n) // stamp: last edge id + 1 that used the vertex
+	pins := make([]int, 0, cfg.MaxEdgeSize)
+	for e := 0; e < cfg.NumEdges; e++ {
+		size := cfg.MinEdgeSize
+		for size < cfg.MaxEdgeSize && rng.Float64() > cfg.GeomP {
+			size++
+		}
+		if size > n {
+			size = n
+		}
+		pins = pins[:0]
+		// Bounded rejection sampling, then a deterministic linear probe
+		// so pathological rng streams can't stall generation.
+		for attempts := 0; len(pins) < size && attempts < 8*size; attempts++ {
+			var v int
+			if rng.Float64() < cfg.HubFraction {
+				v = int(zipf.Uint64())
+			} else {
+				v = rng.Intn(n)
+			}
+			if seen[v] != e+1 {
+				seen[v] = e + 1
+				pins = append(pins, v)
+			}
+		}
+		for v := 0; len(pins) < size && v < n; v++ {
+			if seen[v] != e+1 {
+				seen[v] = e + 1
+				pins = append(pins, v)
+			}
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := PowerLaw(2000, PowerLawConfig{NumEdges: 4000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 2000 || h.NumEdges() == 0 {
+		t.Fatalf("unexpected shape: %d vertices, %d edges", h.NumVertices(), h.NumEdges())
+	}
+	// Power-law popularity: the max degree should dwarf the average.
+	avg := float64(h.NumPins()) / 2000
+	if float64(h.MaxVertexDegree()) < 5*avg {
+		t.Errorf("max degree %d is not heavy-tailed (avg %.1f)", h.MaxVertexDegree(), avg)
+	}
+	// Geometric sizes: average net size near Min + (1-p)/p ≈ 3.9.
+	if s := h.AverageEdgeSize(); s < 2.5 || s > 6 {
+		t.Errorf("average edge size %.2f outside geometric envelope", s)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a, err := PowerLaw(500, PowerLawConfig{NumEdges: 900}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLaw(500, PowerLawConfig{NumEdges: 900}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() || a.NumPins() != b.NumPins() {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d edges/pins", a.NumEdges(), a.NumPins(), b.NumEdges(), b.NumPins())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		ap, bp := a.EdgePins(e), b.EdgePins(e)
+		if len(ap) != len(bp) {
+			t.Fatalf("edge %d size mismatch", e)
+		}
+		for i := range ap {
+			if ap[i] != bp[i] {
+				t.Fatalf("edge %d pin %d mismatch", e, i)
+			}
+		}
+	}
+}
+
+func TestPowerLawTinyN(t *testing.T) {
+	if _, err := PowerLaw(1, PowerLawConfig{NumEdges: 3}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for n=1")
+	}
+	h, err := PowerLaw(2, PowerLawConfig{NumEdges: 3, MinEdgeSize: 2, MaxEdgeSize: 4}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() == 0 {
+		t.Fatal("no edges on n=2")
+	}
+}

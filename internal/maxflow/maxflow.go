@@ -24,7 +24,13 @@ type Network struct {
 	cap   []int64
 	level []int
 	iter  []int
+	aug   int64 // successful augmentations across all solves
 }
+
+// Augmentations returns the number of successful augmenting-path
+// pushes performed so far. It is a deterministic work counter — a
+// machine-independent proxy for flow effort used by the perf baseline.
+func (g *Network) Augmentations() int64 { return g.aug }
 
 // New returns a network with n nodes and no arcs.
 func New(n int) *Network {
@@ -140,6 +146,7 @@ func (g *Network) MaxFlowCtx(ctx context.Context, s, t int) (int64, error) {
 			if f == 0 {
 				break
 			}
+			g.aug++
 			total += f
 		}
 	}
@@ -158,6 +165,33 @@ func (g *Network) MinCutSourceSide(s int) []bool {
 		for a := g.head[u]; a != -1; a = g.next[a] {
 			v := g.to[a]
 			if g.cap[a] > 0 && !side[v] {
+				side[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return side
+}
+
+// MinCutSinkSide returns, after MaxFlow, the set of nodes that can
+// reach t in the residual network — the sink side of a (generally
+// different) minimum cut. Its complement is the largest source side of
+// any minimum cut, where MinCutSourceSide yields the smallest; a caller
+// choosing between the two orientations picks whichever balances its
+// partition better at the same cut value.
+func (g *Network) MinCutSinkSide(t int) []bool {
+	n := g.NumNodes()
+	side := make([]bool, n)
+	queue := make([]int, 0, n)
+	side[t] = true
+	queue = append(queue, t)
+	for h := 0; h < len(queue); h++ {
+		u := queue[h]
+		// v reaches u through arc a^1 (the pair of u's arc a to v) when
+		// that reverse arc still has residual capacity.
+		for a := g.head[u]; a != -1; a = g.next[a] {
+			v := g.to[a]
+			if g.cap[a^1] > 0 && !side[v] {
 				side[v] = true
 				queue = append(queue, v)
 			}

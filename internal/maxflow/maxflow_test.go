@@ -118,3 +118,20 @@ func TestPropertyFlowEqualsCut(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAugmentationsCounter(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 2)
+	g.AddArc(0, 2, 2)
+	g.AddArc(1, 3, 2)
+	g.AddArc(2, 3, 2)
+	if g.Augmentations() != 0 {
+		t.Fatalf("fresh network has %d augmentations", g.Augmentations())
+	}
+	if f := g.MaxFlow(0, 3); f != 4 {
+		t.Fatalf("flow = %d, want 4", f)
+	}
+	if a := g.Augmentations(); a < 1 || a > 4 {
+		t.Fatalf("augmentations = %d, want within [1,4]", a)
+	}
+}

@@ -1,12 +1,16 @@
-// Package multilevel implements a multilevel bipartitioner on top of
-// the library's pieces: heavy-connectivity coarsening, an initial cut
-// of the coarsest hypergraph by Algorithm I, and Fiduccia–Mattheyses
-// refinement at every uncoarsening level.
+// Package multilevel implements a production multilevel bipartitioner
+// — a real V-cycle on top of the library's pieces: a heavy-edge
+// coarsening hierarchy (internal/matching + internal/coarsen), an
+// initial cut of the coarsest hypergraph by multi-start Algorithm I,
+// and Fiduccia–Mattheyses plus corridor max-flow refinement at every
+// uncoarsening level (see flow.go).
 //
 // This is the scheme that superseded flat partitioners in the decade
-// after the paper; it is included both as the natural "future work"
-// extension and as the strongest in-repo comparison point for
-// Algorithm I (see BenchmarkMultilevelVsFlat).
+// after the paper; it is both the natural "future work" extension and
+// the path from the paper's n≈2500 Table 2 instances to millions of
+// pins. The flow refinement follows Heuer/Sanders/Schlag's KaHyPar
+// blueprint; DisableFlow recovers the historical FM-only pass for
+// ablation (see TestVCycleBeatsFlat).
 package multilevel
 
 import (
@@ -54,11 +58,26 @@ type Options struct {
 	// Constraint is the unified balance contract, threaded through the
 	// whole V-cycle: coarsening never contracts two vertices pinned to
 	// opposite sides (so every level has a well-defined coarse fixed
-	// set), the coarsest-level initial cut and each level's FM
-	// refinement run under the projected constraint, and the final
-	// partition is hard-enforced against it. The zero value preserves
-	// historical behavior exactly.
+	// set) nor merges clusters past the ε side bound, the coarsest-
+	// level initial cut and each level's refinement run under the
+	// projected constraint with the ε budget rescaled for cluster
+	// granularity, and the final partition is hard-enforced against it.
 	Constraint partition.Constraint
+	// DisableFlow turns off the corridor max-flow refinement, leaving
+	// the historical FM-only uncoarsening pass. The zero value (flow
+	// on) is the production default; the flag exists for ablation and
+	// for the differential suite proving flow's cut advantage.
+	DisableFlow bool
+	// CorridorFraction is the per-side corridor weight budget of one
+	// flow round, as a fraction of ⌈w(V)/2⌉ (default 0.1).
+	CorridorFraction float64
+	// FlowRounds is the number of corridor solves at the finest level
+	// (default 4). Rounds stop early once a solve cannot improve.
+	FlowRounds int
+	// MaxClusterWeight caps contracted cluster weights during
+	// coarsening (0 = derived: total/MinCoarseVertices, tightened to
+	// half the ε side bound when a balance constraint is set).
+	MaxClusterWeight int64
 	// Checkpoint, when non-nil, journals every completed V-cycle into
 	// its sink and resumes from its recovered state — see
 	// internal/checkpoint. A resumed run returns the same Result an
@@ -74,6 +93,32 @@ func (o *Options) defaults() {
 	if o.BalanceFraction <= 0 {
 		o.BalanceFraction = 0.1
 	}
+	if o.CorridorFraction <= 0 {
+		o.CorridorFraction = 0.1
+	}
+	if o.FlowRounds <= 0 {
+		o.FlowRounds = 4
+	}
+}
+
+// clusterWeightCap derives the coarsening weight cap: clusters no
+// heavier than an even split of the coarsest level, and never more
+// than half an ε-bounded side, so contraction cannot silently make
+// the balance contract unsatisfiable.
+func (o *Options) clusterWeightCap(total int64) int64 {
+	if o.MaxClusterWeight > 0 {
+		return o.MaxClusterWeight
+	}
+	w := (total + int64(o.MinCoarseVertices) - 1) / int64(o.MinCoarseVertices)
+	if o.Constraint.HasBalance() {
+		if b := o.Constraint.MaxSideWeight(total, 2) / 2; b > 0 && b < w {
+			w = b
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Result is the multilevel outcome.
@@ -87,6 +132,8 @@ type Result struct {
 	Levels int
 	// CoarsestVertices is the size of the coarsest hypergraph.
 	CoarsestVertices int
+	// VCycle reports the winning cycle's deterministic work counters.
+	VCycle VCycleStats
 	// Engine reports the multi-start execution (V-cycles run, winning
 	// cycle, per-cycle cuts, wall/CPU time).
 	Engine engine.Stats
@@ -118,8 +165,8 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		Starts:      opts.Starts,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
-		Run: func(ctx context.Context, _ int, rng *rand.Rand, _ *engine.Scratch) (*Result, error) {
-			return vcycle(ctx, h, opts, rng, innerParallelism), nil
+		Run: func(ctx context.Context, _ int, rng *rand.Rand, scratch *engine.Scratch) (*Result, error) {
+			return vcycle(ctx, h, opts, rng, innerParallelism, scratch), nil
 		},
 		Better: func(a, b *Result) bool {
 			if a.CutSize != b.CutSize {
@@ -131,15 +178,26 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 		Checkpoint: engine.BindCheckpoint(opts.Checkpoint,
 			func(r *Result) []byte {
 				return checkpoint.EncodeBest(r.Partition.Sides(), r.CutSize,
-					int64(r.Levels), int64(r.CoarsestVertices))
+					int64(r.Levels), int64(r.CoarsestVertices),
+					r.VCycle.CorridorVertices, r.VCycle.FlowNodes,
+					r.VCycle.FlowAugmentations, r.VCycle.FlowRounds,
+					r.VCycle.FlowAccepted, r.VCycle.FlowGain,
+					r.VCycle.RefineGain)
 			},
 			func(b []byte) (*Result, error) {
-				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 2)
+				p, cut, aux, err := checkpoint.DecodeBestFor(h, b, 9)
 				if err != nil {
 					return nil, fmt.Errorf("multilevel: %w", err)
 				}
-				return &Result{Partition: p, CutSize: cut,
-					Levels: int(aux[0]), CoarsestVertices: int(aux[1])}, nil
+				r := &Result{Partition: p, CutSize: cut,
+					Levels: int(aux[0]), CoarsestVertices: int(aux[1])}
+				r.VCycle = VCycleStats{
+					Levels: r.Levels, CoarsestVertices: r.CoarsestVertices,
+					CorridorVertices: aux[2], FlowNodes: aux[3],
+					FlowAugmentations: aux[4], FlowRounds: aux[5],
+					FlowAccepted: aux[6], FlowGain: aux[7], RefineGain: aux[8],
+				}
+				return r, nil
 			}),
 	})
 	if err != nil {
@@ -150,18 +208,25 @@ func BisectCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Re
 }
 
 // vcycle runs one full coarsen → initial cut → uncoarsen+refine cycle.
-func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand, innerParallelism int) *Result {
+func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *rand.Rand,
+	innerParallelism int, scratch *engine.Scratch) *Result {
 	c := opts.Constraint
 	var fineFixed []int8
 	if c.HasFixed() {
 		fineFixed = c.FixedSide
 	}
-	levels := coarsen.HierarchyFixed(h, rng, opts.MinCoarseVertices, 0, fineFixed)
+	stats := &VCycleStats{}
+	levels := coarsen.BuildHierarchy(h, rng, coarsen.Options{
+		MinVertices:      opts.MinCoarseVertices,
+		Fixed:            fineFixed,
+		MaxClusterWeight: opts.clusterWeightCap(h.TotalVertexWeight()),
+	})
 	coarsest := h
 	coarseC := c
 	if len(levels) > 0 {
-		coarsest = levels[len(levels)-1].Coarse
-		coarseC = levelConstraint(c, levels[len(levels)-1].Fixed)
+		top := levels[len(levels)-1]
+		coarsest = top.Coarse
+		coarseC = levelConstraint(c, top.Fixed, top.Coarse)
 	}
 
 	// Initial partition of the coarsest level: Algorithm I with the
@@ -185,7 +250,7 @@ func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *ra
 	} else {
 		p = kl.RandomBisectionConstrained(coarsest, rng, coarseC)
 	}
-	refine(ctx, coarsest, p, opts, coarseC)
+	refine(ctx, coarsest, p, opts, coarseC, scratch, stats, len(levels) == 0)
 
 	// Uncoarsen with refinement at every level. Projection always runs
 	// (the result must live on the input hypergraph); refinement stops
@@ -197,11 +262,11 @@ func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *ra
 			fine = h
 		} else {
 			fine = levels[i-1].Coarse
-			levelC = levelConstraint(c, levels[i-1].Fixed)
+			levelC = levelConstraint(c, levels[i-1].Fixed, levels[i-1].Coarse)
 		}
 		p = coarsen.Project(fine.NumVertices(), levels[i].Map, p)
 		if ctx.Err() == nil {
-			refine(ctx, fine, p, opts, levelC)
+			refine(ctx, fine, p, opts, levelC, scratch, stats, i == 0)
 		}
 	}
 	if !c.IsZero() {
@@ -213,29 +278,72 @@ func vcycle(ctx context.Context, h *hypergraph.Hypergraph, opts Options, rng *ra
 		}
 	}
 
+	stats.Levels = len(levels)
+	stats.CoarsestVertices = coarsest.NumVertices()
 	return &Result{
 		Partition:        p,
 		CutSize:          partition.CutSize(h, p),
 		Levels:           len(levels),
 		CoarsestVertices: coarsest.NumVertices(),
+		VCycle:           *stats,
 	}
 }
 
-// levelConstraint rebinds the contract to one coarsening level: same ε,
-// that level's coarse fixed set.
-func levelConstraint(c partition.Constraint, fixed []int8) partition.Constraint {
+// levelConstraint rebinds the contract to one coarsening level: that
+// level's coarse fixed set, with the ε budget widened by half the
+// heaviest cluster's share of a side — at coarse granularity an exact
+// ε may be unreachable by any assignment, and refinement at the finer
+// levels re-tightens toward the caller's ε (which the final rebalance
+// enforces exactly).
+func levelConstraint(c partition.Constraint, fixed []int8, coarse *hypergraph.Hypergraph) partition.Constraint {
 	if c.IsZero() {
 		return c
 	}
-	return partition.Constraint{Epsilon: c.Epsilon, FixedSide: fixed}
+	lc := partition.Constraint{Epsilon: c.Epsilon, FixedSide: fixed}
+	if c.HasBalance() && coarse != nil {
+		var maxW int64
+		for v := 0; v < coarse.NumVertices(); v++ {
+			if w := coarse.VertexWeight(v); w > maxW {
+				maxW = w
+			}
+		}
+		if total := coarse.TotalVertexWeight(); total > 0 && maxW > 0 {
+			lc.Epsilon += float64(maxW) / (2 * float64((total+1)/2))
+		}
+	}
+	return lc
 }
 
-// refine runs FM on p in place; refinement is best-effort and skipped
-// for degenerate partitions FM would reject.
-func refine(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition, opts Options, c partition.Constraint) {
+// refine improves p in place at one level: an FM pass, then — at the
+// finest level only — corridor max-flow rounds and, when flow moved
+// anything, another FM pass to exploit the new neighbourhood. Flow is
+// confined to the finest level deliberately: there it can only improve
+// the final cut (every acceptance is a non-worsening state and FM keeps
+// the best partition it sees), whereas a coarse-level acceptance
+// changes the projection the finer FM starts from and can strand it in
+// a worse basin — observed, not hypothetical. The confinement is what
+// makes cut(V-cycle) ≤ cut(flat pass) a per-instance guarantee instead
+// of a median-only claim. Refinement is best-effort and skipped for
+// degenerate partitions FM would reject.
+func refine(ctx context.Context, h *hypergraph.Hypergraph, p *partition.Bipartition,
+	opts Options, c partition.Constraint, scratch *engine.Scratch, stats *VCycleStats, finest bool) {
 	if err := p.Validate(h); err != nil {
 		return
 	}
-	_, err := fm.ImproveCtx(ctx, h, p, fm.Options{BalanceFraction: opts.BalanceFraction, Constraint: c})
+	before := partition.CutSize(h, p)
+	fmOpts := fm.Options{BalanceFraction: opts.BalanceFraction, Constraint: c}
+	_, err := fm.ImproveCtx(ctx, h, p, fmOpts)
 	_ = err // FM validates the same preconditions; nothing to do on failure
+	if finest && !opts.DisableFlow && ctx.Err() == nil {
+		accepted := stats.FlowAccepted
+		flowRefine(ctx, h, p, c, opts.BalanceFraction, opts.CorridorFraction,
+			opts.FlowRounds, scratch, stats)
+		if stats.FlowAccepted > accepted && ctx.Err() == nil {
+			_, err := fm.ImproveCtx(ctx, h, p, fmOpts)
+			_ = err
+		}
+	}
+	if after := partition.CutSize(h, p); after < before {
+		stats.RefineGain += int64(before - after)
+	}
 }

@@ -111,6 +111,13 @@ type familyEntry struct {
 	AllocsPerOpOld float64          `json:"allocs_per_op_old"`
 }
 
+// vcycleEntry is one row of BENCH_perf.json's vcycle section: the
+// deterministic V-cycle scale counters (see TestVCycleBaseline).
+type vcycleEntry struct {
+	Name string `json:"name"`
+	VCycleCounters
+}
+
 // perfFile mirrors BENCH_perf.json.
 type perfFile struct {
 	Suite    string        `json:"suite"`
@@ -122,6 +129,9 @@ type perfFile struct {
 		SpeedupX         float64 `json:"speedup_x"`
 		AllocsReductionX float64 `json:"allocs_reduction_x"`
 	} `json:"dense"`
+	// VCycle is the multilevel scale suite, blessed and gated by
+	// TestVCycleBaseline; TestPerfBaseline preserves it on -update.
+	VCycle []vcycleEntry `json:"vcycle,omitempty"`
 }
 
 // timingRow is one BENCH_perf.timing.json row — machine-dependent,
@@ -257,6 +267,14 @@ func TestPerfBaseline(t *testing.T) {
 	}
 
 	if *update {
+		// Read-modify-write: the vcycle section belongs to
+		// TestVCycleBaseline and must survive an intersect re-bless.
+		if prev, err := os.ReadFile(benchPath); err == nil {
+			var old perfFile
+			if json.Unmarshal(prev, &old) == nil {
+				got.VCycle = old.VCycle
+			}
+		}
 		writeJSON(t, benchPath, &got)
 		writeBenchstatBaseline(t, families)
 		t.Logf("re-blessed %s and %s", benchPath, baselinePath)
